@@ -1,0 +1,417 @@
+package bftcup
+
+// The benchmark harness regenerates every table and figure of the paper
+// (virtual time, message and byte counts on the deterministic simulator) and
+// adds the extension measurements DESIGN.md calls out: authenticated vs
+// unauthenticated dissemination, delta-gossip ablation, search and signature
+// micro-benchmarks, and protocol scaling sweeps.
+//
+// Absolute wall-clock numbers measure this simulator, not the authors'
+// testbed; the reproduced shape is the pattern of ✓/✗ verdicts, the relative
+// message/byte costs and where they grow.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/bftcup/bftcup/internal/core"
+	"github.com/bftcup/bftcup/internal/cryptox"
+	"github.com/bftcup/bftcup/internal/discovery"
+	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/kosr"
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/rrbcast"
+	"github.com/bftcup/bftcup/internal/scenario"
+	"github.com/bftcup/bftcup/internal/sim"
+)
+
+// runScenario executes one experiment spec b.N times and reports simulator
+// metrics alongside wall-clock time.
+func runScenario(b *testing.B, spec scenario.Spec, wantConsensus bool) {
+	b.Helper()
+	var msgs, bytes int64
+	var virtual sim.Time
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got := res.Termination && res.Agreement && res.Validity
+		if got != wantConsensus {
+			b.Fatalf("verdict %v, want %v (%s)", got, wantConsensus, res.FailureMode())
+		}
+		msgs, bytes, virtual = res.Messages, res.Bytes, res.Elapsed
+	}
+	b.ReportMetric(float64(msgs), "msgs/run")
+	b.ReportMetric(float64(bytes), "wirebytes/run")
+	b.ReportMetric(float64(virtual)/float64(sim.Millisecond), "virtualms/run")
+}
+
+// BenchmarkTable1 regenerates every cell of Table I.
+func BenchmarkTable1(b *testing.B) {
+	for _, exp := range scenario.Table1() {
+		exp := exp
+		b.Run(exp.ID[len("table1/"):], func(b *testing.B) {
+			runScenario(b, exp.Spec, exp.Expect.Consensus)
+		})
+	}
+}
+
+// BenchmarkFig1 regenerates the Fig. 1 pair (invalid vs valid graph).
+func BenchmarkFig1(b *testing.B) {
+	for _, exp := range scenario.Fig1() {
+		exp := exp
+		b.Run(exp.ID, func(b *testing.B) { runScenario(b, exp.Spec, exp.Expect.Consensus) })
+	}
+}
+
+// BenchmarkFig2 regenerates the Theorem 7 impossibility construction.
+func BenchmarkFig2(b *testing.B) {
+	for _, exp := range scenario.Fig2() {
+		exp := exp
+		b.Run(exp.ID, func(b *testing.B) { runScenario(b, exp.Spec, exp.Expect.Consensus) })
+	}
+}
+
+// BenchmarkFig3 regenerates the false-sink violation.
+func BenchmarkFig3(b *testing.B) {
+	for _, exp := range scenario.Fig3() {
+		exp := exp
+		b.Run(exp.ID, func(b *testing.B) { runScenario(b, exp.Spec, exp.Expect.Consensus) })
+	}
+}
+
+// BenchmarkFig4 regenerates the BFT-CUPFT possibility results.
+func BenchmarkFig4(b *testing.B) {
+	for _, exp := range scenario.Fig4() {
+		exp := exp
+		b.Run(exp.ID, func(b *testing.B) { runScenario(b, exp.Spec, exp.Expect.Consensus) })
+	}
+}
+
+// BenchmarkSinkSearch measures the Algorithm 2 decision procedure on full
+// knowledge views.
+func BenchmarkSinkSearch(b *testing.B) {
+	fig := graph.Fig1b()
+	v := kosr.FullView(fig.G)
+	b.Run("fig1b", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := v.FindSinkKnownF(fig.F); !ok {
+				b.Fatal("sink not found")
+			}
+		}
+	})
+	for _, size := range []int{7, 11, 15} {
+		size := size
+		g, _, err := graph.GenKOSR(rand.New(rand.NewSource(9)), graph.GenSpec{SinkSize: size, NonSinkSize: size / 2, K: 3, ExtraEdgeP: 0.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		vv := kosr.FullView(g)
+		b.Run(fmt.Sprintf("random-sink-%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := vv.FindSinkKnownF(2); !ok {
+					b.Fatal("sink not found")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoreSearch measures the Algorithm 4 decision procedure (the
+// maximum-connectivity sweep no process could avoid without knowing f).
+func BenchmarkCoreSearch(b *testing.B) {
+	for _, fig := range []graph.Figure{graph.Fig4a(), graph.Fig4b()} {
+		fig := fig
+		v := kosr.FullView(fig.G)
+		b.Run(fig.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := v.FindCore(); !ok {
+					b.Fatal("core not found")
+				}
+			}
+		})
+	}
+	for _, size := range []int{5, 8, 11} {
+		size := size
+		g, _, _, err := graph.GenExtendedKOSR(rand.New(rand.NewSource(9)), graph.GenSpec{SinkSize: size, NonSinkSize: size / 2, ExtraEdgeP: 0.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := kosr.FullView(g)
+		b.Run(fmt.Sprintf("random-core-%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := v.FindCore(); !ok {
+					b.Fatal("core not found")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStrongConnectivity measures the κ computation (Menger max-flow).
+func BenchmarkStrongConnectivity(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		n := n
+		ids := make([]model.ID, n)
+		for i := range ids {
+			ids[i] = model.ID(i + 1)
+		}
+		g := graph.CompleteGraph(ids...)
+		b.Run(fmt.Sprintf("complete-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if g.StrongConnectivity() != n-1 {
+					b.Fatal("κ wrong")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPBFTCommittee measures the committee phase alone (permissioned
+// complete graphs, classic 3f+1 sizing).
+func BenchmarkPBFTCommittee(b *testing.B) {
+	for _, n := range []int{4, 7, 10, 13} {
+		n := n
+		f := (n - 1) / 3
+		ids := make([]model.ID, n)
+		for i := range ids {
+			ids[i] = model.ID(i + 1)
+		}
+		spec := scenario.Spec{
+			Name:    fmt.Sprintf("pbft-%d", n),
+			Graph:   graph.CompleteGraph(ids...),
+			Mode:    core.ModePermissioned,
+			F:       f,
+			Net:     sim.Synchronous{Delta: 5 * sim.Millisecond},
+			Horizon: 30 * sim.Second,
+			Seed:    int64(n),
+		}
+		b.Run(fmt.Sprintf("n=%d_f=%d", n, f), func(b *testing.B) {
+			runScenario(b, spec, true)
+		})
+	}
+}
+
+// BenchmarkScalingCUPFT sweeps BFT-CUPFT end to end over growing networks.
+func BenchmarkScalingCUPFT(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		n := n
+		coreSize := n / 2
+		g, _, _, err := graph.GenExtendedKOSR(rand.New(rand.NewSource(int64(n))), graph.GenSpec{
+			SinkSize: coreSize, NonSinkSize: n - coreSize, ExtraEdgeP: 0.1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := scenario.Spec{
+			Name:    fmt.Sprintf("cupft-%d", n),
+			Graph:   g,
+			Mode:    core.ModeUnknownF,
+			Net:     sim.Synchronous{Delta: 5 * sim.Millisecond},
+			Horizon: 120 * sim.Second,
+			Seed:    int64(n),
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			runScenario(b, spec, true)
+		})
+	}
+}
+
+// --- authenticated vs unauthenticated dissemination (Section III's claim) --
+
+// authDisc runs signed-gossip discovery (Algorithm 1) until every correct
+// sink member holds every other correct sink member's PD.
+type authDiscNode struct{ mod *discovery.Module }
+
+func (n *authDiscNode) Init(ctx sim.Context) { n.mod.Start(ctx) }
+func (n *authDiscNode) Receive(ctx sim.Context, from model.ID, payload []byte) {
+	n.mod.Handle(ctx, from, payload)
+}
+func (n *authDiscNode) Timer(ctx sim.Context, tag uint64) { n.mod.HandleTimer(ctx, tag) }
+
+type rrbDiscNode struct {
+	mod     *rrbcast.Module
+	payload []byte
+}
+
+func (n *rrbDiscNode) Init(ctx sim.Context) { n.mod.Broadcast(ctx, 0, n.payload) }
+func (n *rrbDiscNode) Receive(ctx sim.Context, from model.ID, payload []byte) {
+	n.mod.Handle(ctx, from, payload)
+}
+func (n *rrbDiscNode) Timer(sim.Context, uint64) {}
+
+// BenchmarkAuthVsUnauthDissemination quantifies the paper's simplification:
+// disseminating every correct sink member's PD to every other on Fig 1b,
+// with signatures (trust any relay) vs without (wait for > f node-disjoint
+// paths). Compare msgs/run and wirebytes/run across the two sub-benchmarks.
+func BenchmarkAuthVsUnauthDissemination(b *testing.B) {
+	fig := graph.Fig1b()
+	sinkIDs := fig.ExpectedSink.Sorted()
+
+	b.Run("authenticated", func(b *testing.B) {
+		var msgs, bytes int64
+		for i := 0; i < b.N; i++ {
+			signers, reg, err := cryptox.GenerateKeys(1, fig.G.Nodes())
+			if err != nil {
+				b.Fatal(err)
+			}
+			engine := sim.NewEngine(sim.Synchronous{Delta: 5 * sim.Millisecond}, 1)
+			nodes := make(map[model.ID]*authDiscNode)
+			for _, id := range fig.G.Nodes() {
+				nd := &authDiscNode{mod: discovery.New(
+					discovery.NewSignedPD(signers[id], fig.G.OutSet(id).Clone()), reg, discovery.DefaultConfig(), nil)}
+				nodes[id] = nd
+				if err := engine.AddProcess(id, nd); err != nil {
+					b.Fatal(err)
+				}
+				if fig.Byz.Has(id) {
+					engine.Crash(id)
+				}
+			}
+			done := func() bool {
+				for _, a := range sinkIDs {
+					v := nodes[a].mod.View()
+					for _, c := range sinkIDs {
+						if _, ok := v.PD[c]; !ok {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if !engine.RunUntil(done, 30*sim.Second) {
+				b.Fatal("authenticated dissemination did not converge")
+			}
+			msgs, bytes = engine.Metrics().Messages, engine.Metrics().Bytes
+		}
+		b.ReportMetric(float64(msgs), "msgs/run")
+		b.ReportMetric(float64(bytes), "wirebytes/run")
+	})
+
+	b.Run("unauthenticated-rrbcast", func(b *testing.B) {
+		var msgs, bytes int64
+		for i := 0; i < b.N; i++ {
+			engine := sim.NewEngine(sim.Synchronous{Delta: 5 * sim.Millisecond}, 1)
+			delivered := make(map[model.ID]model.IDSet)
+			for _, id := range fig.G.Nodes() {
+				id := id
+				delivered[id] = model.NewIDSet()
+				mod := rrbcast.New(id, fig.G.OutSet(id).Clone(), fig.F, func(origin model.ID, _ []byte) {
+					delivered[id].Add(origin)
+				})
+				nd := &rrbDiscNode{mod: mod, payload: discovery.Canonical(id, fig.G.OutSet(id).Clone())}
+				if err := engine.AddProcess(id, nd); err != nil {
+					b.Fatal(err)
+				}
+				if fig.Byz.Has(id) {
+					engine.Crash(id)
+				}
+			}
+			done := func() bool {
+				for _, a := range sinkIDs {
+					for _, c := range sinkIDs {
+						if a != c && !delivered[a].Has(c) {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if !engine.RunUntil(done, 30*sim.Second) {
+				b.Fatal("rrbcast dissemination did not converge")
+			}
+			msgs, bytes = engine.Metrics().Messages, engine.Metrics().Bytes
+		}
+		b.ReportMetric(float64(msgs), "msgs/run")
+		b.ReportMetric(float64(bytes), "wirebytes/run")
+	})
+}
+
+// BenchmarkDeltaGossip is the ablation of DESIGN.md E-X3: paper-faithful
+// full-set SETPDS vs delta gossip over one second of steady-state virtual
+// time on Fig 1b (the periodic task keeps running after convergence, which
+// is where the full-set re-transmission cost accumulates).
+func BenchmarkDeltaGossip(b *testing.B) {
+	fig := graph.Fig1b()
+	for _, delta := range []bool{false, true} {
+		delta := delta
+		name := "full-set"
+		if delta {
+			name = "delta"
+		}
+		b.Run(name, func(b *testing.B) {
+			var msgs, bytes int64
+			for i := 0; i < b.N; i++ {
+				signers, reg, err := cryptox.GenerateKeys(1, fig.G.Nodes())
+				if err != nil {
+					b.Fatal(err)
+				}
+				engine := sim.NewEngine(sim.Synchronous{Delta: 5 * sim.Millisecond}, 1)
+				cfg := discovery.DefaultConfig()
+				cfg.Delta = delta
+				nodes := make(map[model.ID]*authDiscNode)
+				for _, id := range fig.G.Nodes() {
+					nd := &authDiscNode{mod: discovery.New(
+						discovery.NewSignedPD(signers[id], fig.G.OutSet(id).Clone()), reg, cfg, nil)}
+					nodes[id] = nd
+					if err := engine.AddProcess(id, nd); err != nil {
+						b.Fatal(err)
+					}
+					if fig.Byz.Has(id) {
+						engine.Crash(id)
+					}
+				}
+				engine.Run(sim.Second)
+				for _, a := range fig.ExpectedSink.Sorted() {
+					v := nodes[a].mod.View()
+					for _, c := range fig.ExpectedSink.Sorted() {
+						if _, ok := v.PD[c]; !ok {
+							b.Fatal("gossip did not converge")
+						}
+					}
+				}
+				msgs, bytes = engine.Metrics().Messages, engine.Metrics().Bytes
+			}
+			b.ReportMetric(float64(msgs), "msgs/run")
+			b.ReportMetric(float64(bytes), "wirebytes/run")
+		})
+	}
+}
+
+// BenchmarkSigners compares Ed25519 against the insecure benchmark suite.
+func BenchmarkSigners(b *testing.B) {
+	msg := []byte("knowledge connectivity requirements for solving BFT consensus")
+	ed, reg, err := cryptox.GenerateKeys(1, []model.ID{1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ed25519-sign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = ed[1].Sign(msg)
+		}
+	})
+	sig := ed[1].Sign(msg)
+	b.Run("ed25519-verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !reg.Verify(1, msg, sig) {
+				b.Fatal("verify failed")
+			}
+		}
+	})
+	fast, fv := cryptox.InsecureSuite([]model.ID{1})
+	b.Run("insecure-sign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = fast[1].Sign(msg)
+		}
+	})
+	fsig := fast[1].Sign(msg)
+	b.Run("insecure-verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !fv.Verify(1, msg, fsig) {
+				b.Fatal("verify failed")
+			}
+		}
+	})
+}

@@ -1,0 +1,228 @@
+package bftcup
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestCheckers(t *testing.T) {
+	if r := CheckBFTCUP(Figure1b(), []ID{4}, 1); !r.OK {
+		t.Fatalf("Fig1b should satisfy BFT-CUP: %s", r.Reason)
+	}
+	if r := CheckBFTCUP(Figure1a(), []ID{4}, 1); r.OK {
+		t.Fatal("Fig1a should fail BFT-CUP")
+	}
+	r := CheckBFTCUPFT(Figure4a(), []ID{4}, 1)
+	if !r.OK {
+		t.Fatalf("Fig4a should satisfy BFT-CUPFT: %s", r.Reason)
+	}
+	if len(r.Committee) != 3 { // safe core {1,2,3}
+		t.Fatalf("Fig4a safe core = %v", r.Committee)
+	}
+	if r := CheckBFTCUPFT(Figure2c(), nil, 0); r.OK {
+		t.Fatal("Fig2c should fail BFT-CUPFT")
+	}
+}
+
+func TestTopologyHelpers(t *testing.T) {
+	topo := Topology{1: {2}, 2: {3}}
+	if got := topo.Processes(); len(got) != 3 {
+		t.Fatalf("Processes = %v", got)
+	}
+	c := topo.Clone()
+	c[1][0] = 9
+	if topo[1][0] != 2 {
+		t.Fatal("Clone shares slices")
+	}
+}
+
+func TestRandomGenerators(t *testing.T) {
+	topo, sink, err := RandomKOSR(1, 5, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := CheckBFTCUP(topo, nil, 1); !r.OK {
+		t.Fatalf("RandomKOSR output invalid: %s", r.Reason)
+	}
+	if len(sink) != 5 {
+		t.Fatalf("sink = %v", sink)
+	}
+	topo2, core2, err := RandomExtendedKOSR(2, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := CheckBFTCUPFT(topo2, nil, 1); !r.OK {
+		t.Fatalf("RandomExtendedKOSR output invalid: %s", r.Reason)
+	}
+	if len(core2) != 5 {
+		t.Fatalf("core = %v", core2)
+	}
+}
+
+func TestLiveSystemQuickstart(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{
+		Topology: Figure1b(),
+		Protocol: ProtocolBFTCUP,
+		F:        1,
+		Exclude:  []ID{4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	sys.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := sys.WaitAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ref, ok := sys.DecisionOf(1, 0)
+	if !ok {
+		t.Fatal("process 1 did not decide")
+	}
+	for _, id := range sys.Started() {
+		v, ok := sys.DecisionOf(id, 0)
+		if !ok || !v.Equal(ref) {
+			t.Fatalf("%v decided %q, want %q", id, v, ref)
+		}
+		c, ok := sys.CommitteeOf(id)
+		if !ok || len(c) != 4 {
+			t.Fatalf("%v committee = %v", id, c)
+		}
+	}
+	if sys.Messages() == 0 || sys.Bytes() == 0 {
+		t.Fatal("metrics empty")
+	}
+}
+
+func TestLiveSystemChained(t *testing.T) {
+	const blocks = 3
+	sys, err := NewSystem(SystemConfig{
+		Topology: Figure4a(),
+		Protocol: ProtocolBFTCUPFT,
+		Exclude:  []ID{4},
+		Blocks:   blocks,
+		ProposalFor: func(id ID, block int) Value {
+			return Value(fmt.Sprintf("block%d-by-%d", block, id))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	sys.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := sys.WaitAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	all := sys.Decisions()
+	for b := 0; b < blocks; b++ {
+		ref := all[1][b]
+		for _, id := range sys.Started() {
+			if !all[id][b].Equal(ref) {
+				t.Fatalf("block %d differs at %v: %q vs %q", b, id, all[id][b], ref)
+			}
+		}
+	}
+}
+
+func TestSimulatePossibility(t *testing.T) {
+	rep, err := Simulate(SimOptions{
+		Topology:  Figure4a(),
+		Protocol:  ProtocolBFTCUPFT,
+		Byzantine: map[ID]Byzantine{4: {Behavior: BehaviorSilent}},
+		Network:   Network{Kind: NetworkPartiallySynchronous, GST: time.Second},
+		Horizon:   60 * time.Second,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ConsensusSolved {
+		t.Fatalf("expected consensus: %s", rep.FailureMode)
+	}
+	if len(rep.Committees[1]) != 4 {
+		t.Fatalf("committee = %v", rep.Committees[1])
+	}
+}
+
+func TestSimulateImpossibility(t *testing.T) {
+	rep, err := Simulate(SimOptions{
+		Topology: Figure2c(),
+		Protocol: ProtocolBFTCUPFT,
+		Network: Network{
+			Kind:       NetworkPartiallySynchronous,
+			GST:        30 * time.Second,
+			SlowGroups: [][]ID{{1, 2, 3}, {6, 7, 8}},
+		},
+		Proposals: map[ID]Value{
+			1: Value("v"), 2: Value("v"), 3: Value("v"), 4: Value("v"),
+			5: Value("u"), 6: Value("u"), 7: Value("u"), 8: Value("u"),
+		},
+		Horizon: 90 * time.Second,
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Agreement {
+		t.Fatal("expected the Theorem 7 agreement violation")
+	}
+	if rep.FailureMode != "agreement violated" {
+		t.Fatalf("failure mode = %q", rep.FailureMode)
+	}
+	if !rep.Decisions[1].Equal(Value("v")) || !rep.Decisions[8].Equal(Value("u")) {
+		t.Fatalf("split decisions wrong: %v", rep.Decisions)
+	}
+}
+
+func TestSimulateAsyncNonTermination(t *testing.T) {
+	rep, err := Simulate(SimOptions{
+		Topology: Topology{1: {2, 3, 4}, 2: {1, 3, 4}, 3: {1, 2, 4}, 4: {1, 2, 3}},
+		Protocol: ProtocolPermissioned,
+		F:        1,
+		Network:  Network{Kind: NetworkAsynchronousAdversarial},
+		Horizon:  30 * time.Second,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Termination {
+		t.Fatal("adversarial asynchrony should prevent termination")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := NewSystem(SystemConfig{}); err == nil {
+		t.Fatal("empty topology accepted")
+	}
+	if _, err := NewSystem(SystemConfig{Topology: Figure1b(), Protocol: Protocol(99)}); err == nil {
+		t.Fatal("bad protocol accepted")
+	}
+	if _, err := NewSystem(SystemConfig{Topology: Topology{1: {2}}, Exclude: []ID{1, 2}}); err == nil {
+		t.Fatal("fully excluded system accepted")
+	}
+	if _, err := Simulate(SimOptions{}); err == nil {
+		t.Fatal("empty simulate accepted")
+	}
+	if _, err := Simulate(SimOptions{Topology: Figure1b(), Protocol: Protocol(99)}); err == nil {
+		t.Fatal("bad simulate protocol accepted")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	for p, want := range map[Protocol]string{
+		ProtocolBFTCUP:       "bft-cup",
+		ProtocolBFTCUPFT:     "bft-cupft",
+		ProtocolPermissioned: "permissioned",
+		Protocol(9):          "protocol(9)",
+	} {
+		if p.String() != want {
+			t.Fatalf("%d → %q, want %q", int(p), p.String(), want)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Command cupsim runs one BFT-CUP / BFT-CUPFT scenario on the deterministic
+// simulator and prints the per-process outcome.
+//
+// Examples:
+//
+//	cupsim -graph fig1b -mode bft-cup -f 1 -byz 4:silent
+//	cupsim -graph fig4a -mode bft-cupft -byz 4:silent
+//	cupsim -graph fig2c -mode naive -net partial -gst 30s -slow 1,2,3/6,7,8
+//	cupsim -graph random-ext:7:4 -mode bft-cupft -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/bftcup/bftcup/internal/core"
+	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/scenario"
+	"github.com/bftcup/bftcup/internal/sim"
+)
+
+func main() {
+	var (
+		graphName = flag.String("graph", "fig1b", "topology: fig1a|fig1b|fig2a|fig2b|fig2c|fig3a|fig3b|fig4a|fig4b|complete:N|random:SINK:NONSINK:F|random-ext:CORE:NONCORE")
+		modeName  = flag.String("mode", "bft-cup", "protocol: bft-cup|bft-cupft|naive|permissioned")
+		f         = flag.Int("f", 1, "fault threshold handed to processes (bft-cup / permissioned)")
+		byzFlag   = flag.String("byz", "", "byzantine processes, e.g. 4:silent,7:fake-pd or 4:as-correct")
+		netName   = flag.String("net", "sync", "network: sync|partial|async")
+		gst       = flag.Duration("gst", 2*time.Second, "GST for -net partial")
+		slowFlag  = flag.String("slow", "", "pre-GST fast groups, e.g. 1,2,3/6,7,8 (everything else slow)")
+		horizon   = flag.Duration("horizon", 60*time.Second, "virtual-time horizon")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	g, byzDefault, err := buildGraph(*graphName, *seed)
+	if err != nil {
+		fail(err)
+	}
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		fail(err)
+	}
+	byz, err := parseByz(*byzFlag, byzDefault)
+	if err != nil {
+		fail(err)
+	}
+	net, err := buildNet(*netName, *gst, *slowFlag)
+	if err != nil {
+		fail(err)
+	}
+	spec := scenario.Spec{
+		Name:    *graphName,
+		Graph:   g,
+		Mode:    mode,
+		F:       *f,
+		Byz:     byz,
+		Net:     net,
+		Horizon: sim.Time(*horizon),
+		Seed:    *seed,
+	}
+	res, err := scenario.Run(spec)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("scenario  : %s (mode=%s, %d processes)\n", *graphName, mode, g.NumNodes())
+	fmt.Printf("verdict   : %s", res.Verdict())
+	if fm := res.FailureMode(); fm != "" {
+		fmt.Printf("  (%s)", fm)
+	}
+	fmt.Println()
+	fmt.Printf("elapsed   : %v virtual, %d messages, %d bytes\n\n", time.Duration(res.Elapsed), res.Messages, res.Bytes)
+	ids := make([]uint64, 0, len(res.PerProcess))
+	for id := range res.PerProcess {
+		ids = append(ids, uint64(id))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Println("process  role       decision          committee")
+	for _, raw := range ids {
+		pr := res.PerProcess[model.ID(raw)]
+		role := "correct"
+		if pr.Byzantine {
+			role = "byzantine"
+		}
+		dec := "⊥"
+		if pr.Decided {
+			dec = fmt.Sprintf("%q @ %v", pr.Value, time.Duration(pr.DecidedAt).Round(time.Millisecond))
+		}
+		fmt.Printf("p%-7d %-10s %-17s %v (g=%d)\n", raw, role, dec, pr.Committee, pr.G)
+	}
+	if res.Verdict() == "✗" {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cupsim:", err)
+	os.Exit(2)
+}
+
+func buildGraph(name string, seed int64) (*graph.Digraph, model.IDSet, error) {
+	for _, fig := range graph.AllFigures() {
+		if fig.Name == name {
+			return fig.G, fig.Byz, nil
+		}
+	}
+	parts := strings.Split(name, ":")
+	rng := rand.New(rand.NewSource(seed))
+	switch parts[0] {
+	case "complete":
+		if len(parts) != 2 {
+			return nil, nil, fmt.Errorf("usage: complete:N")
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil || n < 1 {
+			return nil, nil, fmt.Errorf("bad N in %q", name)
+		}
+		ids := make([]model.ID, n)
+		for i := range ids {
+			ids[i] = model.ID(i + 1)
+		}
+		return graph.CompleteGraph(ids...), model.NewIDSet(), nil
+	case "random":
+		if len(parts) != 4 {
+			return nil, nil, fmt.Errorf("usage: random:SINK:NONSINK:F")
+		}
+		sink, _ := strconv.Atoi(parts[1])
+		non, _ := strconv.Atoi(parts[2])
+		ff, _ := strconv.Atoi(parts[3])
+		g, _, err := graph.GenKOSR(rng, graph.GenSpec{SinkSize: sink, NonSinkSize: non, K: ff + 1, ExtraEdgeP: 0.15})
+		return g, model.NewIDSet(), err
+	case "random-ext":
+		if len(parts) != 3 {
+			return nil, nil, fmt.Errorf("usage: random-ext:CORE:NONCORE")
+		}
+		core, _ := strconv.Atoi(parts[1])
+		non, _ := strconv.Atoi(parts[2])
+		g, _, _, err := graph.GenExtendedKOSR(rng, graph.GenSpec{SinkSize: core, NonSinkSize: non, ExtraEdgeP: 0.15})
+		return g, model.NewIDSet(), err
+	default:
+		return nil, nil, fmt.Errorf("unknown graph %q", name)
+	}
+}
+
+func parseMode(name string) (core.Mode, error) {
+	switch name {
+	case "bft-cup":
+		return core.ModeKnownF, nil
+	case "bft-cupft":
+		return core.ModeUnknownF, nil
+	case "naive":
+		return core.ModeNaive, nil
+	case "permissioned":
+		return core.ModePermissioned, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", name)
+	}
+}
+
+func parseByz(s string, _ model.IDSet) (map[model.ID]scenario.ByzSpec, error) {
+	out := make(map[model.ID]scenario.ByzSpec)
+	if s == "" {
+		return out, nil
+	}
+	for _, item := range strings.Split(s, ",") {
+		kv := strings.SplitN(item, ":", 2)
+		raw, err := strconv.ParseUint(kv[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad byzantine spec %q", item)
+		}
+		kind := "silent"
+		if len(kv) == 2 {
+			kind = kv[1]
+		}
+		var bs scenario.ByzSpec
+		switch kind {
+		case "silent":
+			bs.Kind = scenario.ByzSilent
+		case "fake-pd":
+			bs.Kind = scenario.ByzFakePD
+		case "equiv-pd":
+			bs.Kind = scenario.ByzEquivPD
+		case "as-correct":
+			bs.Kind = scenario.ByzAsCorrect
+		default:
+			return nil, fmt.Errorf("unknown byzantine kind %q", kind)
+		}
+		out[model.ID(raw)] = bs
+	}
+	return out, nil
+}
+
+func buildNet(name string, gst time.Duration, slow string) (sim.NetworkModel, error) {
+	const delta = 5 * sim.Millisecond
+	switch name {
+	case "sync":
+		return sim.Synchronous{Delta: delta}, nil
+	case "partial":
+		slowFn := func(a, b model.ID) bool { return true }
+		if slow != "" {
+			var groups []model.IDSet
+			for _, grp := range strings.Split(slow, "/") {
+				set := model.NewIDSet()
+				for _, idStr := range strings.Split(grp, ",") {
+					raw, err := strconv.ParseUint(strings.TrimSpace(idStr), 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("bad group member %q", idStr)
+					}
+					set.Add(model.ID(raw))
+				}
+				groups = append(groups, set)
+			}
+			slowFn = sim.SlowBetweenGroups(groups...)
+		}
+		return sim.PartialSync{GST: sim.Time(gst), Delta: delta, Slow: slowFn}, nil
+	case "async":
+		return sim.AsyncAdversarial{Delta: 2 * sim.Second, Factor: 3}, nil
+	default:
+		return nil, fmt.Errorf("unknown network %q", name)
+	}
+}

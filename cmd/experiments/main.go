@@ -1,0 +1,202 @@
+// Command experiments regenerates every table and figure of the paper:
+// it runs each experiment of the reproduction suite on the deterministic
+// simulator and prints paper-expected vs measured outcomes as Markdown
+// (the source of EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-run table1|fig1|fig2|fig3|fig4|all] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/scenario"
+	"github.com/bftcup/bftcup/internal/sim"
+	"github.com/bftcup/bftcup/internal/wire"
+)
+
+func modelID(raw uint64) model.ID { return model.ID(raw) }
+
+func failNote(res *scenario.Result) string {
+	if f := res.FailureMode(); f != "" {
+		return " — " + f
+	}
+	return ""
+}
+
+func main() {
+	runSel := flag.String("run", "all", "which experiment group to run: table1, fig1, fig2, fig3, fig4, all")
+	verbose := flag.Bool("v", false, "print per-process details")
+	flag.Parse()
+
+	groups := map[string][]scenario.Experiment{
+		"table1": scenario.Table1(),
+		"fig1":   scenario.Fig1(),
+		"fig2":   scenario.Fig2(),
+		"fig3":   scenario.Fig3(),
+		"fig4":   scenario.Fig4(),
+	}
+	var order []string
+	if *runSel == "all" {
+		order = []string{"table1", "fig1", "fig2", "fig3", "fig4"}
+	} else if _, ok := groups[*runSel]; ok {
+		order = []string{*runSel}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown group %q\n", *runSel)
+		os.Exit(2)
+	}
+
+	mismatches := 0
+	for _, g := range order {
+		fmt.Printf("## %s\n\n", g)
+		if g == "table1" {
+			runTable1(groups[g], *verbose, &mismatches)
+			continue
+		}
+		runGroup(groups[g], *verbose, &mismatches)
+	}
+	if mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiments diverged from the paper's prediction\n", mismatches)
+		os.Exit(1)
+	}
+}
+
+func runTable1(exps []scenario.Experiment, verbose bool, mismatches *int) {
+	type cell struct{ expected, measured string }
+	cells := make(map[string]cell)
+	var details []string
+	for _, exp := range exps {
+		res, err := scenario.Run(exp.Spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		want := "✓"
+		if !exp.Expect.Consensus {
+			want = "✗"
+		}
+		got := res.Verdict()
+		if got != want {
+			*mismatches++
+		}
+		key := strings.TrimPrefix(exp.ID, "table1/")
+		cells[key] = cell{expected: want, measured: got}
+		details = append(details, fmt.Sprintf("- `%s`: measured %s (elapsed %v, %d msgs, %d bytes)%s",
+			key, got, time(res.Elapsed), res.Messages, res.Bytes, failNote(res)))
+		if verbose {
+			details = append(details, perProcess(res)...)
+		}
+	}
+	fmt.Println("| Communication | Known n, Known f | Unknown n, Known f | Unknown n, Unknown f |")
+	fmt.Println("|---|---|---|---|")
+	for _, row := range []struct{ label, key string }{
+		{"Synchronous", "sync"},
+		{"Partially synchronous", "partial"},
+		{"Asynchronous (adversarial)", "async"},
+	} {
+		fmt.Printf("| %s |", row.label)
+		for _, col := range []string{"known-n-known-f", "unknown-n-known-f", "unknown-n-unknown-f"} {
+			c := cells[row.key+"/"+col]
+			mark := c.measured
+			if c.measured != c.expected {
+				mark = fmt.Sprintf("%s (paper: %s!)", c.measured, c.expected)
+			}
+			fmt.Printf(" %s |", mark)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	for _, d := range details {
+		fmt.Println(d)
+	}
+	fmt.Println()
+}
+
+func runGroup(exps []scenario.Experiment, verbose bool, mismatches *int) {
+	fmt.Println("| Experiment | Paper predicts | Measured | Failure mode | Elapsed | Msgs | Bytes |")
+	fmt.Println("|---|---|---|---|---|---|---|")
+	var notes []string
+	for _, exp := range exps {
+		res, err := scenario.Run(exp.Spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		want := "✓"
+		if !exp.Expect.Consensus {
+			want = "✗"
+		}
+		got := res.Verdict()
+		if got != want {
+			*mismatches++
+			got += " (MISMATCH)"
+		}
+		fail := res.FailureMode()
+		if fail == "" {
+			fail = "—"
+		}
+		fmt.Printf("| `%s` | %s | %s | %s | %v | %d | %d |\n",
+			exp.ID, want, got, fail, time(res.Elapsed), res.Messages, res.Bytes)
+		notes = append(notes, fmt.Sprintf("- `%s`: %s", exp.ID, exp.Expect.Note))
+		if verbose {
+			for _, l := range perProcess(res) {
+				notes = append(notes, l)
+			}
+		}
+	}
+	fmt.Println()
+	for _, n := range notes {
+		fmt.Println(n)
+	}
+	fmt.Println()
+}
+
+func perProcess(res *scenario.Result) []string {
+	var out []string
+	ids := make([]uint64, 0, len(res.PerProcess))
+	for id := range res.PerProcess {
+		ids = append(ids, uint64(id))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, raw := range ids {
+		id := modelID(raw)
+		pr := res.PerProcess[id]
+		role := "correct"
+		if pr.Byzantine {
+			role = "byzantine"
+		}
+		dec := "undecided"
+		if pr.Decided {
+			dec = fmt.Sprintf("decided %q at %v", pr.Value, time(pr.DecidedAt))
+		}
+		out = append(out, fmt.Sprintf("    - p%d (%s): %s, committee %v (g=%d)", raw, role, dec, pr.Committee, pr.G))
+	}
+	kinds := make([]int, 0, len(res.ByKind))
+	for k := range res.ByKind {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	var kindStrs []string
+	for _, k := range kinds {
+		kindStrs = append(kindStrs, fmt.Sprintf("%s=%d", wire.KindName(byte(k)), res.ByKind[byte(k)]))
+	}
+	out = append(out, "    - traffic: "+strings.Join(kindStrs, " "))
+	return out
+}
+
+func time(t sim.Time) string {
+	switch {
+	case t >= sim.Second:
+		return fmt.Sprintf("%.2fs", float64(t)/float64(sim.Second))
+	case t >= sim.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(t)/float64(sim.Millisecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}

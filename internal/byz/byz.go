@@ -1,0 +1,122 @@
+// Package byz implements Byzantine process behaviors for fault-injection
+// experiments. A Byzantine process cannot forge other processes' signatures
+// (the authenticated model), but it can stay silent, lie about its own
+// participant detector, equivocate — claiming different PDs to different
+// peers — or simply behave correctly while being counted against the fault
+// threshold (the strategy behind the paper's Fig. 3 narrative).
+package byz
+
+import (
+	"github.com/bftcup/bftcup/internal/cryptox"
+	"github.com/bftcup/bftcup/internal/discovery"
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/sim"
+	"github.com/bftcup/bftcup/internal/wire"
+)
+
+// Silent is a process that never sends anything. Externally indistinguishable
+// from a crashed process.
+type Silent struct{}
+
+// Init implements sim.Reactor.
+func (Silent) Init(sim.Context) {}
+
+// Receive implements sim.Reactor.
+func (Silent) Receive(sim.Context, model.ID, []byte) {}
+
+// Timer implements sim.Reactor.
+func (Silent) Timer(sim.Context, uint64) {}
+
+// FakePD participates fully (and honestly) in Discovery, except that the PD
+// it claims for itself is arbitrary — the worked example of Section III has
+// Byzantine process 4 claiming PD {1,2,3}. It never joins the committee
+// protocol (silent there).
+type FakePD struct {
+	mod *discovery.Module
+}
+
+// NewFakePD creates the behavior. claimed is the PD the process advertises;
+// it need not relate to the knowledge graph's real edges.
+func NewFakePD(signer cryptox.Signer, verifier cryptox.Verifier, claimed model.IDSet, cfg discovery.Config) *FakePD {
+	rec := discovery.NewSignedPD(signer, claimed)
+	return &FakePD{mod: discovery.New(rec, verifier, cfg, nil)}
+}
+
+// Init implements sim.Reactor.
+func (b *FakePD) Init(ctx sim.Context) { b.mod.Start(ctx) }
+
+// Receive implements sim.Reactor.
+func (b *FakePD) Receive(ctx sim.Context, from model.ID, payload []byte) {
+	b.mod.Handle(ctx, from, payload)
+}
+
+// Timer implements sim.Reactor.
+func (b *FakePD) Timer(ctx sim.Context, tag uint64) { b.mod.HandleTimer(ctx, tag) }
+
+// PDEquivocator claims PD A to peers selected by ChooseAlt=false and PD B to
+// the others. Both records verify (the process signs both); the Sink/Core
+// algorithms must tolerate the resulting inconsistent views. It relays every
+// verified record it has collected, like a correct process would.
+type PDEquivocator struct {
+	self      model.ID
+	verifier  cryptox.Verifier
+	recA      discovery.SignedPD
+	recB      discovery.SignedPD
+	chooseAlt func(model.ID) bool
+	collector *discovery.Module // collects and verifies third-party records
+}
+
+// NewPDEquivocator creates the behavior. chooseAlt selects which peers get
+// the alternative record; nil means even-numbered IDs.
+func NewPDEquivocator(signer cryptox.Signer, verifier cryptox.Verifier, pdA, pdB model.IDSet, chooseAlt func(model.ID) bool, cfg discovery.Config) *PDEquivocator {
+	if chooseAlt == nil {
+		chooseAlt = func(id model.ID) bool { return uint64(id)%2 == 0 }
+	}
+	recA := discovery.NewSignedPD(signer, pdA)
+	return &PDEquivocator{
+		self:      signer.ID(),
+		verifier:  verifier,
+		recA:      recA,
+		recB:      discovery.NewSignedPD(signer, pdB),
+		chooseAlt: chooseAlt,
+		collector: discovery.New(recA, verifier, cfg, nil),
+	}
+}
+
+// Init implements sim.Reactor.
+func (b *PDEquivocator) Init(ctx sim.Context) { b.collector.Start(ctx) }
+
+// Receive implements sim.Reactor.
+func (b *PDEquivocator) Receive(ctx sim.Context, from model.ID, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	if payload[0] == wire.KindGetPDs {
+		b.reply(ctx, from)
+		return
+	}
+	b.collector.Handle(ctx, from, payload)
+}
+
+// Timer implements sim.Reactor.
+func (b *PDEquivocator) Timer(ctx sim.Context, tag uint64) { b.collector.HandleTimer(ctx, tag) }
+
+// reply sends the peer-dependent own record plus every relayed record.
+func (b *PDEquivocator) reply(ctx sim.Context, to model.ID) {
+	own := b.recA
+	if b.chooseAlt(to) {
+		own = b.recB
+	}
+	recs := []discovery.SignedPD{own}
+	records := b.collector.Records()
+	ids := make([]model.ID, 0, len(records))
+	for id := range records {
+		if id != b.self {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range model.NewIDSet(ids...).Sorted() {
+		recs = append(recs, records[id])
+	}
+	ctx.Send(to, discovery.EncodeSetPDs(recs))
+}

@@ -1,0 +1,476 @@
+// Package core implements the paper's consensus protocols as a single
+// event-driven node (Algorithm 3) parameterized by how the committee is
+// identified:
+//
+//   - ModeKnownF — the authenticated BFT-CUP model of Section III:
+//     Discovery (Algorithm 1) + the Sink algorithm (Algorithm 2) with the
+//     fault threshold f given to every process.
+//   - ModeUnknownF — the BFT-CUPFT model of Section VI: Discovery + the Core
+//     algorithm (Algorithm 4); no process knows f.
+//   - ModeNaive — the straw man of Observation 1 (Section IV): adopt the
+//     first sink found at any g. Unsafe by Theorem 7; used to reproduce the
+//     impossibility experiments.
+//   - ModePermissioned — the classic setting (known membership and f): run
+//     the committee consensus directly over PDᵢ ∪ {i}.
+//
+// Once the committee S is identified, members run PBFT over S with quorum
+// ⌈(|S|+g+1)/2⌉ while non-members poll ⟨GETDECIDEDVAL⟩ and decide on
+// ⌈(|S|+1)/2⌉ matching answers (Algorithm 3).
+package core
+
+import (
+	"fmt"
+
+	"github.com/bftcup/bftcup/internal/cryptox"
+	"github.com/bftcup/bftcup/internal/discovery"
+	"github.com/bftcup/bftcup/internal/kosr"
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/pbft"
+	"github.com/bftcup/bftcup/internal/sim"
+	"github.com/bftcup/bftcup/internal/wire"
+)
+
+// Mode selects the committee-identification rule.
+type Mode int
+
+// Modes. See the package comment.
+const (
+	ModeKnownF Mode = iota
+	ModeUnknownF
+	ModeNaive
+	ModePermissioned
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeKnownF:
+		return "bft-cup"
+	case ModeUnknownF:
+		return "bft-cupft"
+	case ModeNaive:
+		return "naive"
+	case ModePermissioned:
+		return "permissioned"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// pollTag drives the non-member GETDECIDEDVAL loop.
+const pollTag uint64 = 2 << 40
+
+// maxPending bounds the buffer of committee-consensus messages that arrive
+// before the committee is identified.
+const maxPending = 8192
+
+// Config parameterizes a node.
+type Config struct {
+	Mode Mode
+	// F is the fault threshold given to the process (ModeKnownF and
+	// ModePermissioned only; the whole point of BFT-CUPFT is not having it).
+	F int
+	// PD is the process's participant detector output.
+	PD model.IDSet
+	// Proposal is the value this process proposes.
+	Proposal model.Value
+	// Discovery tunes Algorithm 1.
+	Discovery discovery.Config
+	// PBFTTimeout is the committee protocol's base view timeout.
+	PBFTTimeout sim.Time
+	// PollPeriod is the non-member decided-value polling interval.
+	PollPeriod sim.Time
+	// Slots is the number of chained consensus instances to run over the
+	// same committee (0 or 1 = classic single-shot consensus). Slot k+1
+	// starts once slot k decides.
+	Slots uint64
+	// ProposalFor supplies per-slot proposals for chained mode; nil falls
+	// back to Proposal for every slot.
+	ProposalFor func(slot uint64) model.Value
+	// OnSlotDecided fires once per decided slot (chained mode observers).
+	OnSlotDecided func(slot uint64, v model.Value)
+}
+
+func (c *Config) setDefaults() {
+	if c.PBFTTimeout <= 0 {
+		c.PBFTTimeout = 200 * sim.Millisecond
+	}
+	if c.PollPeriod <= 0 {
+		c.PollPeriod = 50 * sim.Millisecond
+	}
+	if c.Slots == 0 {
+		c.Slots = 1
+	}
+}
+
+// Node is one process of the BFT-CUP / BFT-CUPFT stack. It implements
+// sim.Reactor; the engine (simulated or live) serializes all callbacks.
+type Node struct {
+	self     model.ID
+	signer   cryptox.Signer
+	verifier cryptox.Verifier
+	cfg      Config
+
+	disc      *discovery.Module
+	committee *kosr.Candidate
+	insts     map[uint64]*pbft.Instance
+
+	pendingFrom []model.ID
+	pending     [][]byte
+	// slotPending buffers committee messages for chained slots this member
+	// has not started yet (fast members race ahead; their DecideNotes must
+	// not be lost).
+	slotPending map[uint64][]pendingMsg
+	pendingN    int
+
+	decidedSlots map[uint64]model.Value
+	askers       map[uint64]model.IDSet            // per slot: processes awaiting DECIDEDVAL
+	answers      map[uint64]map[string]model.IDSet // per slot: digest key → answering members
+	valueOf      map[string]model.Value
+
+	onDecide func(model.Value)
+	ctx      sim.Context // current callback context (single-threaded reactor)
+}
+
+// NewNode creates a node. onDecide fires exactly once, when the node decides;
+// it may be nil.
+func NewNode(signer cryptox.Signer, verifier cryptox.Verifier, cfg Config, onDecide func(model.Value)) *Node {
+	cfg.setDefaults()
+	n := &Node{
+		self:         signer.ID(),
+		signer:       signer,
+		verifier:     verifier,
+		cfg:          cfg,
+		insts:        make(map[uint64]*pbft.Instance),
+		decidedSlots: make(map[uint64]model.Value),
+		slotPending:  make(map[uint64][]pendingMsg),
+		askers:       make(map[uint64]model.IDSet),
+		answers:      make(map[uint64]map[string]model.IDSet),
+		valueOf:      make(map[string]model.Value),
+		onDecide:     onDecide,
+	}
+	if cfg.Mode != ModePermissioned {
+		rec := discovery.NewSignedPD(signer, cfg.PD)
+		n.disc = discovery.New(rec, verifier, cfg.Discovery, n.onKnowledge)
+	}
+	return n
+}
+
+// Decided returns the slot-0 decision, if reached.
+func (n *Node) Decided() (model.Value, bool) { return n.DecidedSlot(0) }
+
+// DecidedSlot returns the decision of one chained slot, if reached.
+func (n *Node) DecidedSlot(slot uint64) (model.Value, bool) {
+	v, ok := n.decidedSlots[slot]
+	return v, ok
+}
+
+// DecidedAll reports whether every configured slot has decided.
+func (n *Node) DecidedAll() bool {
+	return uint64(len(n.decidedSlots)) >= n.cfg.Slots
+}
+
+// proposalFor returns this node's proposal for a slot.
+func (n *Node) proposalFor(slot uint64) model.Value {
+	if n.cfg.ProposalFor != nil {
+		return n.cfg.ProposalFor(slot)
+	}
+	return n.cfg.Proposal
+}
+
+// Committee returns the identified committee candidate, if any.
+func (n *Node) Committee() (kosr.Candidate, bool) {
+	if n.committee == nil {
+		return kosr.Candidate{}, false
+	}
+	return *n.committee, true
+}
+
+// View exposes the node's current knowledge (tests and tools only).
+func (n *Node) View() *kosr.View {
+	if n.disc == nil {
+		return nil
+	}
+	return n.disc.View()
+}
+
+// Init implements sim.Reactor.
+func (n *Node) Init(ctx sim.Context) {
+	n.ctx = ctx
+	if n.cfg.Mode == ModePermissioned {
+		members := n.cfg.PD.Clone()
+		members.Add(n.self)
+		cand := kosr.Candidate{G: n.cfg.F, S1: members, S2: model.NewIDSet()}
+		n.adoptCommittee(ctx, cand)
+		return
+	}
+	n.disc.Start(ctx)
+	n.search(ctx)
+}
+
+// Receive implements sim.Reactor.
+func (n *Node) Receive(ctx sim.Context, from model.ID, payload []byte) {
+	n.ctx = ctx
+	if len(payload) == 0 {
+		return
+	}
+	if n.disc != nil && n.disc.Handle(ctx, from, payload) {
+		return
+	}
+	switch payload[0] {
+	case wire.KindPrePrepare, wire.KindPrepare, wire.KindCommit,
+		wire.KindViewChange, wire.KindNewView, wire.KindDecideNote:
+		if n.committee == nil {
+			if len(n.pending) < maxPending {
+				// The committee is not identified yet; buffer so that a late
+				// process can still join the committee protocol.
+				n.pendingFrom = append(n.pendingFrom, from)
+				n.pending = append(n.pending, payload)
+			}
+			return
+		}
+		if slot, ok := pbft.PeekSlot(payload); ok {
+			if inst := n.insts[slot]; inst != nil {
+				inst.Handle(ctx, from, payload)
+				return
+			}
+			// A member that is still on an earlier slot must not lose
+			// traffic (especially DecideNotes) for slots it will start.
+			if n.committee.Members().Has(n.self) && slot < n.cfg.Slots && n.pendingN < maxPending {
+				n.slotPending[slot] = append(n.slotPending[slot], pendingMsg{from: from, payload: payload})
+				n.pendingN++
+			}
+		}
+	case wire.KindGetDecided:
+		n.onGetDecided(ctx, from, payload)
+	case wire.KindDecided:
+		n.onDecidedAnswer(from, payload)
+	}
+}
+
+// Timer implements sim.Reactor.
+func (n *Node) Timer(ctx sim.Context, tag uint64) {
+	n.ctx = ctx
+	if n.disc != nil && n.disc.HandleTimer(ctx, tag) {
+		return
+	}
+	if tag == pollTag {
+		n.poll(ctx)
+		return
+	}
+	if slot, ok := pbft.SlotOfTag(tag); ok {
+		if inst := n.insts[slot]; inst != nil {
+			inst.HandleTimer(ctx, tag)
+		}
+	}
+}
+
+// onKnowledge fires whenever Discovery grows S_PD or S_known.
+func (n *Node) onKnowledge() {
+	if n.ctx == nil || n.committee != nil {
+		return
+	}
+	n.search(n.ctx)
+}
+
+// search runs the mode's committee-identification rule on the current view
+// (the wait-until conditions of Algorithms 2 and 4).
+func (n *Node) search(ctx sim.Context) {
+	if n.committee != nil {
+		return
+	}
+	view := n.disc.View()
+	var cand kosr.Candidate
+	var ok bool
+	switch n.cfg.Mode {
+	case ModeKnownF:
+		cand, ok = view.FindSinkKnownF(n.cfg.F)
+	case ModeUnknownF:
+		cand, ok = view.FindCore()
+	case ModeNaive:
+		cand, ok = view.FindNaive()
+	default:
+		return
+	}
+	if !ok {
+		return
+	}
+	n.adoptCommittee(ctx, cand)
+}
+
+// adoptCommittee fixes the committee and starts the member or non-member
+// role of Algorithm 3.
+func (n *Node) adoptCommittee(ctx sim.Context, cand kosr.Candidate) {
+	n.committee = &cand
+	if cand.Members().Has(n.self) {
+		n.startSlot(ctx, 0)
+		for i := range n.pending {
+			n.Receive(ctx, n.pendingFrom[i], n.pending[i])
+		}
+	} else {
+		n.poll(ctx)
+	}
+	n.pending, n.pendingFrom = nil, nil
+}
+
+// startSlot launches the committee instance for one chained slot.
+func (n *Node) startSlot(ctx sim.Context, slot uint64) {
+	if slot >= n.cfg.Slots || n.insts[slot] != nil {
+		return
+	}
+	cand := *n.committee
+	cfg := pbft.Config{
+		Slot:        slot,
+		Committee:   cand.Members(),
+		Quorum:      cand.QuorumSize(),
+		F:           cand.G,
+		BaseTimeout: n.cfg.PBFTTimeout,
+	}
+
+	inst, err := pbft.New(n.signer, n.verifier, cfg, n.proposalFor(slot), func(v model.Value) {
+		n.decideLocal(n.ctx, slot, v)
+	})
+	if err != nil {
+		// Committee parameters come from our own search; failure here is a
+		// programming error, not an adversarial input.
+		panic(fmt.Sprintf("core: pbft.New: %v", err))
+	}
+	n.insts[slot] = inst
+	inst.Start(ctx)
+	if buf := n.slotPending[slot]; len(buf) > 0 {
+		delete(n.slotPending, slot)
+		n.pendingN -= len(buf)
+		for _, pm := range buf {
+			inst.Handle(ctx, pm.from, pm.payload)
+		}
+	}
+}
+
+// pendingMsg is a buffered committee message awaiting its slot's instance.
+type pendingMsg struct {
+	from    model.ID
+	payload []byte
+}
+
+// nextUndecidedSlot returns the lowest slot without a decision (== Slots when
+// everything decided).
+func (n *Node) nextUndecidedSlot() uint64 {
+	for slot := uint64(0); slot < n.cfg.Slots; slot++ {
+		if _, ok := n.decidedSlots[slot]; !ok {
+			return slot
+		}
+	}
+	return n.cfg.Slots
+}
+
+// poll implements the non-member loop: ask every committee member for the
+// lowest undecided slot's value (Algorithm 3 line 6).
+func (n *Node) poll(ctx sim.Context) {
+	if n.committee == nil {
+		return
+	}
+	slot := n.nextUndecidedSlot()
+	if slot >= n.cfg.Slots {
+		return
+	}
+	w := wire.NewWriter()
+	w.Byte(wire.KindGetDecided)
+	w.Uvarint(slot)
+	payload := w.Bytes()
+	for _, m := range n.committee.Members().Sorted() {
+		if m != n.self {
+			ctx.Send(m, payload)
+		}
+	}
+	ctx.SetTimer(n.cfg.PollPeriod, pollTag)
+}
+
+// onGetDecided answers a ⟨GETDECIDEDVAL⟩ for a slot, or queues the asker
+// until the slot decides (Algorithm 3 line 9).
+func (n *Node) onGetDecided(ctx sim.Context, from model.ID, payload []byte) {
+	r := wire.NewReader(payload[1:])
+	slot := r.Uvarint()
+	if r.Done() != nil || slot >= n.cfg.Slots {
+		return
+	}
+	if _, ok := n.decidedSlots[slot]; ok {
+		n.sendDecided(ctx, from, slot)
+		return
+	}
+	set := n.askers[slot]
+	if set == nil {
+		set = model.NewIDSet()
+		n.askers[slot] = set
+	}
+	set.Add(from)
+}
+
+func (n *Node) sendDecided(ctx sim.Context, to model.ID, slot uint64) {
+	w := wire.NewWriter()
+	w.Byte(wire.KindDecided)
+	w.Uvarint(slot)
+	w.BytesField(n.decidedSlots[slot])
+	ctx.Send(to, w.Bytes())
+}
+
+// onDecidedAnswer counts ⟨DECIDEDVAL, val⟩ answers from distinct committee
+// members until ⌈(|S|+1)/2⌉ agree (Algorithm 3 line 7).
+func (n *Node) onDecidedAnswer(from model.ID, payload []byte) {
+	if n.committee == nil {
+		return
+	}
+	members := n.committee.Members()
+	if !members.Has(from) || members.Has(n.self) {
+		// Only non-members decide through answers; members run consensus.
+		return
+	}
+	r := wire.NewReader(payload[1:])
+	slot := r.Uvarint()
+	val := model.Value(r.BytesField())
+	if r.Done() != nil || slot >= n.cfg.Slots {
+		return
+	}
+	if _, ok := n.decidedSlots[slot]; ok {
+		return
+	}
+	d := pbft.DigestOf(val)
+	key := string(d[:])
+	bySlot := n.answers[slot]
+	if bySlot == nil {
+		bySlot = make(map[string]model.IDSet)
+		n.answers[slot] = bySlot
+	}
+	set := bySlot[key]
+	if set == nil {
+		set = model.NewIDSet()
+		bySlot[key] = set
+		n.valueOf[key] = val
+	}
+	set.Add(from)
+	if set.Len() >= n.committee.AnswerThreshold() {
+		n.decideLocal(n.ctx, slot, n.valueOf[key])
+	}
+}
+
+// decideLocal finalizes one slot's decision exactly once (Integrity),
+// answers queued GETDECIDEDVALs (Algorithm 3 line 10) and, in chained mode,
+// starts the next slot.
+func (n *Node) decideLocal(ctx sim.Context, slot uint64, v model.Value) {
+	if _, ok := n.decidedSlots[slot]; ok {
+		return
+	}
+	n.decidedSlots[slot] = v
+	for _, asker := range n.askers[slot].Sorted() {
+		n.sendDecided(ctx, asker, slot)
+	}
+	delete(n.askers, slot)
+	if n.cfg.OnSlotDecided != nil {
+		n.cfg.OnSlotDecided(slot, v)
+	}
+	if slot == 0 && n.onDecide != nil {
+		n.onDecide(v)
+	}
+	if n.committee.Members().Has(n.self) {
+		n.startSlot(ctx, slot+1)
+	}
+}

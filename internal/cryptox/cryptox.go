@@ -1,0 +1,136 @@
+// Package cryptox provides the digital-signature layer of the authenticated
+// BFT-CUP / BFT-CUPFT model: per-process Ed25519 keys, a static ID→key
+// registry standing in for the paper's Sybil-proof identity assumption, and
+// an insecure fast signer for benchmarks where signing cost would dominate.
+package cryptox
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+// Signer signs messages on behalf of one process.
+type Signer interface {
+	// ID returns the process this signer belongs to.
+	ID() model.ID
+	// Sign returns a signature over msg.
+	Sign(msg []byte) []byte
+}
+
+// Verifier checks signatures from any registered process.
+type Verifier interface {
+	// Verify reports whether sig is a valid signature by signer over msg.
+	Verify(signer model.ID, msg, sig []byte) bool
+}
+
+// Registry holds the public keys of every process. It reifies the paper's
+// assumption that IDs are unforgeable and Sybil attacks are infeasible
+// (Section II-A): knowing a process's ID suffices to authenticate it.
+//
+// A Registry is immutable after construction and safe for concurrent use.
+type Registry struct {
+	pubs map[model.ID]ed25519.PublicKey
+}
+
+// Verify implements Verifier.
+func (r *Registry) Verify(signer model.ID, msg, sig []byte) bool {
+	pub, ok := r.pubs[signer]
+	if !ok {
+		return false
+	}
+	return ed25519.Verify(pub, msg, sig)
+}
+
+// Has reports whether the registry knows signer's key.
+func (r *Registry) Has(signer model.ID) bool {
+	_, ok := r.pubs[signer]
+	return ok
+}
+
+// edSigner is the Ed25519 Signer.
+type edSigner struct {
+	id   model.ID
+	priv ed25519.PrivateKey
+}
+
+func (s *edSigner) ID() model.ID           { return s.id }
+func (s *edSigner) Sign(msg []byte) []byte { return ed25519.Sign(s.priv, msg) }
+
+// GenerateKeys deterministically creates one Ed25519 keypair per ID from the
+// given seed and returns the signers plus the shared registry. Determinism
+// keeps simulation traces reproducible.
+func GenerateKeys(seed int64, ids []model.ID) (map[model.ID]Signer, *Registry, error) {
+	rng := rand.New(rand.NewSource(seed))
+	signers := make(map[model.ID]Signer, len(ids))
+	reg := &Registry{pubs: make(map[model.ID]ed25519.PublicKey, len(ids))}
+	for _, id := range ids {
+		if id == model.NilID {
+			return nil, nil, errors.New("cryptox: NilID cannot own a key")
+		}
+		if _, dup := signers[id]; dup {
+			return nil, nil, fmt.Errorf("cryptox: duplicate ID %v", id)
+		}
+		seedBytes := make([]byte, ed25519.SeedSize)
+		if _, err := rng.Read(seedBytes); err != nil {
+			return nil, nil, fmt.Errorf("cryptox: seeding key for %v: %w", id, err)
+		}
+		priv := ed25519.NewKeyFromSeed(seedBytes)
+		signers[id] = &edSigner{id: id, priv: priv}
+		reg.pubs[id] = priv.Public().(ed25519.PublicKey)
+	}
+	return signers, reg, nil
+}
+
+// InsecureSuite returns keyed-hash signers for benchmarks: signatures are
+// SHA-256 over (id, msg) with a shared secret, so they are NOT unforgeable
+// between processes and must never be used where Byzantine processes are
+// simulated as real adversaries against the crypto itself. The protocol-level
+// adversaries in this repository never forge signatures (they equivocate and
+// lie within their own signing rights), so benchmarks may substitute this
+// suite to measure protocol costs without Ed25519 dominating.
+func InsecureSuite(ids []model.ID) (map[model.ID]Signer, Verifier) {
+	signers := make(map[model.ID]Signer, len(ids))
+	v := insecureVerifier{}
+	for _, id := range ids {
+		signers[id] = insecureSigner{id: id}
+	}
+	return signers, v
+}
+
+type insecureSigner struct{ id model.ID }
+
+func (s insecureSigner) ID() model.ID { return s.id }
+func (s insecureSigner) Sign(msg []byte) []byte {
+	return insecureMAC(s.id, msg)
+}
+
+type insecureVerifier struct{}
+
+func (insecureVerifier) Verify(signer model.ID, msg, sig []byte) bool {
+	want := insecureMAC(signer, msg)
+	if len(sig) != len(want) {
+		return false
+	}
+	for i := range sig {
+		if sig[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func insecureMAC(id model.ID, msg []byte) []byte {
+	h := sha256.New()
+	var idb [8]byte
+	binary.BigEndian.PutUint64(idb[:], uint64(id))
+	h.Write([]byte("bftcup-insecure-mac"))
+	h.Write(idb[:])
+	h.Write(msg)
+	return h.Sum(nil)
+}

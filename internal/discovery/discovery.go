@@ -1,0 +1,258 @@
+// Package discovery implements Algorithm 1 of the paper: the knowledge-
+// expansion protocol by which every process periodically asks the processes
+// it knows for the signed participant detectors (PDs) they have collected.
+// Signatures make relayed PDs trustworthy: a Byzantine process can lie about
+// its own PD (the Sink/Core algorithms tolerate that) but cannot forge or
+// alter the PD of any correct process.
+package discovery
+
+import (
+	"fmt"
+
+	"github.com/bftcup/bftcup/internal/cryptox"
+	"github.com/bftcup/bftcup/internal/kosr"
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/sim"
+	"github.com/bftcup/bftcup/internal/wire"
+)
+
+// TimerTag identifies the periodic discovery timer within a reactor.
+const TimerTag uint64 = 1 << 40
+
+// SignedPD is one ⟨i, PDᵢ⟩ᵢ record: a participant detector signed by its
+// owner.
+type SignedPD struct {
+	Owner model.ID
+	PD    model.IDSet
+	Sig   []byte
+}
+
+// Canonical returns the byte string that is signed: a domain tag, the owner
+// and the sorted PD.
+func Canonical(owner model.ID, pd model.IDSet) []byte {
+	w := wire.NewWriter()
+	w.Byte('P') // domain separation: participant-detector records
+	w.ID(owner)
+	w.IDSet(pd)
+	return w.Bytes()
+}
+
+// NewSignedPD creates and signs a PD record. The claimed PD need not equal
+// the signer's real PD — that freedom is exactly what Byzantine processes
+// exploit (e.g. the Fig. 1b worked example).
+func NewSignedPD(signer cryptox.Signer, pd model.IDSet) SignedPD {
+	return SignedPD{Owner: signer.ID(), PD: pd.Clone(), Sig: signer.Sign(Canonical(signer.ID(), pd))}
+}
+
+// Verify checks the record's signature against the registry.
+func (r SignedPD) Verify(v cryptox.Verifier) bool {
+	return v.Verify(r.Owner, Canonical(r.Owner, r.PD), r.Sig)
+}
+
+func (r SignedPD) marshal(w *wire.Writer) {
+	w.ID(r.Owner)
+	w.IDSet(r.PD)
+	w.BytesField(r.Sig)
+}
+
+func unmarshalSignedPD(rd *wire.Reader) SignedPD {
+	return SignedPD{Owner: rd.ID(), PD: rd.IDSet(), Sig: rd.BytesField()}
+}
+
+// Config tunes the discovery task.
+type Config struct {
+	// Period between GETPDS rounds (Algorithm 1, line 2).
+	Period sim.Time
+	// Delta enables the delta-gossip ablation: SETPDS carries only records
+	// the sender has not previously sent to that peer, instead of the
+	// paper-faithful full S_PD.
+	Delta bool
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{Period: 20 * sim.Millisecond}
+}
+
+// Module is the per-process discovery state: S_PD, S_known and S_received,
+// maintained exactly as Algorithm 1 prescribes.
+type Module struct {
+	self     model.ID
+	verifier cryptox.Verifier
+	cfg      Config
+	view     *kosr.View
+	records  map[model.ID]SignedPD
+	sentTo   map[model.ID]model.IDSet // delta mode: record owners already sent per peer
+	onUpdate func()
+	started  bool
+}
+
+// New creates a discovery module. ownRecord is this process's signed PD
+// (line 1 initialization: S_PD = {⟨i, PDᵢ⟩ᵢ}, S_known = PDᵢ ∪ {i},
+// S_received = {i}). onUpdate fires whenever S_PD or S_known grows; it may
+// be nil.
+func New(ownRecord SignedPD, verifier cryptox.Verifier, cfg Config, onUpdate func()) *Module {
+	if cfg.Period <= 0 {
+		cfg.Period = DefaultConfig().Period
+	}
+	v := kosr.NewView()
+	v.Known.Add(ownRecord.Owner)
+	v.Known.AddAll(ownRecord.PD)
+	v.PD[ownRecord.Owner] = ownRecord.PD.Clone()
+	m := &Module{
+		self:     ownRecord.Owner,
+		verifier: verifier,
+		cfg:      cfg,
+		view:     v,
+		records:  map[model.ID]SignedPD{ownRecord.Owner: ownRecord},
+		sentTo:   make(map[model.ID]model.IDSet),
+		onUpdate: onUpdate,
+	}
+	return m
+}
+
+// View exposes the module's current knowledge for the Sink/Core searches.
+// Callers must not mutate it.
+func (m *Module) View() *kosr.View { return m.view }
+
+// Records returns the signed records collected so far (used by the Byzantine
+// relay behaviors and by tests).
+func (m *Module) Records() map[model.ID]SignedPD { return m.records }
+
+// Start begins the periodic discovery task.
+func (m *Module) Start(ctx sim.Context) {
+	if m.started {
+		return
+	}
+	m.started = true
+	m.round(ctx)
+}
+
+// HandleTimer processes the periodic timer; it reports whether the tag
+// belonged to discovery.
+func (m *Module) HandleTimer(ctx sim.Context, tag uint64) bool {
+	if tag != TimerTag {
+		return false
+	}
+	m.round(ctx)
+	return true
+}
+
+func (m *Module) round(ctx sim.Context) {
+	payload := []byte{wire.KindGetPDs}
+	for _, id := range m.view.Known.Sorted() {
+		if id != m.self {
+			ctx.Send(id, payload)
+		}
+	}
+	ctx.SetTimer(m.cfg.Period, TimerTag)
+}
+
+// Handle processes a discovery message; it reports whether the payload was a
+// discovery message.
+func (m *Module) Handle(ctx sim.Context, from model.ID, payload []byte) bool {
+	if len(payload) == 0 {
+		return false
+	}
+	switch payload[0] {
+	case wire.KindGetPDs:
+		m.sendRecords(ctx, from)
+		return true
+	case wire.KindSetPDs:
+		m.receiveRecords(from, payload)
+		return true
+	default:
+		return false
+	}
+}
+
+// sendRecords answers a GETPDS request (line 3): send S_PD to the requester.
+func (m *Module) sendRecords(ctx sim.Context, to model.ID) {
+	var owners []model.ID
+	if m.cfg.Delta {
+		sent := m.sentTo[to]
+		if sent == nil {
+			sent = model.NewIDSet()
+			m.sentTo[to] = sent
+		}
+		for _, owner := range m.receivedSorted() {
+			if !sent.Has(owner) {
+				owners = append(owners, owner)
+				sent.Add(owner)
+			}
+		}
+		if len(owners) == 0 {
+			return
+		}
+	} else {
+		owners = m.receivedSorted()
+	}
+	recs := make([]SignedPD, 0, len(owners))
+	for _, owner := range owners {
+		recs = append(recs, m.records[owner])
+	}
+	ctx.Send(to, EncodeSetPDs(recs))
+}
+
+// EncodeSetPDs builds a ⟨SETPDS, records⟩ payload. Exported so Byzantine
+// behaviors can craft their own replies.
+func EncodeSetPDs(recs []SignedPD) []byte {
+	w := wire.NewWriter()
+	w.Byte(wire.KindSetPDs)
+	w.Uvarint(uint64(len(recs)))
+	for _, rec := range recs {
+		rec.marshal(w)
+	}
+	return w.Bytes()
+}
+
+func (m *Module) receivedSorted() []model.ID {
+	ids := make([]model.ID, 0, len(m.records))
+	for id := range m.records {
+		ids = append(ids, id)
+	}
+	s := model.NewIDSet(ids...)
+	return s.Sorted()
+}
+
+// receiveRecords merges a SETPDS message (lines 4-6). Records that fail
+// signature verification are dropped; for equivocating owners the first
+// verified record wins (correct processes only ever sign one).
+func (m *Module) receiveRecords(from model.ID, payload []byte) {
+	rd := wire.NewReader(payload[1:])
+	n := rd.Uvarint()
+	if rd.Err() != nil || n > 4096 {
+		return
+	}
+	changed := false
+	for i := uint64(0); i < n; i++ {
+		rec := unmarshalSignedPD(rd)
+		if rd.Err() != nil {
+			return
+		}
+		if _, have := m.records[rec.Owner]; have {
+			continue
+		}
+		if !rec.Verify(m.verifier) {
+			continue
+		}
+		m.records[rec.Owner] = rec
+		m.view.PD[rec.Owner] = rec.PD.Clone() // S_received gains rec.Owner
+		changed = true
+		if m.view.Known.Add(rec.Owner) {
+			// Known includes every owner whose PD we hold.
+		}
+		for id := range rec.PD { // line 5: S_known ∪= PD contents
+			m.view.Known.Add(id)
+		}
+	}
+	_ = from
+	if changed && m.onUpdate != nil {
+		m.onUpdate()
+	}
+}
+
+// String summarizes the module state for debugging.
+func (m *Module) String() string {
+	return fmt.Sprintf("discovery{self=%v known=%v received=%d}", m.self, m.view.Known, len(m.records))
+}

@@ -1,0 +1,210 @@
+package discovery
+
+import (
+	"testing"
+
+	"github.com/bftcup/bftcup/internal/cryptox"
+	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/sim"
+	"github.com/bftcup/bftcup/internal/wire"
+)
+
+// discNode is a reactor running only discovery.
+type discNode struct {
+	mod *Module
+}
+
+func (n *discNode) Init(ctx sim.Context) { n.mod.Start(ctx) }
+func (n *discNode) Receive(ctx sim.Context, from model.ID, payload []byte) {
+	n.mod.Handle(ctx, from, payload)
+}
+func (n *discNode) Timer(ctx sim.Context, tag uint64) { n.mod.HandleTimer(ctx, tag) }
+
+func buildNetwork(t *testing.T, g *graph.Digraph, netmod sim.NetworkModel, silent model.IDSet, delta bool) (map[model.ID]*discNode, *sim.Engine) {
+	t.Helper()
+	ids := g.Nodes()
+	signers, reg, err := cryptox.GenerateKeys(1, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := sim.NewEngine(netmod, 42)
+	nodes := make(map[model.ID]*discNode, len(ids))
+	for _, id := range ids {
+		if silent.Has(id) {
+			engine.Crash(id)
+		}
+		cfg := DefaultConfig()
+		cfg.Delta = delta
+		rec := NewSignedPD(signers[id], g.OutSet(id).Clone())
+		n := &discNode{mod: New(rec, reg, cfg, nil)}
+		nodes[id] = n
+		if err := engine.AddProcess(id, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nodes, engine
+}
+
+// Theorem 2 on Fig 1b: every correct process eventually discovers all correct
+// sink members and receives their PDs.
+func TestTheorem2Fig1b(t *testing.T) {
+	fig := graph.Fig1b()
+	for _, delta := range []bool{false, true} {
+		nodes, engine := buildNetwork(t, fig.G, sim.Synchronous{Delta: 5 * sim.Millisecond}, fig.Byz, delta)
+		engine.Run(2 * sim.Second)
+		for id, n := range nodes {
+			if fig.Byz.Has(id) {
+				continue
+			}
+			v := n.mod.View()
+			for _, s := range fig.ExpectedSink.Sorted() {
+				if !v.Known.Has(s) {
+					t.Fatalf("delta=%v: %v never discovered sink member %v", delta, id, s)
+				}
+				if _, ok := v.PD[s]; !ok {
+					t.Fatalf("delta=%v: %v never received PD of sink member %v", delta, id, s)
+				}
+			}
+		}
+	}
+}
+
+// On Fig 1a with Byzantine 4 silent, the two knowledge islands can never
+// learn of each other (the caption's impossibility narrative).
+func TestFig1aIslandsStayIsolated(t *testing.T) {
+	fig := graph.Fig1a()
+	nodes, engine := buildNetwork(t, fig.G, sim.Synchronous{Delta: 5 * sim.Millisecond}, fig.Byz, false)
+	engine.Run(2 * sim.Second)
+	left := model.NewIDSet(1, 2, 3)
+	right := model.NewIDSet(5, 6, 7, 8)
+	for id := range left {
+		v := nodes[id].mod.View()
+		if inter := v.Known.Intersect(right); inter.Len() != 0 {
+			t.Fatalf("%v learned about %v across the silent bridge", id, inter)
+		}
+	}
+	for id := range right {
+		v := nodes[id].mod.View()
+		if inter := v.Known.Intersect(left); inter.Len() != 0 {
+			t.Fatalf("%v learned about %v across the silent bridge", id, inter)
+		}
+	}
+}
+
+// Forged records must be dropped: a Byzantine process cannot fabricate the PD
+// of a correct process.
+func TestForgedRecordRejected(t *testing.T) {
+	signers, reg, err := cryptox.GenerateKeys(1, []model.ID{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewSignedPD(signers[1], model.NewIDSet(2))
+	mod := New(rec, reg, DefaultConfig(), nil)
+
+	// A validly signed record from 3 relayed by anyone is accepted.
+	good := NewSignedPD(signers[3], model.NewIDSet(1))
+	// A forged record claiming to be from 2 but signed by 3's key is not.
+	forged := SignedPD{Owner: 2, PD: model.NewIDSet(1), Sig: signers[3].Sign(Canonical(2, model.NewIDSet(1)))}
+	// A tampered record (PD altered after signing) is not.
+	tampered := NewSignedPD(signers[3], model.NewIDSet(1))
+	tampered.PD = model.NewIDSet(1, 2)
+
+	w := wire.NewWriter()
+	w.Byte(wire.KindSetPDs)
+	w.Uvarint(3)
+	good.marshal(w)
+	forged.marshal(w)
+	tampered.marshal(w)
+	mod.receiveRecords(9, w.Bytes())
+
+	v := mod.View()
+	if _, ok := v.PD[3]; !ok {
+		t.Fatal("valid record rejected")
+	}
+	if _, ok := v.PD[2]; ok {
+		t.Fatal("forged record accepted")
+	}
+	if got := v.PD[3]; !got.Equal(model.NewIDSet(1)) {
+		t.Fatalf("record content wrong: %v", got)
+	}
+}
+
+// First verified record wins for an equivocating owner.
+func TestEquivocationKeepsFirst(t *testing.T) {
+	signers, reg, err := cryptox.GenerateKeys(1, []model.ID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := New(NewSignedPD(signers[1], model.NewIDSet(2)), reg, DefaultConfig(), nil)
+	recA := NewSignedPD(signers[2], model.NewIDSet(1))
+	recB := NewSignedPD(signers[2], model.NewIDSet())
+	for _, rec := range []SignedPD{recA, recB} {
+		w := wire.NewWriter()
+		w.Byte(wire.KindSetPDs)
+		w.Uvarint(1)
+		rec.marshal(w)
+		mod.receiveRecords(2, w.Bytes())
+	}
+	if got := mod.View().PD[2]; !got.Equal(model.NewIDSet(1)) {
+		t.Fatalf("expected first record to win, got %v", got)
+	}
+}
+
+func TestOnUpdateFires(t *testing.T) {
+	signers, reg, err := cryptox.GenerateKeys(1, []model.ID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates := 0
+	mod := New(NewSignedPD(signers[1], model.NewIDSet(2)), reg, DefaultConfig(), func() { updates++ })
+	w := wire.NewWriter()
+	w.Byte(wire.KindSetPDs)
+	w.Uvarint(1)
+	NewSignedPD(signers[2], model.NewIDSet(1)).marshal(w)
+	mod.receiveRecords(2, w.Bytes())
+	if updates != 1 {
+		t.Fatalf("updates = %d, want 1", updates)
+	}
+	// Re-delivery of the same record is a no-op.
+	mod.receiveRecords(2, w.Bytes())
+	if updates != 1 {
+		t.Fatalf("duplicate delivery fired onUpdate")
+	}
+}
+
+func TestMalformedPayloadIgnored(t *testing.T) {
+	signers, reg, err := cryptox.GenerateKeys(1, []model.ID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := New(NewSignedPD(signers[1], model.NewIDSet()), reg, DefaultConfig(), nil)
+	mod.receiveRecords(9, []byte{wire.KindSetPDs, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	mod.receiveRecords(9, []byte{wire.KindSetPDs})
+	if len(mod.View().PD) != 1 {
+		t.Fatal("malformed payload changed state")
+	}
+}
+
+// Delta gossip must converge to the same knowledge with fewer bytes.
+func TestDeltaGossipConvergesCheaper(t *testing.T) {
+	fig := graph.Fig1b()
+	run := func(delta bool) (int64, map[model.ID]*discNode) {
+		nodes, engine := buildNetwork(t, fig.G, sim.Synchronous{Delta: 5 * sim.Millisecond}, fig.Byz, delta)
+		engine.Run(2 * sim.Second)
+		return engine.Metrics().Bytes, nodes
+	}
+	fullBytes, fullNodes := run(false)
+	deltaBytes, deltaNodes := run(true)
+	for id, n := range deltaNodes {
+		if fig.Byz.Has(id) {
+			continue
+		}
+		if !n.mod.View().Known.Equal(fullNodes[id].mod.View().Known) {
+			t.Fatalf("delta and full gossip disagree on S_known for %v", id)
+		}
+	}
+	if deltaBytes >= fullBytes {
+		t.Fatalf("delta gossip should use fewer bytes: delta=%d full=%d", deltaBytes, fullBytes)
+	}
+}

@@ -1,0 +1,404 @@
+// Package graph implements the directed-graph mathematics behind knowledge
+// connectivity: strongly connected components, condensations, sinks, Menger
+// node-disjoint paths, strong connectivity (κ), directed k-core peeling, the
+// k-OSR PD checker of Alchieri et al. (Definition 1 in the paper), and the
+// BFT-CUP requirement checker (Theorem 1). It also provides generators for
+// random knowledge connectivity graphs and the reconstructions of every
+// figure in the paper.
+//
+// All iteration is deterministic (sorted by ID) so that simulations and
+// searches are reproducible.
+package graph
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+// Digraph is a directed graph over process IDs. The zero value is not usable;
+// construct with New.
+type Digraph struct {
+	nodes model.IDSet
+	adj   map[model.ID]model.IDSet // out-neighbors
+}
+
+// New returns an empty directed graph.
+func New() *Digraph {
+	return &Digraph{nodes: model.NewIDSet(), adj: make(map[model.ID]model.IDSet)}
+}
+
+// FromAdjacency builds a graph from an adjacency map. Nodes mentioned only as
+// targets are added as isolated nodes.
+func FromAdjacency(adj map[model.ID][]model.ID) *Digraph {
+	g := New()
+	for u, outs := range adj {
+		g.AddNode(u)
+		for _, v := range outs {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// AddNode inserts a node (no-op if present).
+func (g *Digraph) AddNode(u model.ID) {
+	if g.nodes.Add(u) {
+		g.adj[u] = model.NewIDSet()
+	}
+}
+
+// AddEdge inserts the edge u→v, adding the endpoints as needed. Self-loops
+// are ignored: knowledge of oneself is implicit in the model.
+func (g *Digraph) AddEdge(u, v model.ID) {
+	g.AddNode(u)
+	g.AddNode(v)
+	if u == v {
+		return
+	}
+	g.adj[u].Add(v)
+}
+
+// HasNode reports whether u is a node of g.
+func (g *Digraph) HasNode(u model.ID) bool { return g.nodes.Has(u) }
+
+// HasEdge reports whether the edge u→v exists.
+func (g *Digraph) HasEdge(u, v model.ID) bool {
+	outs, ok := g.adj[u]
+	return ok && outs.Has(v)
+}
+
+// Nodes returns all nodes in ascending order.
+func (g *Digraph) Nodes() []model.ID { return g.nodes.Sorted() }
+
+// NodeSet returns a copy of the node set.
+func (g *Digraph) NodeSet() model.IDSet { return g.nodes.Clone() }
+
+// NumNodes returns the node count.
+func (g *Digraph) NumNodes() int { return g.nodes.Len() }
+
+// NumEdges returns the edge count.
+func (g *Digraph) NumEdges() int {
+	n := 0
+	for _, outs := range g.adj {
+		n += outs.Len()
+	}
+	return n
+}
+
+// Out returns the out-neighbors of u in ascending order.
+func (g *Digraph) Out(u model.ID) []model.ID {
+	if outs, ok := g.adj[u]; ok {
+		return outs.Sorted()
+	}
+	return nil
+}
+
+// OutSet returns the out-neighbor set of u (not a copy; callers must not
+// mutate it).
+func (g *Digraph) OutSet(u model.ID) model.IDSet { return g.adj[u] }
+
+// OutDegree returns |Out(u)|.
+func (g *Digraph) OutDegree(u model.ID) int {
+	if outs, ok := g.adj[u]; ok {
+		return outs.Len()
+	}
+	return 0
+}
+
+// In returns the in-neighbors of u in ascending order (computed on demand).
+func (g *Digraph) In(u model.ID) []model.ID {
+	var ins []model.ID
+	for _, v := range g.Nodes() {
+		if g.adj[v].Has(u) {
+			ins = append(ins, v)
+		}
+	}
+	return ins
+}
+
+// Clone returns a deep copy.
+func (g *Digraph) Clone() *Digraph {
+	c := New()
+	for id := range g.nodes {
+		c.AddNode(id)
+	}
+	for u, outs := range g.adj {
+		for v := range outs {
+			c.adj[u].Add(v)
+		}
+	}
+	return c
+}
+
+// Induced returns the subgraph induced by keep: nodes in keep and edges with
+// both endpoints in keep.
+func (g *Digraph) Induced(keep model.IDSet) *Digraph {
+	s := New()
+	for id := range keep {
+		if g.nodes.Has(id) {
+			s.AddNode(id)
+		}
+	}
+	for u := range s.nodes {
+		for v := range g.adj[u] {
+			if s.nodes.Has(v) {
+				s.adj[u].Add(v)
+			}
+		}
+	}
+	return s
+}
+
+// Without returns a copy of g with the given nodes (and incident edges)
+// removed. This is how the safe subgraph Gsafe = Gdi[ΠC] is obtained.
+func (g *Digraph) Without(remove model.IDSet) *Digraph {
+	return g.Induced(g.nodes.Diff(remove))
+}
+
+// UndirectedConnected reports whether the undirected counterpart of g is
+// connected (first bullet of Definition 1). The empty graph is connected.
+func (g *Digraph) UndirectedConnected() bool {
+	nodes := g.Nodes()
+	if len(nodes) <= 1 {
+		return true
+	}
+	und := make(map[model.ID]model.IDSet, len(nodes))
+	for _, u := range nodes {
+		und[u] = model.NewIDSet()
+	}
+	for u, outs := range g.adj {
+		for v := range outs {
+			und[u].Add(v)
+			und[v].Add(u)
+		}
+	}
+	seen := model.NewIDSet(nodes[0])
+	stack := []model.ID{nodes[0]}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range und[u].Sorted() {
+			if seen.Add(v) {
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen.Len() == len(nodes)
+}
+
+// Reachable returns the set of nodes reachable from u (including u).
+func (g *Digraph) Reachable(u model.ID) model.IDSet {
+	seen := model.NewIDSet(u)
+	stack := []model.ID{u}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for v := range g.adj[x] {
+			if seen.Add(v) {
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// String renders the adjacency list, one node per line, deterministically.
+func (g *Digraph) String() string {
+	var b strings.Builder
+	for _, u := range g.Nodes() {
+		fmt.Fprintf(&b, "%v -> %v\n", u, model.IDSet(g.adj[u]).String())
+	}
+	return b.String()
+}
+
+// SCCs returns the strongly connected components of g as sorted slices of
+// sorted IDs, in reverse topological order of the condensation (components
+// that can only be reached come first... specifically Tarjan's output order:
+// a component is emitted before any component that can reach it). Use
+// Condensation for explicit DAG structure.
+func (g *Digraph) SCCs() []model.IDSet {
+	// Iterative Tarjan to keep stack usage bounded.
+	nodes := g.Nodes()
+	index := make(map[model.ID]int, len(nodes))
+	low := make(map[model.ID]int, len(nodes))
+	onStack := make(map[model.ID]bool, len(nodes))
+	var stack []model.ID
+	var comps []model.IDSet
+	counter := 0
+
+	type frame struct {
+		u     model.ID
+		outs  []model.ID
+		child int
+	}
+	for _, root := range nodes {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		frames := []frame{{u: root, outs: g.Out(root)}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.child < len(f.outs) {
+				v := f.outs[f.child]
+				f.child++
+				if _, ok := index[v]; !ok {
+					index[v] = counter
+					low[v] = counter
+					counter++
+					stack = append(stack, v)
+					onStack[v] = true
+					frames = append(frames, frame{u: v, outs: g.Out(v)})
+					advanced = true
+					break
+				} else if onStack[v] {
+					if index[v] < low[f.u] {
+						low[f.u] = index[v]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Post-visit of f.u.
+			u := f.u
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[u] < low[p.u] {
+					low[p.u] = low[u]
+				}
+			}
+			if low[u] == index[u] {
+				comp := model.NewIDSet()
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp.Add(w)
+					if w == u {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// Condensation describes the DAG obtained by contracting each SCC of a graph
+// to a single node.
+type Condensation struct {
+	Comps []model.IDSet        // component membership
+	Of    map[model.ID]int     // node → component index
+	Succ  map[int]map[int]bool // edges between components
+}
+
+// Condense computes the condensation of g.
+func (g *Digraph) Condense() *Condensation {
+	comps := g.SCCs()
+	c := &Condensation{
+		Comps: comps,
+		Of:    make(map[model.ID]int),
+		Succ:  make(map[int]map[int]bool),
+	}
+	for i, comp := range comps {
+		for id := range comp {
+			c.Of[id] = i
+		}
+		c.Succ[i] = make(map[int]bool)
+	}
+	for u, outs := range g.adj {
+		cu := c.Of[u]
+		for v := range outs {
+			if cv := c.Of[v]; cv != cu {
+				c.Succ[cu][cv] = true
+			}
+		}
+	}
+	return c
+}
+
+// SinkComponents returns the components with no outgoing condensation edges.
+func (c *Condensation) SinkComponents() []model.IDSet {
+	var sinks []model.IDSet
+	for i, comp := range c.Comps {
+		if len(c.Succ[i]) == 0 {
+			sinks = append(sinks, comp)
+		}
+	}
+	return sinks
+}
+
+// UniqueSink returns the sole sink component of g's condensation, or ok=false
+// if there are zero or several sinks. This is Vsink of Definition 1.
+func (g *Digraph) UniqueSink() (model.IDSet, bool) {
+	sinks := g.Condense().SinkComponents()
+	if len(sinks) != 1 {
+		return nil, false
+	}
+	return sinks[0], true
+}
+
+// DirectedCore returns the maximal subset S of g's nodes such that every node
+// of S has in-degree ≥ k and out-degree ≥ k within G[S] (the directed k-core).
+// Every subgraph with κ ≥ k is contained in it, because vertex connectivity is
+// bounded by minimum degree; this makes peeling a sound pruning step for the
+// sink search.
+func (g *Digraph) DirectedCore(k int) model.IDSet {
+	if k <= 0 {
+		return g.NodeSet()
+	}
+	alive := g.NodeSet()
+	indeg := make(map[model.ID]int, alive.Len())
+	outdeg := make(map[model.ID]int, alive.Len())
+	for u := range alive {
+		for v := range g.adj[u] {
+			if alive.Has(v) {
+				outdeg[u]++
+				indeg[v]++
+			}
+		}
+	}
+	queue := make([]model.ID, 0, alive.Len())
+	for _, u := range alive.Sorted() {
+		if indeg[u] < k || outdeg[u] < k {
+			queue = append(queue, u)
+		}
+	}
+	dead := model.NewIDSet()
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if !alive.Has(u) {
+			continue
+		}
+		alive.Remove(u)
+		dead.Add(u)
+		for v := range g.adj[u] {
+			if alive.Has(v) {
+				indeg[v]--
+				if indeg[v] < k && !dead.Has(v) {
+					queue = append(queue, v)
+				}
+			}
+		}
+		for _, w := range g.Nodes() {
+			if alive.Has(w) && g.adj[w].Has(u) {
+				outdeg[w]--
+				if outdeg[w] < k && !dead.Has(w) {
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return alive
+}

@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+// Structural invariants of the figure reconstructions. The model-level
+// claims (which figures satisfy/violate BFT-CUP and BFT-CUPFT requirements,
+// the isSink arithmetic, the role of the Fig. 4a added links) are
+// machine-checked in internal/kosr/extended_test.go, which has access to the
+// extended checker.
+func TestFigureInvariants(t *testing.T) {
+	figs := AllFigures()
+	names := map[string]bool{}
+	for _, fig := range figs {
+		if fig.G == nil || fig.G.NumNodes() == 0 {
+			t.Fatalf("%s: empty graph", fig.Name)
+		}
+		if names[fig.Name] {
+			t.Fatalf("duplicate figure name %q", fig.Name)
+		}
+		names[fig.Name] = true
+		if fig.Byz.Len() > fig.F {
+			t.Fatalf("%s: %d Byzantine nodes exceed f=%d", fig.Name, fig.Byz.Len(), fig.F)
+		}
+		for id := range fig.Byz {
+			if !fig.G.HasNode(id) {
+				t.Fatalf("%s: Byzantine %v not in graph", fig.Name, id)
+			}
+		}
+		if fig.ExpectedSink != nil && !fig.ExpectedSink.SubsetOf(fig.G.NodeSet()) {
+			t.Fatalf("%s: expected sink %v not in graph", fig.Name, fig.ExpectedSink)
+		}
+		if fig.ExpectedCommittee != nil && fig.ExpectedSink != nil &&
+			!fig.ExpectedSink.SubsetOf(fig.ExpectedCommittee) {
+			t.Fatalf("%s: sink %v ⊄ committee %v", fig.Name, fig.ExpectedSink, fig.ExpectedCommittee)
+		}
+	}
+	for _, want := range []string{"fig1a", "fig1b", "fig2a", "fig2b", "fig2c", "fig3a", "fig3b", "fig4a", "fig4b"} {
+		if !names[want] {
+			t.Fatalf("figure %q missing from AllFigures", want)
+		}
+	}
+}
+
+// The caption of Fig. 1 fixes PD₁ = {2,3,4} in both variants.
+func TestFig1CaptionPD1(t *testing.T) {
+	want := model.NewIDSet(2, 3, 4)
+	if got := Fig1a().G.OutSet(1); !got.Equal(want) {
+		t.Fatalf("fig1a PD(1) = %v, want %v", got, want)
+	}
+	if got := Fig1b().G.OutSet(1); !got.Equal(want) {
+		t.Fatalf("fig1b PD(1) = %v, want %v", got, want)
+	}
+}
+
+// Fig. 2c is the union of systems A and B plus the cross links 4→5 and 5→4.
+func TestFig2cIsUnionPlusCrossLinks(t *testing.T) {
+	a, b, ab := Fig2a(), Fig2b(), Fig2c()
+	for _, u := range a.G.Nodes() {
+		for _, v := range a.G.Out(u) {
+			if !ab.G.HasEdge(u, v) {
+				t.Fatalf("AB missing A edge %v→%v", u, v)
+			}
+		}
+	}
+	for _, u := range b.G.Nodes() {
+		for _, v := range b.G.Out(u) {
+			if !ab.G.HasEdge(u, v) {
+				t.Fatalf("AB missing B edge %v→%v", u, v)
+			}
+		}
+	}
+	if !ab.G.HasEdge(4, 5) || !ab.G.HasEdge(5, 4) {
+		t.Fatal("AB missing the cross links 4↔5")
+	}
+	// Exactly the union plus the two cross links.
+	extra := ab.G.NumEdges() - a.G.NumEdges() - b.G.NumEdges()
+	if extra != 2 {
+		t.Fatalf("AB has %d extra edges beyond A∪B, want 2", extra)
+	}
+}
+
+// Fig. 4a differs from its broken variant exactly by the caption's added
+// links 6→3 and 7→2.
+func TestFig4aAddedLinks(t *testing.T) {
+	with, without := Fig4a(), Fig4aWithoutAddedLinks()
+	if !with.G.HasEdge(6, 3) || !with.G.HasEdge(7, 2) {
+		t.Fatal("fig4a missing its added links")
+	}
+	if without.G.HasEdge(6, 3) || without.G.HasEdge(7, 2) {
+		t.Fatal("broken variant still has the added links")
+	}
+	if with.G.NumEdges()-without.G.NumEdges() != 2 {
+		t.Fatal("variants differ by more than the two added links")
+	}
+}
+
+// Fig. 4b sizing: complete region {1..7}, complete core {8..15}, four core
+// targets per region node.
+func TestFig4bStructure(t *testing.T) {
+	fig := Fig4b()
+	if fig.G.NumNodes() != 15 {
+		t.Fatalf("fig4b has %d nodes", fig.G.NumNodes())
+	}
+	for u := model.ID(1); u <= 7; u++ {
+		coreTargets := 0
+		for _, v := range fig.G.Out(u) {
+			if v >= 8 {
+				coreTargets++
+			}
+		}
+		if coreTargets != 4 {
+			t.Fatalf("region node %v has %d core targets, want 4", u, coreTargets)
+		}
+	}
+	for u := model.ID(8); u <= 15; u++ {
+		for _, v := range fig.G.Out(u) {
+			if v < 8 {
+				t.Fatalf("core node %v points back into the region (%v)", u, v)
+			}
+		}
+	}
+}

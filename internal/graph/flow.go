@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"math"
+
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+// InfiniteConnectivity is the κ reported for single-node graphs: "for any
+// pair of nodes" is vacuously true for every k, matching the g = 0 base case
+// of isSink* where a lone process with no outgoing knowledge is a sink.
+const InfiniteConnectivity = math.MaxInt32
+
+// MaxNodeDisjointPaths returns the maximum number of internally-node-disjoint
+// directed paths from s to t in g, computed as max-flow on the vertex-split
+// graph (every node other than s and t has capacity 1). limit > 0 caps the
+// search: the function returns early once limit paths are found, which is all
+// the k-OSR checks ever need. limit ≤ 0 means unlimited.
+//
+// A direct edge s→t counts as one path, per the paper's path-counting in
+// Definition 1.
+func (g *Digraph) MaxNodeDisjointPaths(s, t model.ID, limit int) int {
+	if s == t || !g.HasNode(s) || !g.HasNode(t) {
+		return 0
+	}
+	// Index nodes: each node u maps to u_in = 2i and u_out = 2i+1.
+	nodes := g.Nodes()
+	idx := make(map[model.ID]int, len(nodes))
+	for i, u := range nodes {
+		idx[u] = i
+	}
+	n := len(nodes)
+	size := 2 * n
+	// Residual adjacency as capacity matrix in a map: small graphs, fine.
+	cap := make([][]int8, size)
+	for i := range cap {
+		cap[i] = make([]int8, size)
+	}
+	in := func(u model.ID) int { return 2 * idx[u] }
+	out := func(u model.ID) int { return 2*idx[u] + 1 }
+	big := int8(batchCap(limit, n))
+	for _, u := range nodes {
+		if u == s || u == t {
+			cap[in(u)][out(u)] = big
+		} else {
+			cap[in(u)][out(u)] = 1
+		}
+	}
+	for _, u := range nodes {
+		for v := range g.adj[u] {
+			cap[out(u)][in(v)] = 1
+		}
+	}
+	source, sink := out(s), in(t)
+	flow := 0
+	prev := make([]int, size)
+	for {
+		if limit > 0 && flow >= limit {
+			return flow
+		}
+		// BFS for an augmenting path.
+		for i := range prev {
+			prev[i] = -1
+		}
+		prev[source] = source
+		queue := []int{source}
+		found := false
+		for len(queue) > 0 && !found {
+			x := queue[0]
+			queue = queue[1:]
+			for y := 0; y < size; y++ {
+				if prev[y] == -1 && cap[x][y] > 0 {
+					prev[y] = x
+					if y == sink {
+						found = true
+						break
+					}
+					queue = append(queue, y)
+				}
+			}
+		}
+		if !found {
+			return flow
+		}
+		for y := sink; y != source; {
+			x := prev[y]
+			cap[x][y]--
+			cap[y][x]++
+			y = x
+		}
+		flow++
+	}
+}
+
+// batchCap bounds the "infinite" capacity on the source/sink split arcs.
+func batchCap(limit, n int) int {
+	if limit > 0 && limit < n {
+		return limit + 1
+	}
+	if n > 126 {
+		return 126
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// HasKDisjointPaths reports whether there are at least k internally-node-
+// disjoint paths from s to t.
+func (g *Digraph) HasKDisjointPaths(s, t model.ID, k int) bool {
+	if k <= 0 {
+		return true
+	}
+	return g.MaxNodeDisjointPaths(s, t, k) >= k
+}
+
+// IsKStronglyConnected reports whether every ordered pair of distinct nodes
+// is joined by at least k node-disjoint paths (the paper's definition of
+// k-strong connectivity). Graphs with ≤ 1 node are k-strongly connected for
+// every k (vacuous quantification).
+func (g *Digraph) IsKStronglyConnected(k int) bool {
+	if k <= 0 || g.NumNodes() <= 1 {
+		return true
+	}
+	nodes := g.Nodes()
+	if g.NumNodes() <= k {
+		// κ(G) ≤ n-1 always (at most n-2 internal vertices plus the direct
+		// edge ⇒ ≤ n-1 disjoint paths).
+		return false
+	}
+	// Quick degree-based rejection: κ ≤ min degree.
+	for _, u := range nodes {
+		if g.OutDegree(u) < k {
+			return false
+		}
+	}
+	for _, u := range nodes {
+		for _, v := range nodes {
+			if u == v {
+				continue
+			}
+			if !g.HasKDisjointPaths(u, v, k) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// StrongConnectivity returns κ(g): the maximum k such that g is k-strongly
+// connected. Single-node graphs return InfiniteConnectivity; disconnected or
+// not strongly connected graphs return 0.
+func (g *Digraph) StrongConnectivity() int {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return InfiniteConnectivity
+	}
+	// κ is at most the minimum of in/out degrees and n-1.
+	best := n - 1
+	nodes := g.Nodes()
+	indeg := make(map[model.ID]int, n)
+	for _, u := range nodes {
+		for v := range g.adj[u] {
+			indeg[v]++
+		}
+	}
+	for _, u := range nodes {
+		if d := g.OutDegree(u); d < best {
+			best = d
+		}
+		if d := indeg[u]; d < best {
+			best = d
+		}
+	}
+	if best <= 0 {
+		return 0
+	}
+	for _, u := range nodes {
+		for _, v := range nodes {
+			if u == v {
+				continue
+			}
+			p := g.MaxNodeDisjointPaths(u, v, best)
+			if p < best {
+				best = p
+				if best == 0 {
+					return 0
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,218 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+// allSimplePaths enumerates every simple path from s to t (small graphs only).
+func allSimplePaths(g *Digraph, s, t model.ID) [][]model.ID {
+	var out [][]model.ID
+	var walk func(u model.ID, path []model.ID, seen model.IDSet)
+	walk = func(u model.ID, path []model.ID, seen model.IDSet) {
+		if u == t {
+			cp := make([]model.ID, len(path))
+			copy(cp, path)
+			out = append(out, cp)
+			return
+		}
+		for _, v := range g.Out(u) {
+			if seen.Has(v) {
+				continue
+			}
+			seen.Add(v)
+			walk(v, append(path, v), seen)
+			seen.Remove(v)
+		}
+	}
+	walk(s, []model.ID{s}, model.NewIDSet(s))
+	return out
+}
+
+// bruteMaxDisjoint computes the max internally-node-disjoint path packing by
+// backtracking over the full path list. Exponential; tests keep n ≤ 7.
+func bruteMaxDisjoint(g *Digraph, s, t model.ID) int {
+	paths := allSimplePaths(g, s, t)
+	interior := make([]model.IDSet, len(paths))
+	for i, p := range paths {
+		in := model.NewIDSet()
+		for _, v := range p[1 : len(p)-1] {
+			in.Add(v)
+		}
+		interior[i] = in
+	}
+	best := 0
+	var rec func(i int, used model.IDSet, count int)
+	rec = func(i int, used model.IDSet, count int) {
+		if count > best {
+			best = count
+		}
+		if i == len(paths) || count+(len(paths)-i) <= best {
+			return
+		}
+		// Skip path i.
+		rec(i+1, used, count)
+		// Take path i if disjoint from used.
+		ok := true
+		for v := range interior[i] {
+			if used.Has(v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			u2 := used.Union(interior[i])
+			rec(i+1, u2, count+1)
+		}
+	}
+	rec(0, model.NewIDSet(), 0)
+	return best
+}
+
+func TestMaxNodeDisjointPathsKnown(t *testing.T) {
+	// Diamond: 1→2→4, 1→3→4 gives 2 disjoint paths.
+	g := edgeList(
+		[2]model.ID{1, 2}, [2]model.ID{2, 4},
+		[2]model.ID{1, 3}, [2]model.ID{3, 4},
+	)
+	if got := g.MaxNodeDisjointPaths(1, 4, 0); got != 2 {
+		t.Fatalf("diamond paths = %d, want 2", got)
+	}
+	// Adding the direct edge 1→4 makes it 3.
+	g.AddEdge(1, 4)
+	if got := g.MaxNodeDisjointPaths(1, 4, 0); got != 3 {
+		t.Fatalf("diamond+direct = %d, want 3", got)
+	}
+	// Shared middle vertex: 1→2→3 and 1→2→4... single bottleneck.
+	h := edgeList(
+		[2]model.ID{1, 2}, [2]model.ID{2, 3}, [2]model.ID{2, 4}, [2]model.ID{4, 3},
+	)
+	if got := h.MaxNodeDisjointPaths(1, 3, 0); got != 1 {
+		t.Fatalf("bottleneck paths = %d, want 1", got)
+	}
+	// No path.
+	if got := h.MaxNodeDisjointPaths(3, 1, 0); got != 0 {
+		t.Fatalf("no-path = %d, want 0", got)
+	}
+	// Same node.
+	if got := h.MaxNodeDisjointPaths(1, 1, 0); got != 0 {
+		t.Fatalf("s==t = %d, want 0", got)
+	}
+}
+
+func TestMaxNodeDisjointPathsLimit(t *testing.T) {
+	g := CompleteGraph(1, 2, 3, 4, 5, 6)
+	if got := g.MaxNodeDisjointPaths(1, 2, 3); got != 3 {
+		t.Fatalf("limited = %d, want 3", got)
+	}
+	if got := g.MaxNodeDisjointPaths(1, 2, 0); got != 5 {
+		t.Fatalf("K6 paths = %d, want 5", got)
+	}
+}
+
+func TestMaxNodeDisjointPathsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(5) // 3..7 nodes
+		g := New()
+		for i := 1; i <= n; i++ {
+			g.AddNode(model.ID(i))
+		}
+		for u := 1; u <= n; u++ {
+			for v := 1; v <= n; v++ {
+				if u != v && rng.Float64() < 0.4 {
+					g.AddEdge(model.ID(u), model.ID(v))
+				}
+			}
+		}
+		s, tt := model.ID(1), model.ID(2)
+		want := bruteMaxDisjoint(g, s, tt)
+		got := g.MaxNodeDisjointPaths(s, tt, 0)
+		if got != want {
+			t.Fatalf("trial %d: flow=%d brute=%d\ngraph:\n%s", trial, got, want, g)
+		}
+	}
+}
+
+func bruteKappa(g *Digraph) int {
+	if g.NumNodes() == 1 {
+		return InfiniteConnectivity
+	}
+	best := g.NumNodes() - 1
+	for _, u := range g.Nodes() {
+		for _, v := range g.Nodes() {
+			if u == v {
+				continue
+			}
+			if p := bruteMaxDisjoint(g, u, v); p < best {
+				best = p
+			}
+		}
+	}
+	return best
+}
+
+func TestStrongConnectivityKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Digraph
+		want int
+	}{
+		{"K4", CompleteGraph(1, 2, 3, 4), 3},
+		{"3-cycle", edgeList([2]model.ID{1, 2}, [2]model.ID{2, 3}, [2]model.ID{3, 1}), 1},
+		{"path", edgeList([2]model.ID{1, 2}, [2]model.ID{2, 3}), 0},
+		{"single", func() *Digraph { g := New(); g.AddNode(1); return g }(), InfiniteConnectivity},
+	}
+	for _, c := range cases {
+		if got := c.g.StrongConnectivity(); got != c.want {
+			t.Errorf("%s: κ = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestStrongConnectivityAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(5) // 2..6 nodes
+		g := New()
+		for i := 1; i <= n; i++ {
+			g.AddNode(model.ID(i))
+		}
+		for u := 1; u <= n; u++ {
+			for v := 1; v <= n; v++ {
+				if u != v && rng.Float64() < 0.5 {
+					g.AddEdge(model.ID(u), model.ID(v))
+				}
+			}
+		}
+		want := bruteKappa(g)
+		got := g.StrongConnectivity()
+		if got != want {
+			t.Fatalf("trial %d: κ=%d brute=%d\ngraph:\n%s", trial, got, want, g)
+		}
+		for k := 0; k <= want+1; k++ {
+			if g.IsKStronglyConnected(k) != (k <= want) {
+				t.Fatalf("trial %d: IsKStronglyConnected(%d) inconsistent with κ=%d", trial, k, want)
+			}
+		}
+	}
+}
+
+func TestCirculantConnectivity(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		for _, m := range []int{k + 2, k + 4, 8} {
+			g := New()
+			ids := make([]model.ID, m)
+			for i := range ids {
+				ids[i] = model.ID(i + 1)
+				g.AddNode(ids[i])
+			}
+			circulant(g, ids, k)
+			if got := g.StrongConnectivity(); got != k {
+				t.Errorf("circulant(m=%d,k=%d): κ = %d, want %d", m, k, got, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+// GenSpec parameterizes random knowledge-connectivity-graph generation.
+type GenSpec struct {
+	SinkSize    int     // number of sink (or core) members, ≥ 2f+1
+	NonSinkSize int     // number of non-sink members
+	K           int     // required connectivity (f+1)
+	ExtraEdgeP  float64 // probability of extra random edges for variety
+}
+
+// circulant builds the circulant digraph on ids where node i points to the
+// next k nodes (cyclically). Its strong connectivity is exactly k.
+func circulant(g *Digraph, ids []model.ID, k int) {
+	m := len(ids)
+	for i := 0; i < m; i++ {
+		for d := 1; d <= k && d < m; d++ {
+			g.AddEdge(ids[i], ids[(i+d)%m])
+		}
+	}
+}
+
+// GenKOSR generates a random graph whose safe subgraph belongs to k-OSR PD
+// with a sink of spec.SinkSize nodes (IDs 1..SinkSize) and spec.NonSinkSize
+// non-sink nodes. The construction is correct by design:
+//
+//   - the sink is a k-circulant (κ = k exactly) plus optional random
+//     sink-internal edges (which can only increase κ);
+//   - every non-sink node points to k distinct sink members, giving k
+//     node-disjoint paths to every sink node by Menger's fan argument;
+//   - non-sink nodes may additionally point to earlier non-sink nodes
+//     (acyclic among themselves), which preserves the single sink.
+//
+// Returned sink is the planted sink set. Tests cross-check the construction
+// with CheckKOSR on small instances.
+func GenKOSR(rng *rand.Rand, spec GenSpec) (g *Digraph, sink model.IDSet, err error) {
+	if spec.SinkSize < spec.K+1 && spec.SinkSize != 1 {
+		return nil, nil, fmt.Errorf("sink of %d nodes cannot be %d-strongly connected", spec.SinkSize, spec.K)
+	}
+	g = New()
+	sinkIDs := make([]model.ID, spec.SinkSize)
+	for i := range sinkIDs {
+		sinkIDs[i] = model.ID(i + 1)
+		g.AddNode(sinkIDs[i])
+	}
+	circulant(g, sinkIDs, spec.K)
+	// Optional extra sink-internal edges.
+	for _, u := range sinkIDs {
+		for _, v := range sinkIDs {
+			if u != v && rng.Float64() < spec.ExtraEdgeP {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	sink = model.NewIDSet(sinkIDs...)
+	// Non-sink nodes.
+	for i := 0; i < spec.NonSinkSize; i++ {
+		u := model.ID(spec.SinkSize + i + 1)
+		g.AddNode(u)
+		// k distinct sink targets.
+		perm := rng.Perm(spec.SinkSize)
+		for j := 0; j < spec.K && j < spec.SinkSize; j++ {
+			g.AddEdge(u, sinkIDs[perm[j]])
+		}
+		// Optional edges to earlier non-sink nodes (keeps them non-sink).
+		for j := 0; j < i; j++ {
+			if rng.Float64() < spec.ExtraEdgeP {
+				g.AddEdge(u, model.ID(spec.SinkSize+j+1))
+			}
+		}
+	}
+	return g, sink, nil
+}
+
+// GenExtendedKOSR generates a random graph satisfying the extended k-OSR
+// requirements (Definition 2) with a planted core of spec.SinkSize nodes
+// (IDs 1..SinkSize; a complete digraph) and spec.NonSinkSize non-core nodes.
+//
+// Non-core nodes form a DAG among themselves and each points to
+// kCore = f_G(core)+1 distinct core members. Consequences, relied upon by the
+// tests:
+//
+//   - every non-core subset of size ≥ 2 has κ = 0 (DAG) and every non-core
+//     singleton has outgoing edges, so no subset outside the core satisfies
+//     isSink* at any g — C1 holds with the core strictly maximal;
+//   - each non-core node reaches every core member through kCore
+//     node-disjoint paths (direct fan into a complete digraph) — C2 holds.
+//
+// Returns the graph, the planted core, and f_G(core) = min(⌊(m-1)/2⌋, m-2)
+// for core size m (partition S1 = core, S2 = ∅).
+func GenExtendedKOSR(rng *rand.Rand, spec GenSpec) (g *Digraph, core model.IDSet, fG int, err error) {
+	m := spec.SinkSize
+	if m < 3 {
+		return nil, nil, 0, fmt.Errorf("core needs ≥ 3 nodes, got %d", m)
+	}
+	fG = (m - 1) / 2
+	if mm := m - 2; mm < fG {
+		fG = mm
+	}
+	kCore := fG + 1
+	g = New()
+	coreIDs := make([]model.ID, m)
+	for i := range coreIDs {
+		coreIDs[i] = model.ID(i + 1)
+	}
+	for _, u := range coreIDs {
+		for _, v := range coreIDs {
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	core = model.NewIDSet(coreIDs...)
+	for i := 0; i < spec.NonSinkSize; i++ {
+		u := model.ID(m + i + 1)
+		g.AddNode(u)
+		perm := rng.Perm(m)
+		for j := 0; j < kCore; j++ {
+			g.AddEdge(u, coreIDs[perm[j]])
+		}
+		for j := 0; j < i; j++ {
+			if rng.Float64() < spec.ExtraEdgeP {
+				g.AddEdge(u, model.ID(m+j+1))
+			}
+		}
+	}
+	return g, core, fG, nil
+}
+
+// PDMap converts a graph into the participant-detector map handed to
+// processes: PD(i) = out-neighbors of i.
+func PDMap(g *Digraph) map[model.ID]model.IDSet {
+	out := make(map[model.ID]model.IDSet, g.NumNodes())
+	for _, u := range g.Nodes() {
+		out[u] = g.OutSet(u).Clone()
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+func TestCheckKOSRSimple(t *testing.T) {
+	// A 2-strongly-connected sink {1,2,3} (complete triangle) with a non-sink
+	// node 4 pointing at two sink members: 2-OSR.
+	g := CompleteGraph(1, 2, 3)
+	g.AddEdge(4, 1)
+	g.AddEdge(4, 2)
+	r := CheckKOSR(g, 2)
+	if !r.OK {
+		t.Fatalf("expected 2-OSR, got: %s", r.Reason)
+	}
+	if !r.Sink.Equal(model.NewIDSet(1, 2, 3)) {
+		t.Fatalf("sink = %v", r.Sink)
+	}
+	// It is not 3-OSR: the sink triangle has κ = 2.
+	if CheckKOSR(g, 3).OK {
+		t.Fatal("triangle sink cannot be 3-OSR")
+	}
+}
+
+func TestCheckKOSRFailures(t *testing.T) {
+	// Disconnected.
+	g := CompleteGraph(1, 2, 3)
+	g.AddNode(9)
+	if r := CheckKOSR(g, 1); r.OK {
+		t.Fatal("disconnected graph passed")
+	}
+	// Two sinks.
+	h := edgeList([2]model.ID{1, 2}, [2]model.ID{1, 3})
+	if r := CheckKOSR(h, 1); r.OK {
+		t.Fatal("two-sink graph passed")
+	}
+	// Non-sink node with only one path to the sink fails k=2.
+	g2 := CompleteGraph(1, 2, 3)
+	g2.AddEdge(4, 1)
+	if r := CheckKOSR(g2, 2); r.OK {
+		t.Fatal("single-path non-sink node passed k=2")
+	}
+	// Empty graph.
+	if r := CheckKOSR(New(), 1); r.OK {
+		t.Fatal("empty graph passed")
+	}
+}
+
+func TestCheckKOSRSingletonSink(t *testing.T) {
+	// 2→1: sink {1}, κ(singleton) vacuously fine for k=1.
+	g := edgeList([2]model.ID{2, 1})
+	r := CheckKOSR(g, 1)
+	if !r.OK || !r.Sink.Equal(model.NewIDSet(1)) {
+		t.Fatalf("singleton sink: %+v", r)
+	}
+}
+
+func TestCheckBFTCUP(t *testing.T) {
+	fig := Fig1b()
+	r := CheckBFTCUP(fig.G, fig.Byz, fig.F)
+	if !r.OK {
+		t.Fatalf("Fig1b should satisfy BFT-CUP requirements: %s", r.Reason)
+	}
+	if !r.Sink.Equal(fig.ExpectedSink) {
+		t.Fatalf("Fig1b safe sink = %v, want %v", r.Sink, fig.ExpectedSink)
+	}
+
+	bad := Fig1a()
+	if r := CheckBFTCUP(bad.G, bad.Byz, bad.F); r.OK {
+		t.Fatal("Fig1a should NOT satisfy BFT-CUP requirements")
+	}
+
+	// Too many Byzantine nodes for the threshold.
+	if r := CheckBFTCUP(fig.G, model.NewIDSet(4, 5), 1); r.OK {
+		t.Fatal("2 Byzantine nodes should fail f=1")
+	}
+
+	// Sink too small: triangle sink with f=1 needs ≥ 3 correct sink members.
+	g := CompleteGraph(1, 2)
+	g.AddEdge(3, 1)
+	g.AddEdge(3, 2)
+	if r := CheckBFTCUP(g, model.NewIDSet(), 1); r.OK {
+		t.Fatal("2-node sink should fail the 2f+1 size requirement")
+	}
+}
+
+func TestGenKOSRSatisfiesChecker(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(3)
+		spec := GenSpec{
+			SinkSize:    2*k + 1 + rng.Intn(3),
+			NonSinkSize: rng.Intn(5),
+			K:           k,
+			ExtraEdgeP:  rng.Float64() * 0.3,
+		}
+		g, sink, err := GenKOSR(rng, spec)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		r := CheckKOSR(g, k)
+		if !r.OK {
+			t.Fatalf("trial %d (spec %+v): generated graph fails checker: %s\n%s", trial, spec, r.Reason, g)
+		}
+		if !r.Sink.Equal(sink) {
+			t.Fatalf("trial %d: planted sink %v, checker found %v", trial, sink, r.Sink)
+		}
+	}
+}
+
+func TestGenKOSRRejectsImpossibleSpec(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := GenKOSR(rng, GenSpec{SinkSize: 2, K: 2}); err == nil {
+		t.Fatal("2-node sink cannot be 2-strongly connected; want error")
+	}
+}
+
+func TestGenExtendedKOSRStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		spec := GenSpec{
+			SinkSize:    3 + rng.Intn(5),
+			NonSinkSize: rng.Intn(5),
+			ExtraEdgeP:  rng.Float64() * 0.3,
+		}
+		g, core, fG, err := GenExtendedKOSR(rng, spec)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// The planted core must be the unique sink of the graph.
+		sink, ok := g.UniqueSink()
+		if !ok || !sink.Equal(core) {
+			t.Fatalf("trial %d: sink %v (ok=%v), want core %v", trial, sink, ok, core)
+		}
+		// Base k-OSR with k = fG+1.
+		if r := CheckKOSR(g, fG+1); !r.OK {
+			t.Fatalf("trial %d: not (fG+1)-OSR: %s", trial, r.Reason)
+		}
+		// C2: every non-core node has fG+1 disjoint paths to every core node.
+		for _, u := range g.Nodes() {
+			if core.Has(u) {
+				continue
+			}
+			for _, v := range core.Sorted() {
+				if !g.HasKDisjointPaths(u, v, fG+1) {
+					t.Fatalf("trial %d: C2 fails from %v to %v", trial, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestPDMap(t *testing.T) {
+	g := edgeList([2]model.ID{1, 2}, [2]model.ID{1, 3}, [2]model.ID{2, 3})
+	pd := PDMap(g)
+	if !pd[1].Equal(model.NewIDSet(2, 3)) || !pd[2].Equal(model.NewIDSet(3)) || pd[3].Len() != 0 {
+		t.Fatalf("PDMap = %v", pd)
+	}
+	// Mutating the map must not affect the graph.
+	pd[1].Add(9)
+	if g.HasEdge(1, 9) {
+		t.Fatal("PDMap shares sets with the graph")
+	}
+}

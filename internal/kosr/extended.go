@@ -1,0 +1,141 @@
+package kosr
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+// ExtendedReport is the verdict of CheckExtendedKOSR.
+type ExtendedReport struct {
+	OK     bool
+	K      int
+	Core   model.IDSet // Vcore when OK
+	FG     int         // f_Gdi(Vcore) = k_Gdi(Vcore) - 1
+	Exact  bool        // whether sink enumeration was exhaustive
+	Reason string
+	// Sinks lists every distinct sink set found, with its f_G, for
+	// diagnostics and the experiments' tables.
+	Sinks []SinkInfo
+}
+
+// SinkInfo describes one sink set found during extended-k-OSR checking.
+type SinkInfo struct {
+	Members model.IDSet
+	FG      int
+}
+
+// CheckExtendedKOSR verifies Definition 2 (extended k-OSR PD) for g:
+// the graph belongs to k-OSR PD, and there is a core — a sink with strictly
+// maximum connectivity among all sinks (C1) — reachable from every non-core
+// node through k_Gdi(Vcore) node-disjoint paths (C2).
+func CheckExtendedKOSR(gdi *graph.Digraph, k int) ExtendedReport {
+	r := ExtendedReport{K: k, Exact: true}
+	base := graph.CheckKOSR(gdi, k)
+	if !base.OK {
+		r.Reason = "not k-OSR: " + base.Reason
+		return r
+	}
+	v := FullView(gdi)
+	// Enumerate every sink set at every g; record the max g per set.
+	fgOf := make(map[string]int)
+	setOf := make(map[string]model.IDSet)
+	for g := v.MaxG(); g >= 0; g-- {
+		cands, exact := v.SinksAtGExact(g)
+		if !exact {
+			r.Exact = false
+		}
+		for _, c := range cands {
+			m := c.Members()
+			key := m.Key()
+			if old, ok := fgOf[key]; !ok || g > old {
+				fgOf[key] = g
+				setOf[key] = m
+			}
+		}
+	}
+	if len(fgOf) == 0 {
+		r.Reason = "no sink satisfies isSink* in the full view"
+		return r
+	}
+	keys := make([]string, 0, len(fgOf))
+	for key := range fgOf {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		r.Sinks = append(r.Sinks, SinkInfo{Members: setOf[key], FG: fgOf[key]})
+	}
+	// C1: a unique sink of strictly maximum connectivity.
+	best, bestCount := -1, 0
+	var core model.IDSet
+	for _, s := range r.Sinks {
+		switch {
+		case s.FG > best:
+			best, bestCount, core = s.FG, 1, s.Members
+		case s.FG == best:
+			bestCount++
+		}
+	}
+	if bestCount != 1 {
+		r.Reason = fmt.Sprintf("C1 fails: %d distinct sinks share the maximum connectivity %d", bestCount, best+1)
+		return r
+	}
+	r.Core, r.FG = core, best
+	// C1 also requires k_Gdi(Vcore) ≥ k (the paper derives this from the
+	// graph being k-OSR; verify it anyway).
+	if best+1 < k {
+		r.Reason = fmt.Sprintf("core connectivity %d below k=%d", best+1, k)
+		return r
+	}
+	// C2: every non-core node reaches every core node through k_Gdi(Vcore)
+	// node-disjoint paths.
+	kCore := best + 1
+	for _, u := range gdi.Nodes() {
+		if core.Has(u) {
+			continue
+		}
+		for _, w := range core.Sorted() {
+			if !gdi.HasKDisjointPaths(u, w, kCore) {
+				r.Reason = fmt.Sprintf("C2 fails: fewer than %d node-disjoint paths from %v to core node %v", kCore, u, w)
+				return r
+			}
+		}
+	}
+	r.OK = true
+	return r
+}
+
+// BFTCUPFTReport is the verdict of CheckBFTCUPFT.
+type BFTCUPFTReport struct {
+	OK     bool
+	F      int
+	Core   model.IDSet // core of the safe subgraph
+	FG     int
+	Reason string
+}
+
+// CheckBFTCUPFT verifies the BFT-CUPFT model requirements (Section V): the
+// safe subgraph belongs to extended (f+1)-OSR PD and its core contains at
+// least 2f+1 processes.
+func CheckBFTCUPFT(gdi *graph.Digraph, byz model.IDSet, f int) BFTCUPFTReport {
+	r := BFTCUPFTReport{F: f}
+	if byz.Len() > f {
+		r.Reason = fmt.Sprintf("%d Byzantine nodes exceed fault threshold f=%d", byz.Len(), f)
+		return r
+	}
+	safe := gdi.Without(byz)
+	ext := CheckExtendedKOSR(safe, f+1)
+	if !ext.OK {
+		r.Reason = "safe subgraph not extended (f+1)-OSR: " + ext.Reason
+		return r
+	}
+	if ext.Core.Len() < 2*f+1 {
+		r.Reason = fmt.Sprintf("core of safe subgraph has %d processes, want ≥ %d", ext.Core.Len(), 2*f+1)
+		return r
+	}
+	r.OK, r.Core, r.FG = true, ext.Core, ext.FG
+	return r
+}

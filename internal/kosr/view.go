@@ -1,0 +1,146 @@
+// Package kosr implements the knowledge-side decision procedures of the
+// paper: the isSink predicate of Theorem 3, the sink search of Algorithm 2
+// (known fault threshold), the core search of Algorithm 4 (unknown fault
+// threshold), the naive any-sink rule of Observation 1, and the extended
+// k-OSR PD checker of Definition 2.
+//
+// Notation note (see DESIGN.md §2): property P3 counts *target* vertices
+// outside S1 that S1 points at, while P4 counts *source* vertices of S1
+// pointing at a given process. This is the only reading consistent with the
+// paper's worked examples and proofs.
+package kosr
+
+import (
+	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+// View is a process's current knowledge: the processes it knows exist
+// (S_known) and the participant detectors it has received and verified
+// (S_PD, whose key set is S_received).
+type View struct {
+	Known model.IDSet
+	// PD maps a process to its (signed, verified) participant detector.
+	// The key set is S_received.
+	PD map[model.ID]model.IDSet
+}
+
+// NewView returns an empty view.
+func NewView() *View {
+	return &View{Known: model.NewIDSet(), PD: make(map[model.ID]model.IDSet)}
+}
+
+// FullView builds the omniscient view of a knowledge connectivity graph:
+// every process received, every PD known. Used by the graph-theoretic
+// checkers and tests.
+func FullView(g *graph.Digraph) *View {
+	v := NewView()
+	for _, u := range g.Nodes() {
+		v.Known.Add(u)
+		v.PD[u] = g.OutSet(u).Clone()
+		for w := range g.OutSet(u) {
+			v.Known.Add(w)
+		}
+	}
+	return v
+}
+
+// Received returns S_received (processes whose PDs are present).
+func (v *View) Received() model.IDSet {
+	r := model.NewIDSet()
+	for id := range v.PD {
+		r.Add(id)
+	}
+	return r
+}
+
+// ReceivedGraph returns the digraph on the received processes, with edges
+// given by their PDs restricted to received targets. S1 candidates always
+// live inside a single SCC of this graph.
+func (v *View) ReceivedGraph() *graph.Digraph {
+	g := graph.New()
+	for id := range v.PD {
+		g.AddNode(id)
+	}
+	for id, pd := range v.PD {
+		for tgt := range pd {
+			if _, ok := v.PD[tgt]; ok {
+				g.AddEdge(id, tgt)
+			}
+		}
+	}
+	return g
+}
+
+// OutTargets returns the set of processes outside s1 that members of s1
+// point at (the target-counted quantity of P3).
+func (v *View) OutTargets(s1 model.IDSet) model.IDSet {
+	t := model.NewIDSet()
+	for id := range s1 {
+		for tgt := range v.PD[id] {
+			if tgt != id && !s1.Has(tgt) {
+				t.Add(tgt)
+			}
+		}
+	}
+	return t
+}
+
+// SourceCount returns |{i ∈ s1 : j ∈ PDᵢ}| (the source-counted quantity of
+// P4).
+func (v *View) SourceCount(s1 model.IDSet, j model.ID) int {
+	n := 0
+	for id := range s1 {
+		if v.PD[id].Has(j) {
+			n++
+		}
+	}
+	return n
+}
+
+// DeriveS2 returns {j ∈ Known∖s1 : SourceCount(s1, j) > g} — the unique S2
+// compatible with P4 for the given S1 and g.
+func (v *View) DeriveS2(s1 model.IDSet, g int) model.IDSet {
+	s2 := model.NewIDSet()
+	for j := range v.OutTargets(s1) {
+		if v.Known.Has(j) && v.SourceCount(s1, j) > g {
+			s2.Add(j)
+		}
+	}
+	return s2
+}
+
+// kappaAtLeast reports whether κ of the subgraph induced by s1 (using the
+// received PDs) is at least k. Singletons have infinite connectivity by
+// convention.
+func (v *View) kappaAtLeast(s1 model.IDSet, k int) bool {
+	if s1.Len() <= 1 {
+		return true
+	}
+	return v.ReceivedGraph().Induced(s1).IsKStronglyConnected(k)
+}
+
+// IsSink implements isSinkGdi(g, S1, S2) — the predicate of Theorem 3:
+//
+//	P1: |S1| ≥ 2g+1;
+//	P2: κ(G[S1]) ≥ g+1 (PDs of all S1 members must have been received);
+//	P3: at most g distinct processes outside S1 are pointed at by S1;
+//	P4: S2 = {j ∈ Known∖S1 : more than g members of S1 point at j}.
+func (v *View) IsSink(g int, s1, s2 model.IDSet) bool {
+	if g < 0 || s1.Len() < 2*g+1 {
+		return false
+	}
+	// All of S1 must be received (P2 is uncomputable otherwise).
+	for id := range s1 {
+		if _, ok := v.PD[id]; !ok {
+			return false
+		}
+	}
+	if t := v.OutTargets(s1); t.Len() > g {
+		return false
+	}
+	if !v.DeriveS2(s1, g).Equal(s2) {
+		return false
+	}
+	return v.kappaAtLeast(s1, g+1)
+}

@@ -1,0 +1,286 @@
+// Package live drives the same protocol reactors as package sim, but with
+// real goroutines, channels and wall-clock timers: one goroutine per process,
+// an unbounded mailbox per process (so no send can deadlock the system), and
+// an in-memory network with optional artificial latency. Examples use it to
+// run the full BFT-CUP / BFT-CUPFT stack as a genuinely concurrent system;
+// its tests run under the race detector.
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/sim"
+)
+
+// envelope is one mailbox item: either a message or a timer firing.
+type envelope struct {
+	isTimer bool
+	tag     uint64
+	from    model.ID
+	payload []byte
+}
+
+// mailbox is an unbounded MPSC queue. Unboundedness matters: bounded inboxes
+// deadlock when two nodes block sending to each other.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(e envelope) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.queue = append(m.queue, e)
+	m.cond.Signal()
+}
+
+func (m *mailbox) pop() (envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return envelope{}, false
+	}
+	e := m.queue[0]
+	m.queue = m.queue[1:]
+	return e, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// Network is an in-memory live network of reactors.
+type Network struct {
+	mu      sync.Mutex
+	nodes   map[model.ID]*node
+	latency func(from, to model.ID) time.Duration
+	started bool
+	stopped bool
+	start   time.Time
+	wg      sync.WaitGroup
+
+	messages atomic.Int64
+	bytes    atomic.Int64
+}
+
+type node struct {
+	id      model.ID
+	reactor sim.Reactor
+	box     *mailbox
+	net     *Network
+	rng     *rand.Rand
+
+	timerMu sync.Mutex
+	timers  []*timerRef
+	dead    bool
+}
+
+// timerRef pairs a timer with a fired flag so compaction can drop completed
+// timers without racing their callbacks.
+type timerRef struct {
+	t    *time.Timer
+	done atomic.Bool
+}
+
+// NewNetwork creates a live network. latency may be nil (immediate delivery)
+// or return an artificial per-link delay.
+func NewNetwork(latency func(from, to model.ID) time.Duration) *Network {
+	return &Network{nodes: make(map[model.ID]*node), latency: latency}
+}
+
+// AddNode registers a reactor. Must be called before Start.
+func (n *Network) AddNode(id model.ID, r sim.Reactor) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return fmt.Errorf("live: AddNode(%v) after Start", id)
+	}
+	if _, dup := n.nodes[id]; dup {
+		return fmt.Errorf("live: duplicate node %v", id)
+	}
+	n.nodes[id] = &node{
+		id:      id,
+		reactor: r,
+		box:     newMailbox(),
+		net:     n,
+		rng:     rand.New(rand.NewSource(int64(id))),
+	}
+	return nil
+}
+
+// Start launches one goroutine per node and calls Init on each reactor from
+// its own goroutine.
+func (n *Network) Start() {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	n.start = time.Now()
+	nodes := make([]*node, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		nodes = append(nodes, nd)
+	}
+	n.mu.Unlock()
+	for _, nd := range nodes {
+		nd := nd
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			nd.loop()
+		}()
+	}
+}
+
+// Stop shuts every node down and waits for all goroutines to exit. Safe to
+// call more than once.
+func (n *Network) Stop() {
+	n.mu.Lock()
+	if !n.started || n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	nodes := make([]*node, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		nodes = append(nodes, nd)
+	}
+	n.mu.Unlock()
+	for _, nd := range nodes {
+		nd.shutdown()
+	}
+	n.wg.Wait()
+}
+
+// Messages returns the number of messages sent so far.
+func (n *Network) Messages() int64 { return n.messages.Load() }
+
+// Bytes returns the number of payload bytes sent so far.
+func (n *Network) Bytes() int64 { return n.bytes.Load() }
+
+func (n *Network) deliver(from, to model.ID, payload []byte) {
+	n.mu.Lock()
+	tgt, ok := n.nodes[to]
+	stopped := n.stopped
+	n.mu.Unlock()
+	if !ok || stopped {
+		return
+	}
+	n.messages.Add(1)
+	n.bytes.Add(int64(len(payload)))
+	body := make([]byte, len(payload))
+	copy(body, payload)
+	e := envelope{from: from, payload: body}
+	if n.latency != nil {
+		if d := n.latency(from, to); d > 0 {
+			ref := &timerRef{}
+			ref.t = time.AfterFunc(d, func() {
+				ref.done.Store(true)
+				tgt.box.push(e)
+			})
+			tgt.trackTimer(ref)
+			return
+		}
+	}
+	tgt.box.push(e)
+}
+
+func (nd *node) loop() {
+	ctx := &liveCtx{node: nd}
+	nd.reactor.Init(ctx)
+	for {
+		e, ok := nd.box.pop()
+		if !ok {
+			return
+		}
+		if e.isTimer {
+			nd.reactor.Timer(ctx, e.tag)
+		} else {
+			nd.reactor.Receive(ctx, e.from, e.payload)
+		}
+	}
+}
+
+func (nd *node) shutdown() {
+	nd.timerMu.Lock()
+	nd.dead = true
+	for _, r := range nd.timers {
+		r.t.Stop()
+	}
+	nd.timers = nil
+	nd.timerMu.Unlock()
+	nd.box.close()
+}
+
+func (nd *node) trackTimer(ref *timerRef) {
+	nd.timerMu.Lock()
+	defer nd.timerMu.Unlock()
+	if nd.dead {
+		ref.t.Stop()
+		return
+	}
+	nd.timers = append(nd.timers, ref)
+	// Compact occasionally so long runs do not accumulate fired timers.
+	if len(nd.timers) > 1024 {
+		live := nd.timers[:0]
+		for _, r := range nd.timers {
+			if !r.done.Load() {
+				live = append(live, r)
+			}
+		}
+		nd.timers = live
+	}
+}
+
+// liveCtx implements sim.Context on top of the live network.
+type liveCtx struct {
+	node *node
+}
+
+func (c *liveCtx) ID() model.ID { return c.node.id }
+
+func (c *liveCtx) Now() sim.Time {
+	return sim.Time(time.Since(c.node.net.start))
+}
+
+func (c *liveCtx) Rand() *rand.Rand { return c.node.rng }
+
+func (c *liveCtx) Send(to model.ID, payload []byte) {
+	if to == c.node.id {
+		return
+	}
+	c.node.net.deliver(c.node.id, to, payload)
+}
+
+func (c *liveCtx) SetTimer(d sim.Time, tag uint64) {
+	nd := c.node
+	ref := &timerRef{}
+	ref.t = time.AfterFunc(time.Duration(d), func() {
+		ref.done.Store(true)
+		nd.box.push(envelope{isTimer: true, tag: tag})
+	})
+	nd.trackTimer(ref)
+}

@@ -1,0 +1,211 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bftcup/bftcup/internal/core"
+	"github.com/bftcup/bftcup/internal/cryptox"
+	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/sim"
+)
+
+// The full BFT-CUP stack running on real goroutines: Fig 1b with a silent
+// Byzantine member (simply not added to the network). Run with -race.
+func TestLiveBFTCUPFig1b(t *testing.T) {
+	fig := graph.Fig1b()
+	ids := fig.G.Nodes()
+	signers, reg, err := cryptox.GenerateKeys(1, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := NewNetwork(nil)
+	defer nw.Stop()
+
+	var mu sync.Mutex
+	decisions := make(map[model.ID]model.Value)
+	done := make(chan struct{}, len(ids))
+
+	correct := fig.G.NodeSet().Diff(fig.Byz)
+	for _, id := range correct.Sorted() {
+		id := id
+		cfg := core.Config{
+			Mode:     core.ModeKnownF,
+			F:        fig.F,
+			PD:       fig.G.OutSet(id).Clone(),
+			Proposal: model.Value(fmt.Sprintf("v%d", id)),
+			// Tight periods keep the wall-clock test fast.
+			PBFTTimeout: sim.Time(50 * time.Millisecond),
+			PollPeriod:  sim.Time(10 * time.Millisecond),
+		}
+		cfg.Discovery.Period = sim.Time(5 * time.Millisecond)
+		n := core.NewNode(signers[id], reg, cfg, func(v model.Value) {
+			mu.Lock()
+			decisions[id] = v
+			mu.Unlock()
+			done <- struct{}{}
+		})
+		if err := nw.AddNode(id, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Start()
+
+	deadline := time.After(20 * time.Second)
+	for i := 0; i < correct.Len(); i++ {
+		select {
+		case <-done:
+		case <-deadline:
+			mu.Lock()
+			defer mu.Unlock()
+			t.Fatalf("timeout: %d/%d decided: %v", len(decisions), correct.Len(), decisions)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var val model.Value
+	first := true
+	for id, v := range decisions {
+		if first {
+			val, first = v, false
+		} else if !val.Equal(v) {
+			t.Fatalf("agreement violated live: %v decided %q, others %q", id, v, val)
+		}
+	}
+	if nw.Messages() == 0 || nw.Bytes() == 0 {
+		t.Fatal("metrics not recorded")
+	}
+}
+
+// Artificial latency paths are exercised (and race-checked) too.
+func TestLiveWithLatency(t *testing.T) {
+	fig := graph.Fig4a()
+	ids := fig.G.Nodes()
+	signers, reg, err := cryptox.GenerateKeys(2, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latency := func(from, to model.ID) time.Duration { return time.Millisecond }
+	nw := NewNetwork(latency)
+	defer nw.Stop()
+
+	var mu sync.Mutex
+	decisions := make(map[model.ID]model.Value)
+	done := make(chan struct{}, len(ids))
+	correct := fig.G.NodeSet().Diff(fig.Byz)
+	for _, id := range correct.Sorted() {
+		id := id
+		cfg := core.Config{
+			Mode:        core.ModeUnknownF,
+			PD:          fig.G.OutSet(id).Clone(),
+			Proposal:    model.Value(fmt.Sprintf("v%d", id)),
+			PBFTTimeout: sim.Time(100 * time.Millisecond),
+			PollPeriod:  sim.Time(10 * time.Millisecond),
+		}
+		cfg.Discovery.Period = sim.Time(5 * time.Millisecond)
+		n := core.NewNode(signers[id], reg, cfg, func(v model.Value) {
+			mu.Lock()
+			decisions[id] = v
+			mu.Unlock()
+			done <- struct{}{}
+		})
+		if err := nw.AddNode(id, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Start()
+	deadline := time.After(20 * time.Second)
+	for i := 0; i < correct.Len(); i++ {
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatalf("timeout with latency: %d/%d decided", len(decisions), correct.Len())
+		}
+	}
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	nw := NewNetwork(nil)
+	defer nw.Stop()
+	if err := nw.AddNode(1, noopReactor{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddNode(1, noopReactor{}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	nw.Start()
+	if err := nw.AddNode(2, noopReactor{}); err == nil {
+		t.Fatal("AddNode after Start accepted")
+	}
+}
+
+func TestStopIsIdempotentAndJoins(t *testing.T) {
+	nw := NewNetwork(nil)
+	_ = nw.AddNode(1, pingReactor{peer: 2})
+	_ = nw.AddNode(2, pingReactor{peer: 1})
+	nw.Start()
+	time.Sleep(20 * time.Millisecond)
+	nw.Stop()
+	nw.Stop()
+	// After Stop, sends are dropped without panic.
+	nw.deliver(1, 2, []byte("late"))
+}
+
+type noopReactor struct{}
+
+func (noopReactor) Init(sim.Context)                      {}
+func (noopReactor) Receive(sim.Context, model.ID, []byte) {}
+func (noopReactor) Timer(sim.Context, uint64)             {}
+
+// pingReactor generates continuous traffic and timers to stress Stop.
+type pingReactor struct{ peer model.ID }
+
+func (p pingReactor) Init(ctx sim.Context) {
+	ctx.Send(p.peer, []byte("ping"))
+	ctx.SetTimer(sim.Time(time.Millisecond), 1)
+}
+func (p pingReactor) Receive(ctx sim.Context, from model.ID, _ []byte) {
+	ctx.Send(from, []byte("ping"))
+}
+func (p pingReactor) Timer(ctx sim.Context, tag uint64) {
+	ctx.Send(p.peer, []byte("tick"))
+	ctx.SetTimer(sim.Time(time.Millisecond), tag)
+}
+
+func TestMailbox(t *testing.T) {
+	m := newMailbox()
+	const n = 100
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.push(envelope{tag: uint64(i)})
+		}(i)
+	}
+	got := 0
+	donePop := make(chan struct{})
+	go func() {
+		defer close(donePop)
+		for got < n {
+			if _, ok := m.pop(); !ok {
+				return
+			}
+			got++
+		}
+	}()
+	wg.Wait()
+	select {
+	case <-donePop:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("mailbox stalled: got %d of %d", got, n)
+	}
+	m.close()
+	if _, ok := m.pop(); ok {
+		t.Fatal("pop after close on empty queue should report closed")
+	}
+	m.push(envelope{}) // push after close is a no-op
+}

@@ -1,0 +1,187 @@
+// Package model defines the basic vocabulary shared by every layer of the
+// BFT-CUP / BFT-CUPFT stack: process identifiers, proposal values, and an
+// ordered set of identifiers with deterministic iteration.
+//
+// Determinism matters: the discrete-event simulator must produce identical
+// traces for identical seeds, so nothing in this package ever iterates over a
+// Go map when order can be observed.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID identifies a process. IDs are unique, not necessarily consecutive, and
+// Sybil-proof by assumption (Section II-A of the paper): a faulty process
+// cannot obtain additional IDs.
+type ID uint64
+
+// NilID is the zero ID, never used by a real process.
+const NilID ID = 0
+
+// String implements fmt.Stringer.
+func (id ID) String() string { return fmt.Sprintf("p%d", uint64(id)) }
+
+// Value is a consensus proposal. Values are opaque bytes; consensus compares
+// them only for equality (via Equal or digests).
+type Value []byte
+
+// Equal reports whether two values are byte-wise equal.
+func (v Value) Equal(o Value) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	if v == nil {
+		return "⊥"
+	}
+	return string(v)
+}
+
+// IDSet is a set of process identifiers. The zero value is an empty set ready
+// to use for reads; use Add (or NewIDSet) before writing.
+type IDSet map[ID]struct{}
+
+// NewIDSet returns a set containing the given IDs.
+func NewIDSet(ids ...ID) IDSet {
+	s := make(IDSet, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts id and reports whether it was absent.
+func (s IDSet) Add(id ID) bool {
+	if _, ok := s[id]; ok {
+		return false
+	}
+	s[id] = struct{}{}
+	return true
+}
+
+// AddAll inserts every id in other and reports whether anything was added.
+func (s IDSet) AddAll(other IDSet) bool {
+	added := false
+	for id := range other {
+		if s.Add(id) {
+			added = true
+		}
+	}
+	return added
+}
+
+// Remove deletes id from the set.
+func (s IDSet) Remove(id ID) { delete(s, id) }
+
+// Has reports membership.
+func (s IDSet) Has(id ID) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// Len returns the cardinality.
+func (s IDSet) Len() int { return len(s) }
+
+// Clone returns an independent copy.
+func (s IDSet) Clone() IDSet {
+	c := make(IDSet, len(s))
+	for id := range s {
+		c[id] = struct{}{}
+	}
+	return c
+}
+
+// Sorted returns the members in ascending order. This is the only sanctioned
+// way to iterate a set where ordering is observable.
+func (s IDSet) Sorted() []ID {
+	out := make([]ID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Union returns a new set with the members of both sets.
+func (s IDSet) Union(other IDSet) IDSet {
+	c := s.Clone()
+	c.AddAll(other)
+	return c
+}
+
+// Intersect returns a new set with the members common to both sets.
+func (s IDSet) Intersect(other IDSet) IDSet {
+	c := NewIDSet()
+	for id := range s {
+		if other.Has(id) {
+			c.Add(id)
+		}
+	}
+	return c
+}
+
+// Diff returns a new set with the members of s not in other.
+func (s IDSet) Diff(other IDSet) IDSet {
+	c := NewIDSet()
+	for id := range s {
+		if !other.Has(id) {
+			c.Add(id)
+		}
+	}
+	return c
+}
+
+// SubsetOf reports whether every member of s is in other.
+func (s IDSet) SubsetOf(other IDSet) bool {
+	for id := range s {
+		if !other.Has(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// ProperSubsetOf reports whether s ⊂ other.
+func (s IDSet) ProperSubsetOf(other IDSet) bool {
+	return len(s) < len(other) && s.SubsetOf(other)
+}
+
+// Equal reports whether the two sets have the same members.
+func (s IDSet) Equal(other IDSet) bool {
+	return len(s) == len(other) && s.SubsetOf(other)
+}
+
+// String renders the set as {p1, p2, ...} in ascending order.
+func (s IDSet) String() string {
+	ids := s.Sorted()
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = id.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Key returns a canonical string usable as a map key for memoization.
+func (s IDSet) Key() string {
+	ids := s.Sorted()
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", uint64(id))
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package model
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIDSetBasics(t *testing.T) {
+	s := NewIDSet(3, 1, 2)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if !s.Has(1) || !s.Has(2) || !s.Has(3) || s.Has(4) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	if s.Add(1) {
+		t.Fatal("Add of existing member reported true")
+	}
+	if !s.Add(4) {
+		t.Fatal("Add of new member reported false")
+	}
+	s.Remove(2)
+	if s.Has(2) {
+		t.Fatal("Remove did not delete")
+	}
+	got := s.Sorted()
+	want := []ID{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Sorted = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIDSetZeroValueReads(t *testing.T) {
+	var s IDSet
+	if s.Has(1) || s.Len() != 0 {
+		t.Fatal("zero-value set should read as empty")
+	}
+	if got := s.Sorted(); len(got) != 0 {
+		t.Fatalf("Sorted on empty = %v", got)
+	}
+}
+
+func TestIDSetAlgebra(t *testing.T) {
+	a := NewIDSet(1, 2, 3)
+	b := NewIDSet(3, 4)
+	if u := a.Union(b); !u.Equal(NewIDSet(1, 2, 3, 4)) {
+		t.Fatalf("Union = %v", u)
+	}
+	if i := a.Intersect(b); !i.Equal(NewIDSet(3)) {
+		t.Fatalf("Intersect = %v", i)
+	}
+	if d := a.Diff(b); !d.Equal(NewIDSet(1, 2)) {
+		t.Fatalf("Diff = %v", d)
+	}
+	if !NewIDSet(1, 2).ProperSubsetOf(a) {
+		t.Fatal("ProperSubsetOf false negative")
+	}
+	if a.ProperSubsetOf(a) {
+		t.Fatal("a ⊂ a should be false")
+	}
+	if !a.SubsetOf(a) {
+		t.Fatal("a ⊆ a should be true")
+	}
+}
+
+func TestIDSetCloneIndependence(t *testing.T) {
+	a := NewIDSet(1, 2)
+	c := a.Clone()
+	c.Add(3)
+	if a.Has(3) {
+		t.Fatal("Clone is not independent")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{nil, nil, true},
+		{Value(""), nil, true},
+		{Value("x"), Value("x"), true},
+		{Value("x"), Value("y"), false},
+		{Value("x"), Value("xx"), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if Value(nil).String() != "⊥" {
+		t.Fatal("nil value should render as ⊥")
+	}
+	if Value("v").String() != "v" {
+		t.Fatal("value string mismatch")
+	}
+}
+
+// Property: union is commutative and contains both operands; diff and
+// intersect partition the left operand.
+func TestIDSetProperties(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := NewIDSet(), NewIDSet()
+		for _, x := range xs {
+			a.Add(ID(x))
+		}
+		for _, y := range ys {
+			b.Add(ID(y))
+		}
+		u1, u2 := a.Union(b), b.Union(a)
+		if !u1.Equal(u2) || !a.SubsetOf(u1) || !b.SubsetOf(u1) {
+			return false
+		}
+		inter, diff := a.Intersect(b), a.Diff(b)
+		if inter.Len()+diff.Len() != a.Len() {
+			return false
+		}
+		return inter.Union(diff).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Sorted returns ascending, duplicate-free output matching Len.
+func TestIDSetSortedProperty(t *testing.T) {
+	f := func(xs []uint16) bool {
+		s := NewIDSet()
+		for _, x := range xs {
+			s.Add(ID(x))
+		}
+		got := s.Sorted()
+		if len(got) != s.Len() {
+			return false
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] == got[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDSetKeyCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(10)
+		ids := make([]ID, n)
+		for i := range ids {
+			ids[i] = ID(rng.Intn(100))
+		}
+		a := NewIDSet(ids...)
+		// Insert in a different order.
+		b := NewIDSet()
+		for i := len(ids) - 1; i >= 0; i-- {
+			b.Add(ids[i])
+		}
+		if a.Key() != b.Key() {
+			t.Fatalf("Key not canonical: %q vs %q", a.Key(), b.Key())
+		}
+	}
+	if NewIDSet(1, 2).Key() == NewIDSet(1, 3).Key() {
+		t.Fatal("distinct sets share a key")
+	}
+}

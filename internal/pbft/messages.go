@@ -1,0 +1,332 @@
+// Package pbft implements the committee consensus the paper delegates to
+// "a traditional consensus protocol, e.g., PBFT [22]": a signed, single-shot
+// PBFT with view changes, generalized to the quorum size ⌈(n+f+1)/2⌉ that
+// [11] proves necessary for sink committees (n = 3f+1 recovers the classic
+// 2f+1). Instances are slot-addressed so multi-decision chains can be built
+// on top (see examples/committee).
+package pbft
+
+import (
+	"crypto/sha256"
+
+	"github.com/bftcup/bftcup/internal/cryptox"
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/wire"
+)
+
+// Digest is the SHA-256 digest of a proposal value.
+type Digest [32]byte
+
+// DigestOf hashes a value.
+func DigestOf(v model.Value) Digest { return sha256.Sum256(v) }
+
+// Signing domains (domain separation inside the 'B' namespace).
+const (
+	domPrePrepare byte = 1
+	domPrepare    byte = 2
+	domCommit     byte = 3
+	domViewChange byte = 4
+	domNewView    byte = 5
+)
+
+func canon(dom byte, slot, view uint64, d Digest) []byte {
+	w := wire.NewWriter()
+	w.Byte('B')
+	w.Byte(dom)
+	w.Uvarint(slot)
+	w.Uvarint(view)
+	w.BytesField(d[:])
+	return w.Bytes()
+}
+
+// sigEntry is one (signer, signature) pair inside a certificate.
+type sigEntry struct {
+	ID  model.ID
+	Sig []byte
+}
+
+func marshalSigs(w *wire.Writer, sigs []sigEntry) {
+	w.Uvarint(uint64(len(sigs)))
+	for _, s := range sigs {
+		w.ID(s.ID)
+		w.BytesField(s.Sig)
+	}
+}
+
+func unmarshalSigs(r *wire.Reader) []sigEntry {
+	n := r.Uvarint()
+	if r.Err() != nil || n > 4096 {
+		return nil
+	}
+	out := make([]sigEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, sigEntry{ID: r.ID(), Sig: r.BytesField()})
+	}
+	return out
+}
+
+// PreparedCert proves that a quorum endorsed Value at View: it carries ≥ Q
+// prepare signatures from distinct committee members. It is what a view
+// change carries forward so no decided value can be lost.
+type PreparedCert struct {
+	View  uint64
+	Value model.Value
+	Sigs  []sigEntry
+}
+
+// validCert checks a prepared certificate against a committee and quorum.
+func (c *PreparedCert) valid(slot uint64, committee model.IDSet, quorum int, v cryptox.Verifier) bool {
+	if c == nil || len(c.Sigs) < quorum {
+		return false
+	}
+	d := DigestOf(c.Value)
+	msg := canon(domPrepare, slot, c.View, d)
+	seen := model.NewIDSet()
+	for _, s := range c.Sigs {
+		if !committee.Has(s.ID) || !seen.Add(s.ID) {
+			return false
+		}
+		if !v.Verify(s.ID, msg, s.Sig) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *PreparedCert) marshal(w *wire.Writer) {
+	if c == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.Uvarint(c.View)
+	w.BytesField(c.Value)
+	marshalSigs(w, c.Sigs)
+}
+
+func unmarshalCert(r *wire.Reader) *PreparedCert {
+	if !r.Bool() {
+		return nil
+	}
+	c := &PreparedCert{View: r.Uvarint(), Value: r.BytesField()}
+	c.Sigs = unmarshalSigs(r)
+	return c
+}
+
+// CommitCert proves a decision: ≥ Q commit signatures over (slot, view,
+// digest). Broadcast in a DecideNote so laggards decide without re-running
+// the protocol.
+type CommitCert struct {
+	View  uint64
+	Value model.Value
+	Sigs  []sigEntry
+}
+
+func (c *CommitCert) valid(slot uint64, committee model.IDSet, quorum int, v cryptox.Verifier) bool {
+	if c == nil || len(c.Sigs) < quorum {
+		return false
+	}
+	d := DigestOf(c.Value)
+	msg := canon(domCommit, slot, c.View, d)
+	seen := model.NewIDSet()
+	for _, s := range c.Sigs {
+		if !committee.Has(s.ID) || !seen.Add(s.ID) {
+			return false
+		}
+		if !v.Verify(s.ID, msg, s.Sig) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- wire formats -----------------------------------------------------------
+
+// prePrepareMsg: leader's proposal for a view.
+type prePrepareMsg struct {
+	Slot  uint64
+	View  uint64
+	Value model.Value
+	Sig   []byte // leader's signature over canon(domPrePrepare, slot, view, digest)
+}
+
+func (m *prePrepareMsg) encode() []byte {
+	w := wire.NewWriter()
+	w.Byte(wire.KindPrePrepare)
+	w.Uvarint(m.Slot)
+	w.Uvarint(m.View)
+	w.BytesField(m.Value)
+	w.BytesField(m.Sig)
+	return w.Bytes()
+}
+
+func decodePrePrepare(b []byte) (*prePrepareMsg, bool) {
+	r := wire.NewReader(b[1:])
+	m := &prePrepareMsg{Slot: r.Uvarint(), View: r.Uvarint(), Value: r.BytesField(), Sig: r.BytesField()}
+	return m, r.Done() == nil
+}
+
+// voteMsg covers Prepare and Commit (same shape, different kind/domain).
+type voteMsg struct {
+	Kind   byte // wire.KindPrepare or wire.KindCommit
+	Slot   uint64
+	View   uint64
+	Digest Digest
+	Sig    []byte
+}
+
+func (m *voteMsg) encode() []byte {
+	w := wire.NewWriter()
+	w.Byte(m.Kind)
+	w.Uvarint(m.Slot)
+	w.Uvarint(m.View)
+	w.BytesField(m.Digest[:])
+	w.BytesField(m.Sig)
+	return w.Bytes()
+}
+
+func decodeVote(b []byte) (*voteMsg, bool) {
+	r := wire.NewReader(b[1:])
+	m := &voteMsg{Kind: b[0], Slot: r.Uvarint(), View: r.Uvarint()}
+	d := r.BytesField()
+	if len(d) != len(m.Digest) {
+		return nil, false
+	}
+	copy(m.Digest[:], d)
+	m.Sig = r.BytesField()
+	return m, r.Done() == nil
+}
+
+// viewChangeMsg asks to move to NewView, carrying the sender's highest
+// prepared certificate (nil if it never prepared).
+type viewChangeMsg struct {
+	Slot     uint64
+	NewView  uint64
+	Prepared *PreparedCert
+	Sig      []byte
+}
+
+func vcCanon(slot, newView uint64, prepared *PreparedCert) []byte {
+	w := wire.NewWriter()
+	w.Byte('B')
+	w.Byte(domViewChange)
+	w.Uvarint(slot)
+	w.Uvarint(newView)
+	prepared.marshal(w)
+	return w.Bytes()
+}
+
+func (m *viewChangeMsg) encode() []byte {
+	w := wire.NewWriter()
+	w.Byte(wire.KindViewChange)
+	w.Uvarint(m.Slot)
+	w.Uvarint(m.NewView)
+	m.Prepared.marshal(w)
+	w.BytesField(m.Sig)
+	return w.Bytes()
+}
+
+func decodeViewChange(b []byte) (*viewChangeMsg, bool) {
+	r := wire.NewReader(b[1:])
+	m := &viewChangeMsg{Slot: r.Uvarint(), NewView: r.Uvarint()}
+	m.Prepared = unmarshalCert(r)
+	m.Sig = r.BytesField()
+	return m, r.Done() == nil
+}
+
+// newViewMsg is the new leader's view installation: Q view changes plus the
+// value it (re-)proposes.
+type newViewMsg struct {
+	Slot   uint64
+	View   uint64
+	VCs    []viewChangeMsg
+	VCFrom []model.ID
+	Value  model.Value
+	Sig    []byte // leader's signature over canon(domNewView, slot, view, digest)
+}
+
+func (m *newViewMsg) encode() []byte {
+	w := wire.NewWriter()
+	w.Byte(wire.KindNewView)
+	w.Uvarint(m.Slot)
+	w.Uvarint(m.View)
+	w.Uvarint(uint64(len(m.VCs)))
+	for i := range m.VCs {
+		w.ID(m.VCFrom[i])
+		inner := m.VCs[i].encode()
+		w.BytesField(inner)
+	}
+	w.BytesField(m.Value)
+	w.BytesField(m.Sig)
+	return w.Bytes()
+}
+
+func decodeNewView(b []byte) (*newViewMsg, bool) {
+	r := wire.NewReader(b[1:])
+	m := &newViewMsg{Slot: r.Uvarint(), View: r.Uvarint()}
+	n := r.Uvarint()
+	if r.Err() != nil || n > 4096 {
+		return nil, false
+	}
+	for i := uint64(0); i < n; i++ {
+		m.VCFrom = append(m.VCFrom, r.ID())
+		inner := r.BytesField()
+		if r.Err() != nil || len(inner) == 0 || inner[0] != wire.KindViewChange {
+			return nil, false
+		}
+		vc, ok := decodeViewChange(inner)
+		if !ok {
+			return nil, false
+		}
+		m.VCs = append(m.VCs, *vc)
+	}
+	m.Value = r.BytesField()
+	m.Sig = r.BytesField()
+	return m, r.Done() == nil
+}
+
+// decideNoteMsg carries a commit certificate so that any member can adopt the
+// decision directly.
+type decideNoteMsg struct {
+	Slot uint64
+	Cert CommitCert
+}
+
+func (m *decideNoteMsg) encode() []byte {
+	w := wire.NewWriter()
+	w.Byte(wire.KindDecideNote)
+	w.Uvarint(m.Slot)
+	w.Uvarint(m.Cert.View)
+	w.BytesField(m.Cert.Value)
+	marshalSigs(w, m.Cert.Sigs)
+	return w.Bytes()
+}
+
+func decodeDecideNote(b []byte) (*decideNoteMsg, bool) {
+	r := wire.NewReader(b[1:])
+	m := &decideNoteMsg{Slot: r.Uvarint()}
+	m.Cert.View = r.Uvarint()
+	m.Cert.Value = r.BytesField()
+	m.Cert.Sigs = unmarshalSigs(r)
+	return m, r.Done() == nil
+}
+
+// PeekSlot extracts the slot from any PBFT payload so a multi-slot node can
+// route it; ok is false for non-PBFT payloads.
+func PeekSlot(payload []byte) (uint64, bool) {
+	if len(payload) < 2 {
+		return 0, false
+	}
+	switch payload[0] {
+	case wire.KindPrePrepare, wire.KindPrepare, wire.KindCommit,
+		wire.KindViewChange, wire.KindNewView, wire.KindDecideNote:
+		r := wire.NewReader(payload[1:])
+		s := r.Uvarint()
+		if r.Err() != nil {
+			return 0, false
+		}
+		return s, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,522 @@
+package pbft
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/bftcup/bftcup/internal/cryptox"
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/sim"
+	"github.com/bftcup/bftcup/internal/wire"
+)
+
+// TimerTagBase namespaces PBFT timers within a reactor; bits 32..39 carry
+// the slot and the low 32 bits carry the view.
+const TimerTagBase uint64 = 3 << 40
+
+// timerTag packs (slot, view) into a tag below the next namespace.
+func timerTag(slot, view uint64) uint64 {
+	return TimerTagBase | ((slot & 0xFF) << 32) | (view & 0xFFFFFFFF)
+}
+
+// SlotOfTag extracts the slot from a PBFT timer tag (ok=false for foreign
+// tags).
+func SlotOfTag(tag uint64) (uint64, bool) {
+	if tag < TimerTagBase || tag >= TimerTagBase+(1<<40) {
+		return 0, false
+	}
+	return (tag >> 32) & 0xFF, true
+}
+
+// maxTimeoutShift caps exponential timeout growth.
+const maxTimeoutShift = 20
+
+// Config describes one committee instance.
+type Config struct {
+	// Slot addresses the instance (0 for single-shot consensus).
+	Slot uint64
+	// Committee is the member set S returned by the Sink/Core algorithm.
+	Committee model.IDSet
+	// Quorum is ⌈(|S|+g+1)/2⌉; see Candidate.QuorumSize.
+	Quorum int
+	// F is the assumed fault bound g for this committee; f+1 distinct
+	// view-change senders guarantee at least one is correct (catch-up rule).
+	F int
+	// BaseTimeout is the view-0 view-change timeout; it doubles per view.
+	BaseTimeout sim.Time
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	n := c.Committee.Len()
+	if n == 0 {
+		return fmt.Errorf("pbft: empty committee")
+	}
+	if c.Quorum <= n/2 || c.Quorum > n {
+		return fmt.Errorf("pbft: quorum %d out of range for committee of %d", c.Quorum, n)
+	}
+	if c.F < 0 || c.F >= n {
+		return fmt.Errorf("pbft: fault bound %d out of range for committee of %d", c.F, n)
+	}
+	if c.BaseTimeout <= 0 {
+		return fmt.Errorf("pbft: non-positive timeout")
+	}
+	return nil
+}
+
+// Instance is one slot of committee consensus for one process. It is not
+// safe for concurrent use; the reactor that owns it serializes all calls.
+type Instance struct {
+	self     model.ID
+	signer   cryptox.Signer
+	verifier cryptox.Verifier
+	cfg      Config
+	members  []model.ID // sorted
+
+	view     uint64
+	proposal model.Value            // own initial proposal
+	accepted map[uint64]model.Value // view → value accepted for that view (from pre-prepare/new-view)
+	sentPrep map[uint64]bool        // views in which we already sent Prepare
+	sentComm map[uint64]bool
+	prepares map[uint64]map[Digest]map[model.ID][]byte
+	commits  map[uint64]map[Digest]map[model.ID][]byte
+	vcs      map[uint64]map[model.ID]*viewChangeMsg
+	sentVC   map[uint64]bool
+	sentNV   map[uint64]bool
+	prepared *PreparedCert
+
+	decided  bool
+	decision model.Value
+	onDecide func(model.Value)
+	started  bool
+}
+
+// New creates an instance. onDecide fires exactly once; it may be nil.
+func New(signer cryptox.Signer, verifier cryptox.Verifier, cfg Config, proposal model.Value, onDecide func(model.Value)) (*Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Committee.Has(signer.ID()) {
+		return nil, fmt.Errorf("pbft: %v is not in committee %v", signer.ID(), cfg.Committee)
+	}
+	return &Instance{
+		self:     signer.ID(),
+		signer:   signer,
+		verifier: verifier,
+		cfg:      cfg,
+		members:  cfg.Committee.Sorted(),
+		proposal: proposal,
+		accepted: make(map[uint64]model.Value),
+		sentPrep: make(map[uint64]bool),
+		sentComm: make(map[uint64]bool),
+		prepares: make(map[uint64]map[Digest]map[model.ID][]byte),
+		commits:  make(map[uint64]map[Digest]map[model.ID][]byte),
+		vcs:      make(map[uint64]map[model.ID]*viewChangeMsg),
+		sentVC:   make(map[uint64]bool),
+		sentNV:   make(map[uint64]bool),
+		onDecide: onDecide,
+	}, nil
+}
+
+// Decided returns the decision, if reached.
+func (i *Instance) Decided() (model.Value, bool) { return i.decision, i.decided }
+
+// View returns the current view (for tests and metrics).
+func (i *Instance) View() uint64 { return i.view }
+
+// Leader returns the leader of a view: round-robin over the sorted committee.
+func (i *Instance) Leader(view uint64) model.ID {
+	return i.members[int(view%uint64(len(i.members)))]
+}
+
+// Start begins the protocol: the view-0 leader proposes its own value.
+func (i *Instance) Start(ctx sim.Context) {
+	if i.started {
+		return
+	}
+	i.started = true
+	if i.Leader(0) == i.self {
+		i.propose(ctx, 0, i.proposal)
+	}
+	i.armTimer(ctx)
+}
+
+func (i *Instance) propose(ctx sim.Context, view uint64, value model.Value) {
+	d := DigestOf(value)
+	msg := &prePrepareMsg{Slot: i.cfg.Slot, View: view, Value: value,
+		Sig: i.signer.Sign(canon(domPrePrepare, i.cfg.Slot, view, d))}
+	i.broadcast(ctx, msg.encode())
+	// The leader accepts its own proposal and prepares it.
+	i.acceptProposal(ctx, view, value)
+}
+
+func (i *Instance) broadcast(ctx sim.Context, payload []byte) {
+	for _, m := range i.members {
+		if m != i.self {
+			ctx.Send(m, payload)
+		}
+	}
+}
+
+func (i *Instance) armTimer(ctx sim.Context) {
+	shift := i.view
+	if shift > maxTimeoutShift {
+		shift = maxTimeoutShift
+	}
+	ctx.SetTimer(i.cfg.BaseTimeout<<shift, timerTag(i.cfg.Slot, i.view))
+}
+
+// HandleTimer processes a view timer; it reports whether the tag was ours.
+func (i *Instance) HandleTimer(ctx sim.Context, tag uint64) bool {
+	slot, ok := SlotOfTag(tag)
+	if !ok {
+		return false
+	}
+	if slot != i.cfg.Slot&0xFF {
+		return false
+	}
+	view := tag & 0xFFFFFFFF
+	if view != i.view&0xFFFFFFFF || i.decided || !i.started {
+		return true // stale timer
+	}
+	i.startViewChange(ctx, i.view+1)
+	return true
+}
+
+func (i *Instance) startViewChange(ctx sim.Context, newView uint64) {
+	if newView <= i.view && i.sentVC[newView] {
+		return
+	}
+	if newView > i.view {
+		i.view = newView
+	}
+	if i.sentVC[i.view] {
+		return
+	}
+	i.sentVC[i.view] = true
+	vc := &viewChangeMsg{Slot: i.cfg.Slot, NewView: i.view, Prepared: i.prepared}
+	vc.Sig = i.signer.Sign(vcCanon(i.cfg.Slot, i.view, i.prepared))
+	i.broadcast(ctx, vc.encode())
+	// Record our own view change (the new leader might be us).
+	i.recordVC(ctx, i.self, vc)
+	i.armTimer(ctx)
+}
+
+// Handle processes a PBFT payload for this slot; it reports whether the
+// payload was consumed.
+func (i *Instance) Handle(ctx sim.Context, from model.ID, payload []byte) bool {
+	if len(payload) < 2 || i.decided || !i.started {
+		// Decided instances ignore everything (DecideNote already sent).
+		if len(payload) >= 1 {
+			switch payload[0] {
+			case wire.KindPrePrepare, wire.KindPrepare, wire.KindCommit,
+				wire.KindViewChange, wire.KindNewView, wire.KindDecideNote:
+				return true
+			}
+		}
+		return false
+	}
+	if !i.cfg.Committee.Has(from) {
+		switch payload[0] {
+		case wire.KindPrePrepare, wire.KindPrepare, wire.KindCommit,
+			wire.KindViewChange, wire.KindNewView, wire.KindDecideNote:
+			return true // PBFT traffic from non-members is dropped
+		}
+		return false
+	}
+	switch payload[0] {
+	case wire.KindPrePrepare:
+		if m, ok := decodePrePrepare(payload); ok && m.Slot == i.cfg.Slot {
+			i.onPrePrepare(ctx, from, m)
+		}
+		return true
+	case wire.KindPrepare, wire.KindCommit:
+		if m, ok := decodeVote(payload); ok && m.Slot == i.cfg.Slot {
+			i.onVote(ctx, from, m)
+		}
+		return true
+	case wire.KindViewChange:
+		if m, ok := decodeViewChange(payload); ok && m.Slot == i.cfg.Slot {
+			i.onViewChange(ctx, from, m)
+		}
+		return true
+	case wire.KindNewView:
+		if m, ok := decodeNewView(payload); ok && m.Slot == i.cfg.Slot {
+			i.onNewView(ctx, from, m)
+		}
+		return true
+	case wire.KindDecideNote:
+		if m, ok := decodeDecideNote(payload); ok && m.Slot == i.cfg.Slot {
+			i.onDecideNote(ctx, m)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (i *Instance) onPrePrepare(ctx sim.Context, from model.ID, m *prePrepareMsg) {
+	if m.View != i.view || from != i.Leader(m.View) {
+		return
+	}
+	d := DigestOf(m.Value)
+	if !i.verifier.Verify(from, canon(domPrePrepare, i.cfg.Slot, m.View, d), m.Sig) {
+		return
+	}
+	if _, have := i.accepted[m.View]; have {
+		return // first proposal wins; equivocation cannot gather two quorums
+	}
+	i.acceptProposal(ctx, m.View, m.Value)
+}
+
+// acceptProposal records the value bound to a view and broadcasts Prepare.
+func (i *Instance) acceptProposal(ctx sim.Context, view uint64, value model.Value) {
+	if _, have := i.accepted[view]; have {
+		return
+	}
+	i.accepted[view] = value
+	if i.sentPrep[view] {
+		return
+	}
+	i.sentPrep[view] = true
+	d := DigestOf(value)
+	sig := i.signer.Sign(canon(domPrepare, i.cfg.Slot, view, d))
+	vote := &voteMsg{Kind: wire.KindPrepare, Slot: i.cfg.Slot, View: view, Digest: d, Sig: sig}
+	i.broadcast(ctx, vote.encode())
+	i.recordVote(ctx, i.self, &voteMsg{Kind: wire.KindPrepare, Slot: i.cfg.Slot, View: view, Digest: d, Sig: sig})
+}
+
+func (i *Instance) onVote(ctx sim.Context, from model.ID, m *voteMsg) {
+	dom := domPrepare
+	if m.Kind == wire.KindCommit {
+		dom = domCommit
+	}
+	if !i.verifier.Verify(from, canon(dom, i.cfg.Slot, m.View, m.Digest), m.Sig) {
+		return
+	}
+	i.recordVote(ctx, from, m)
+}
+
+func (i *Instance) recordVote(ctx sim.Context, from model.ID, m *voteMsg) {
+	table := i.prepares
+	if m.Kind == wire.KindCommit {
+		table = i.commits
+	}
+	byDigest, ok := table[m.View]
+	if !ok {
+		byDigest = make(map[Digest]map[model.ID][]byte)
+		table[m.View] = byDigest
+	}
+	byID, ok := byDigest[m.Digest]
+	if !ok {
+		byID = make(map[model.ID][]byte)
+		byDigest[m.Digest] = byID
+	}
+	if _, dup := byID[from]; dup {
+		return
+	}
+	byID[from] = m.Sig
+	i.checkProgress(ctx, m.View, m.Digest)
+}
+
+// checkProgress fires the prepared → commit and committed → decide
+// transitions for the current view.
+func (i *Instance) checkProgress(ctx sim.Context, view uint64, d Digest) {
+	if view != i.view || i.decided {
+		return
+	}
+	value, haveValue := i.accepted[view]
+	if !haveValue || DigestOf(value) != d {
+		return
+	}
+	preps := i.prepares[view][d]
+	if len(preps) >= i.cfg.Quorum && !i.sentComm[view] {
+		i.sentComm[view] = true
+		// Build/refresh the prepared certificate carried by view changes.
+		cert := &PreparedCert{View: view, Value: value}
+		for _, id := range sortedIDs(preps) {
+			cert.Sigs = append(cert.Sigs, sigEntry{ID: id, Sig: preps[id]})
+		}
+		if i.prepared == nil || cert.View > i.prepared.View {
+			i.prepared = cert
+		}
+		sig := i.signer.Sign(canon(domCommit, i.cfg.Slot, view, d))
+		vote := &voteMsg{Kind: wire.KindCommit, Slot: i.cfg.Slot, View: view, Digest: d, Sig: sig}
+		i.broadcast(ctx, vote.encode())
+		i.recordVote(ctx, i.self, vote)
+		return
+	}
+	comms := i.commits[view][d]
+	if len(comms) >= i.cfg.Quorum && i.sentComm[view] {
+		cert := CommitCert{View: view, Value: value}
+		for _, id := range sortedIDs(comms) {
+			cert.Sigs = append(cert.Sigs, sigEntry{ID: id, Sig: comms[id]})
+		}
+		i.decide(ctx, value, &cert)
+	}
+}
+
+func sortedIDs[T any](m map[model.ID]T) []model.ID {
+	out := make([]model.ID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func (i *Instance) decide(ctx sim.Context, value model.Value, cert *CommitCert) {
+	if i.decided {
+		return
+	}
+	i.decided = true
+	i.decision = value
+	if cert != nil {
+		note := &decideNoteMsg{Slot: i.cfg.Slot, Cert: *cert}
+		i.broadcast(ctx, note.encode())
+	}
+	if i.onDecide != nil {
+		i.onDecide(value)
+	}
+}
+
+func (i *Instance) onViewChange(ctx sim.Context, from model.ID, m *viewChangeMsg) {
+	if !i.verifier.Verify(from, vcCanon(i.cfg.Slot, m.NewView, m.Prepared), m.Sig) {
+		return
+	}
+	if m.Prepared != nil && !m.Prepared.valid(i.cfg.Slot, i.cfg.Committee, i.cfg.Quorum, i.verifier) {
+		return
+	}
+	i.recordVC(ctx, from, m)
+}
+
+func (i *Instance) recordVC(ctx sim.Context, from model.ID, m *viewChangeMsg) {
+	byID, ok := i.vcs[m.NewView]
+	if !ok {
+		byID = make(map[model.ID]*viewChangeMsg)
+		i.vcs[m.NewView] = byID
+	}
+	if _, dup := byID[from]; dup {
+		return
+	}
+	byID[from] = m
+
+	// Catch-up: if f+1 distinct members (hence ≥ one correct) are past us,
+	// join the lowest such view — the classic PBFT liveness rule.
+	minHigher := uint64(0)
+	ahead := model.NewIDSet()
+	for v, set := range i.vcs {
+		if v > i.view {
+			for id := range set {
+				ahead.Add(id)
+			}
+			if minHigher == 0 || v < minHigher {
+				minHigher = v
+			}
+		}
+	}
+	if ahead.Len() >= i.cfg.F+1 && minHigher > i.view {
+		i.startViewChange(ctx, minHigher)
+	}
+
+	// New leader: install the view once a quorum of view changes arrives.
+	if len(i.vcs[m.NewView]) >= i.cfg.Quorum && i.Leader(m.NewView) == i.self &&
+		m.NewView >= i.view && !i.sentNV[m.NewView] {
+		i.sentNV[m.NewView] = true
+		i.view = m.NewView
+		value := i.chooseValue(m.NewView)
+		nv := &newViewMsg{Slot: i.cfg.Slot, View: m.NewView, Value: value}
+		for _, id := range sortedIDs(i.vcs[m.NewView]) {
+			nv.VCFrom = append(nv.VCFrom, id)
+			nv.VCs = append(nv.VCs, *i.vcs[m.NewView][id])
+		}
+		nv.Sig = i.signer.Sign(canon(domNewView, i.cfg.Slot, m.NewView, DigestOf(value)))
+		i.broadcast(ctx, nv.encode())
+		i.acceptProposal(ctx, m.NewView, value)
+		i.armTimer(ctx)
+	}
+}
+
+// chooseValue picks the value a new leader must propose: the value of the
+// highest-view prepared certificate among the quorum's view changes, or its
+// own proposal when none prepared.
+func (i *Instance) chooseValue(view uint64) model.Value {
+	var best *PreparedCert
+	for _, id := range sortedIDs(i.vcs[view]) {
+		if c := i.vcs[view][id].Prepared; c != nil {
+			if best == nil || c.View > best.View {
+				best = c
+			}
+		}
+	}
+	if best != nil {
+		return best.Value
+	}
+	return i.proposal
+}
+
+// validNewViewValue recomputes the leader's mandatory choice from the bundle.
+func validNewViewValue(bundle []viewChangeMsg, value model.Value) bool {
+	var best *PreparedCert
+	for idx := range bundle {
+		if c := bundle[idx].Prepared; c != nil {
+			if best == nil || c.View > best.View {
+				best = c
+			}
+		}
+	}
+	if best != nil {
+		return DigestOf(best.Value) == DigestOf(value)
+	}
+	return true // no prepared cert: the leader may propose anything
+}
+
+func (i *Instance) onNewView(ctx sim.Context, from model.ID, m *newViewMsg) {
+	if m.View < i.view || from != i.Leader(m.View) {
+		return
+	}
+	if !i.verifier.Verify(from, canon(domNewView, i.cfg.Slot, m.View, DigestOf(m.Value)), m.Sig) {
+		return
+	}
+	if len(m.VCs) < i.cfg.Quorum || len(m.VCs) != len(m.VCFrom) {
+		return
+	}
+	seen := model.NewIDSet()
+	for idx := range m.VCs {
+		vc := m.VCs[idx]
+		sender := m.VCFrom[idx]
+		if vc.NewView != m.View || !i.cfg.Committee.Has(sender) || !seen.Add(sender) {
+			return
+		}
+		if !i.verifier.Verify(sender, vcCanon(i.cfg.Slot, vc.NewView, vc.Prepared), vc.Sig) {
+			return
+		}
+		if vc.Prepared != nil && !vc.Prepared.valid(i.cfg.Slot, i.cfg.Committee, i.cfg.Quorum, i.verifier) {
+			return
+		}
+	}
+	if !validNewViewValue(m.VCs, m.Value) {
+		return
+	}
+	i.view = m.View
+	i.acceptProposal(ctx, m.View, m.Value)
+	i.armTimer(ctx)
+	// Votes for this view may have arrived before we installed it.
+	i.replayVotes(ctx, m.View)
+}
+
+// replayVotes re-evaluates quorum conditions after a late view installation.
+func (i *Instance) replayVotes(ctx sim.Context, view uint64) {
+	value, ok := i.accepted[view]
+	if !ok {
+		return
+	}
+	i.checkProgress(ctx, view, DigestOf(value))
+}
+
+func (i *Instance) onDecideNote(ctx sim.Context, m *decideNoteMsg) {
+	if !m.Cert.valid(i.cfg.Slot, i.cfg.Committee, i.cfg.Quorum, i.verifier) {
+		return
+	}
+	i.decide(ctx, m.Cert.Value, nil) // no re-broadcast: sender already notified all
+}

@@ -1,0 +1,220 @@
+package rrbcast
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/sim"
+	"github.com/bftcup/bftcup/internal/wire"
+)
+
+// rrbNode is a reactor running one rrbcast module and broadcasting its own
+// PD encoding at start (the unauthenticated-discovery workload).
+type rrbNode struct {
+	mod       *Module
+	broadcast []byte
+}
+
+func (n *rrbNode) Init(ctx sim.Context) {
+	if n.broadcast != nil {
+		n.mod.Broadcast(ctx, 0, n.broadcast)
+	}
+}
+func (n *rrbNode) Receive(ctx sim.Context, from model.ID, payload []byte) {
+	n.mod.Handle(ctx, from, payload)
+}
+func (n *rrbNode) Timer(sim.Context, uint64) {}
+
+func buildRRB(t *testing.T, g *graph.Digraph, f int, silent model.IDSet) (map[model.ID]*rrbNode, map[model.ID]model.IDSet, *sim.Engine) {
+	t.Helper()
+	engine := sim.NewEngine(sim.Synchronous{Delta: 5 * sim.Millisecond}, 1)
+	nodes := make(map[model.ID]*rrbNode)
+	delivered := make(map[model.ID]model.IDSet)
+	for _, id := range g.Nodes() {
+		id := id
+		delivered[id] = model.NewIDSet()
+		mod := New(id, g.OutSet(id).Clone(), f, func(origin model.ID, payload []byte) {
+			delivered[id].Add(origin)
+		})
+		n := &rrbNode{mod: mod, broadcast: []byte(fmt.Sprintf("pd-of-%d", id))}
+		nodes[id] = n
+		if err := engine.AddProcess(id, n); err != nil {
+			t.Fatal(err)
+		}
+		if silent.Has(id) {
+			engine.Crash(id)
+		}
+	}
+	return nodes, delivered, engine
+}
+
+func TestDirectDeliveryF0(t *testing.T) {
+	g := graph.New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	_, delivered, engine := buildRRB(t, g, 0, model.NewIDSet())
+	engine.Run(sim.Second)
+	if !delivered[2].Has(1) {
+		t.Fatal("2 should deliver 1's broadcast directly (f=0)")
+	}
+	if !delivered[3].Has(1) {
+		t.Fatal("3 should deliver 1's broadcast via forwarding (f=0)")
+	}
+	if delivered[1].Has(2) {
+		t.Fatal("1 has no incoming knowledge path from 2... 2 does not know 1")
+	}
+}
+
+func TestF1NeedsTwoDisjointPaths(t *testing.T) {
+	// Diamond 1→{2,3}→4 gives two disjoint paths 1⇒4; a single chain does not.
+	diamond := graph.New()
+	diamond.AddEdge(1, 2)
+	diamond.AddEdge(1, 3)
+	diamond.AddEdge(2, 4)
+	diamond.AddEdge(3, 4)
+	_, delivered, engine := buildRRB(t, diamond, 1, model.NewIDSet())
+	engine.Run(sim.Second)
+	if !delivered[4].Has(1) {
+		t.Fatal("4 should deliver over two disjoint paths with f=1")
+	}
+
+	chain := graph.New()
+	chain.AddEdge(1, 2)
+	chain.AddEdge(2, 4)
+	_, delivered2, engine2 := buildRRB(t, chain, 1, model.NewIDSet())
+	engine2.Run(sim.Second)
+	if delivered2[4].Has(1) {
+		t.Fatal("4 must NOT deliver over a single path with f=1")
+	}
+}
+
+// A Byzantine forwarder that alters content cannot get the forgery delivered
+// with f=1 (a forged copy travels over at most one "disjoint" path), while
+// the genuine content still arrives over two clean paths.
+type forgingForwarder struct {
+	self model.ID
+	pd   model.IDSet
+}
+
+func (n *forgingForwarder) Init(sim.Context) {}
+func (n *forgingForwarder) Receive(ctx sim.Context, from model.ID, payload []byte) {
+	msg, ok := decode(payload)
+	if !ok || msg.Origin == n.self {
+		return
+	}
+	forged := &Message{Origin: msg.Origin, Seq: msg.Seq, Payload: []byte("forged"),
+		Path: append(append([]model.ID{}, msg.Path...), n.self)}
+	enc := forged.encode()
+	for _, p := range n.pd.Sorted() {
+		if p != from && p != msg.Origin {
+			ctx.Send(p, enc)
+		}
+	}
+}
+func (n *forgingForwarder) Timer(sim.Context, uint64) {}
+
+func TestForgeryBlockedGenuineDelivered(t *testing.T) {
+	// 1 → {2,3,4} → 5 with 4 forging. Genuine copies arrive via 2 and 3.
+	g := graph.New()
+	for _, mid := range []model.ID{2, 3, 4} {
+		g.AddEdge(1, mid)
+		g.AddEdge(mid, 5)
+	}
+	engine := sim.NewEngine(sim.Synchronous{Delta: 5 * sim.Millisecond}, 1)
+	deliveredPayloads := make(map[string]bool)
+	mod5 := New(5, model.NewIDSet(), 1, func(origin model.ID, payload []byte) {
+		deliveredPayloads[string(payload)] = true
+	})
+	sink := &rrbNode{mod: mod5}
+	src := &rrbNode{mod: New(1, g.OutSet(1).Clone(), 1, nil), broadcast: []byte("genuine")}
+	if err := engine.AddProcess(1, src); err != nil {
+		t.Fatal(err)
+	}
+	for _, mid := range []model.ID{2, 3} {
+		if err := engine.AddProcess(mid, &rrbNode{mod: New(mid, g.OutSet(mid).Clone(), 1, nil)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := engine.AddProcess(4, &forgingForwarder{self: 4, pd: g.OutSet(4).Clone()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.AddProcess(5, sink); err != nil {
+		t.Fatal(err)
+	}
+	engine.Run(sim.Second)
+	if !deliveredPayloads["genuine"] {
+		t.Fatal("genuine content should be delivered over 2 disjoint clean paths")
+	}
+	if deliveredPayloads["forged"] {
+		t.Fatal("forged content must not reach the f+1 disjoint-path bar")
+	}
+}
+
+// On Fig 1b (f=1), every correct sink member delivers every other correct
+// sink member's broadcast: the unauthenticated discovery substrate works on
+// model-compliant graphs.
+func TestFig1bSinkDissemination(t *testing.T) {
+	fig := graph.Fig1b()
+	_, delivered, engine := buildRRB(t, fig.G, fig.F, fig.Byz)
+	engine.Run(5 * sim.Second)
+	for _, a := range fig.ExpectedSink.Sorted() {
+		for _, b := range fig.ExpectedSink.Sorted() {
+			if a == b {
+				continue
+			}
+			if !delivered[a].Has(b) {
+				t.Fatalf("sink member %v did not deliver %v's broadcast", a, b)
+			}
+		}
+	}
+}
+
+func TestPathSpoofRejected(t *testing.T) {
+	mod := New(5, model.NewIDSet(), 0, nil)
+	engine := sim.NewEngine(sim.Synchronous{Delta: 1}, 1)
+	_ = engine
+	// A message whose last forwarder is not the actual sender is dropped.
+	msg := &Message{Origin: 1, Seq: 0, Path: []model.ID{2}, Payload: []byte("x")}
+	ctx := nopCtx{}
+	mod.Handle(ctx, 9, msg.encode())
+	if mod.Delivered(1, 0, []byte("x")) {
+		t.Fatal("spoofed route accepted")
+	}
+	// From the true last-hop it is fine.
+	mod.Handle(ctx, 2, msg.encode())
+	if !mod.Delivered(1, 0, []byte("x")) {
+		t.Fatal("valid route rejected")
+	}
+	// Cycles (self in path) are dropped.
+	cyc := &Message{Origin: 1, Seq: 1, Path: []model.ID{5, 2}, Payload: []byte("y")}
+	mod.Handle(ctx, 2, cyc.encode())
+	if mod.Delivered(1, 1, []byte("y")) {
+		t.Fatal("cyclic route accepted")
+	}
+	// Garbage is ignored but claimed.
+	if !mod.Handle(ctx, 2, []byte{wire.KindRRB, 0xFF}) {
+		t.Fatal("RRB kind byte should be claimed even when malformed")
+	}
+	if mod.Handle(ctx, 2, []byte{0x42}) {
+		t.Fatal("non-RRB payload claimed")
+	}
+}
+
+type nopCtx struct{}
+
+func (nopCtx) ID() model.ID              { return 5 }
+func (nopCtx) Now() sim.Time             { return 0 }
+func (nopCtx) Send(model.ID, []byte)     {}
+func (nopCtx) SetTimer(sim.Time, uint64) {}
+func (nopCtx) Rand() *rand.Rand          { return rand.New(rand.NewSource(0)) }
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := &Message{Origin: 7, Seq: 3, Path: []model.ID{1, 2}, Payload: []byte("data")}
+	got, ok := decode(m.encode())
+	if !ok || got.Origin != 7 || got.Seq != 3 || len(got.Path) != 2 || string(got.Payload) != "data" {
+		t.Fatalf("round-trip: %+v %v", got, ok)
+	}
+}

@@ -1,0 +1,292 @@
+// Package scenario assembles full systems — a knowledge connectivity graph,
+// a fault assignment, a network model, a protocol mode — runs them on the
+// deterministic simulator and grades the outcome against the consensus
+// properties (Agreement, Validity, Integrity, Termination). Every table and
+// figure of the paper is expressed as one or more Specs (see experiments.go).
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/bftcup/bftcup/internal/byz"
+	"github.com/bftcup/bftcup/internal/core"
+	"github.com/bftcup/bftcup/internal/cryptox"
+	"github.com/bftcup/bftcup/internal/discovery"
+	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/sim"
+)
+
+// ByzKind selects a Byzantine behavior.
+type ByzKind int
+
+// Byzantine behaviors available to specs.
+const (
+	// ByzSilent never sends a message.
+	ByzSilent ByzKind = iota
+	// ByzFakePD gossips a chosen (possibly false) own PD; silent otherwise.
+	ByzFakePD
+	// ByzEquivPD claims different PDs to different peers.
+	ByzEquivPD
+	// ByzAsCorrect runs the correct protocol while counting against f —
+	// the adversary strategy of the Fig. 3 narrative.
+	ByzAsCorrect
+)
+
+// String implements fmt.Stringer.
+func (k ByzKind) String() string {
+	switch k {
+	case ByzSilent:
+		return "silent"
+	case ByzFakePD:
+		return "fake-pd"
+	case ByzEquivPD:
+		return "equiv-pd"
+	case ByzAsCorrect:
+		return "as-correct"
+	default:
+		return fmt.Sprintf("byz(%d)", int(k))
+	}
+}
+
+// ByzSpec configures one Byzantine process.
+type ByzSpec struct {
+	Kind ByzKind
+	// ClaimedPD is the advertised PD for ByzFakePD / ByzEquivPD (record A).
+	// Nil means the graph's real PD.
+	ClaimedPD model.IDSet
+	// AltPD is record B for ByzEquivPD.
+	AltPD model.IDSet
+	// ChooseAlt selects which peers receive AltPD (nil: even IDs).
+	ChooseAlt func(model.ID) bool
+}
+
+// Spec is a full experiment description.
+type Spec struct {
+	Name string
+	// Graph is the knowledge connectivity graph; correct processes use its
+	// out-edges as their PDs.
+	Graph *graph.Digraph
+	Mode  core.Mode
+	// F is handed to processes in ModeKnownF / ModePermissioned.
+	F   int
+	Byz map[model.ID]ByzSpec
+	// Values maps processes to proposals; missing entries default to "v<id>".
+	Values map[model.ID]model.Value
+	Net    sim.NetworkModel
+	// Horizon bounds the run; Termination is judged against it.
+	Horizon sim.Time
+	Seed    int64
+
+	Discovery   discovery.Config
+	PBFTTimeout sim.Time
+	PollPeriod  sim.Time
+}
+
+// ProcessResult is the outcome at one process.
+type ProcessResult struct {
+	Byzantine bool
+	Decided   bool
+	Value     model.Value
+	DecidedAt sim.Time
+	Committee model.IDSet
+	G         int
+}
+
+// Result grades a run.
+type Result struct {
+	Name        string
+	PerProcess  map[model.ID]ProcessResult
+	Termination bool // every correct process decided within the horizon
+	Agreement   bool // no two correct processes decided differently
+	Validity    bool // every decided value was proposed by some process
+	Messages    int64
+	Bytes       int64
+	ByKind      map[byte]int64
+	// Elapsed is the virtual time of the last correct decision (or the
+	// horizon when Termination fails).
+	Elapsed sim.Time
+}
+
+// Verdict renders ✓/✗ in the style of the paper's Table I.
+func (r *Result) Verdict() string {
+	if r.Termination && r.Agreement && r.Validity {
+		return "✓"
+	}
+	return "✗"
+}
+
+// FailureMode names what went wrong (empty for a clean run).
+func (r *Result) FailureMode() string {
+	switch {
+	case !r.Agreement:
+		return "agreement violated"
+	case !r.Validity:
+		return "validity violated"
+	case !r.Termination:
+		return "no termination"
+	default:
+		return ""
+	}
+}
+
+// Run executes a spec.
+func Run(spec Spec) (*Result, error) {
+	if spec.Graph == nil || spec.Graph.NumNodes() == 0 {
+		return nil, fmt.Errorf("scenario %q: empty graph", spec.Name)
+	}
+	if spec.Net == nil {
+		spec.Net = sim.Synchronous{Delta: 5 * sim.Millisecond}
+	}
+	if spec.Horizon <= 0 {
+		spec.Horizon = 60 * sim.Second
+	}
+	ids := spec.Graph.Nodes()
+	signers, reg, err := cryptox.GenerateKeys(spec.Seed+1, ids)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+
+	engine := sim.NewEngine(spec.Net, spec.Seed)
+	res := &Result{Name: spec.Name, PerProcess: make(map[model.ID]ProcessResult)}
+	proposals := make(map[model.ID]model.Value, len(ids))
+	nodes := make(map[model.ID]*core.Node)
+	correct := model.NewIDSet()
+	decisions := make(map[model.ID]model.Value)
+	decidedAt := make(map[model.ID]sim.Time)
+
+	for _, id := range ids {
+		id := id
+		value := model.Value(fmt.Sprintf("v%d", id))
+		if v, ok := spec.Values[id]; ok {
+			value = v
+		}
+		proposals[id] = value
+
+		bspec, isByz := spec.Byz[id]
+		if !isByz || bspec.Kind == ByzAsCorrect {
+			cfg := core.Config{
+				Mode:        spec.Mode,
+				F:           spec.F,
+				PD:          spec.Graph.OutSet(id).Clone(),
+				Proposal:    value,
+				Discovery:   spec.Discovery,
+				PBFTTimeout: spec.PBFTTimeout,
+				PollPeriod:  spec.PollPeriod,
+			}
+			n := core.NewNode(signers[id], reg, cfg, func(v model.Value) {
+				decisions[id] = v
+				decidedAt[id] = engine.Now()
+			})
+			nodes[id] = n
+			if err := engine.AddProcess(id, n); err != nil {
+				return nil, err
+			}
+			if !isByz {
+				correct.Add(id)
+			}
+			continue
+		}
+		var r sim.Reactor
+		claimed := bspec.ClaimedPD
+		if claimed == nil {
+			claimed = spec.Graph.OutSet(id).Clone()
+		}
+		switch bspec.Kind {
+		case ByzSilent:
+			r = byz.Silent{}
+		case ByzFakePD:
+			r = byz.NewFakePD(signers[id], reg, claimed, spec.Discovery)
+		case ByzEquivPD:
+			alt := bspec.AltPD
+			if alt == nil {
+				alt = model.NewIDSet()
+			}
+			r = byz.NewPDEquivocator(signers[id], reg, claimed, alt, bspec.ChooseAlt, spec.Discovery)
+		default:
+			return nil, fmt.Errorf("scenario %q: unknown byz kind %v", spec.Name, bspec.Kind)
+		}
+		if err := engine.AddProcess(id, r); err != nil {
+			return nil, err
+		}
+	}
+
+	allCorrectDecided := func() bool {
+		for id := range correct {
+			if _, ok := decisions[id]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	res.Termination = engine.RunUntil(allCorrectDecided, spec.Horizon)
+	// Let in-flight decisions propagate a little further for reporting, but
+	// never past the horizon.
+	if res.Termination {
+		engine.RunUntil(func() bool { return false }, minTime(engine.Now()+sim.Second, spec.Horizon))
+	}
+
+	res.Agreement, res.Validity = true, true
+	var last sim.Time
+	var agreed model.Value
+	first := true
+	for _, id := range ids {
+		pr := ProcessResult{Byzantine: spec.Byz != nil && hasByz(spec.Byz, id)}
+		if n, ok := nodes[id]; ok {
+			if cand, ok := n.Committee(); ok {
+				pr.Committee = cand.Members()
+				pr.G = cand.G
+			}
+		}
+		if v, ok := decisions[id]; ok {
+			pr.Decided, pr.Value, pr.DecidedAt = true, v, decidedAt[id]
+		}
+		res.PerProcess[id] = pr
+
+		if !correct.Has(id) || !pr.Decided {
+			continue
+		}
+		if pr.DecidedAt > last {
+			last = pr.DecidedAt
+		}
+		if first {
+			agreed, first = pr.Value, false
+		} else if !agreed.Equal(pr.Value) {
+			res.Agreement = false
+		}
+		proposed := false
+		for _, p := range proposals {
+			if p.Equal(pr.Value) {
+				proposed = true
+				break
+			}
+		}
+		if !proposed {
+			res.Validity = false
+		}
+	}
+	if res.Termination {
+		res.Elapsed = last
+	} else {
+		res.Elapsed = spec.Horizon
+	}
+	m := engine.Metrics()
+	res.Messages, res.Bytes = m.Messages, m.Bytes
+	res.ByKind = make(map[byte]int64, len(m.ByKind))
+	for k, v := range m.ByKind {
+		res.ByKind[k] = v
+	}
+	return res, nil
+}
+
+func hasByz(m map[model.ID]ByzSpec, id model.ID) bool {
+	_, ok := m[id]
+	return ok
+}
+
+func minTime(a, b sim.Time) sim.Time {
+	if a < b {
+		return a
+	}
+	return b
+}

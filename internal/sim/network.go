@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math/rand"
+
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+// jitter returns a delay uniformly in [d/2, d].
+func jitter(d Time, rng *rand.Rand) Time {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + Time(rng.Int63n(int64(half)+1))
+}
+
+// Synchronous delivers every message within Delta (uniform jitter in
+// [Delta/2, Delta]) from time zero: the synchronous row of Table I.
+type Synchronous struct {
+	Delta Time
+}
+
+// Delay implements NetworkModel.
+func (s Synchronous) Delay(_, _ model.ID, _ Time, rng *rand.Rand) Time {
+	return jitter(s.Delta, rng)
+}
+
+// PartialSync implements the Dwork-Lynch-Stockmeyer partial synchrony used by
+// the paper: there exist GST and δ such that messages between correct
+// processes sent at time t are delivered by max(t, GST) + δ. Before GST,
+// links for which Slow reports true experience the maximum allowed delay —
+// the knob the Theorem 7 and Fig. 3 schedules turn to build
+// indistinguishable executions. Other links behave synchronously throughout.
+type PartialSync struct {
+	GST   Time
+	Delta Time
+	// Slow marks link classes that stay silent until GST. Nil means no slow
+	// links (plain eventually-synchronous behavior).
+	Slow func(from, to model.ID) bool
+}
+
+// Delay implements NetworkModel.
+func (p PartialSync) Delay(from, to model.ID, now Time, rng *rand.Rand) Time {
+	if now >= p.GST || p.Slow == nil || !p.Slow(from, to) {
+		return jitter(p.Delta, rng)
+	}
+	// Delivered shortly after GST, as partial synchrony permits.
+	return (p.GST - now) + jitter(p.Delta, rng)
+}
+
+// AsyncAdversarial is an asynchronous scheduler with no GST: a message sent
+// at time t is delivered at t + max(Delta, Factor·t). With Delta larger than
+// the protocol's base timeout and Factor ≥ 3, every message arrives after its
+// recipients' local timers have already advanced them past the view the
+// message belongs to, so view changes never assemble and deterministic
+// consensus never terminates — a concrete witness schedule for the
+// impossibility row of Table I (the general result is [24]'s theorem).
+//
+// Why Factor ≥ 3: view-v timers fire at roughly t_v ≈ T0·2^v. A view-change
+// message sent at t_v arrives at Factor·t_v, which must exceed the next
+// timeout t_v + T0·2^v ≈ 2·t_v, hence Factor > 2. Delta > T0 kills view 0,
+// where t is still small.
+type AsyncAdversarial struct {
+	Delta  Time  // minimum delay; set above the protocol's base timeout
+	Factor int64 // growth factor; ≥ 3 guarantees perpetual view changes
+}
+
+// Delay implements NetworkModel.
+func (a AsyncAdversarial) Delay(_, _ model.ID, now Time, _ *rand.Rand) Time {
+	f := a.Factor
+	if f < 3 {
+		f = 3
+	}
+	grow := Time(f) * now
+	if grow > a.Delta {
+		return grow
+	}
+	return a.Delta
+}
+
+// SlowBetweenGroups returns a Slow predicate that delays every message except
+// those within a single group: the Fig. 2 schedule keeps intra-{1,2,3} and
+// intra-{6,7,8} links fast and everything else slow.
+func SlowBetweenGroups(groups ...model.IDSet) func(from, to model.ID) bool {
+	return func(from, to model.ID) bool {
+		for _, g := range groups {
+			if g.Has(from) && g.Has(to) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// SlowTouching returns a Slow predicate marking every link that touches one
+// of the given processes (used to slow a process without crashing it).
+func SlowTouching(slow model.IDSet) func(from, to model.ID) bool {
+	return func(from, to model.ID) bool {
+		return slow.Has(from) || slow.Has(to)
+	}
+}

@@ -1,0 +1,292 @@
+// Package sim is a deterministic discrete-event simulator for message-passing
+// protocols. Processes are Reactors driven by three callbacks (Init, Receive,
+// Timer); the engine owns a virtual clock, a seeded RNG and a network model
+// that assigns per-message delivery delays. Identical seeds and inputs yield
+// identical traces, which the experiments and benchmarks rely on.
+//
+// The network models implement the paper's three communication assumptions:
+// synchronous, partially synchronous (explicit GST and δ, with optional slow
+// link classes used to build the Theorem 7 indistinguishability schedules)
+// and an adversarial asynchronous scheduler whose delays grow with time,
+// exhibiting the non-termination that [24] proves unavoidable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+// Time is virtual nanoseconds since the start of the run.
+type Time int64
+
+// Convenient virtual durations.
+const (
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Reactor is a deterministic, single-threaded protocol state machine. The
+// engine never calls a reactor concurrently.
+type Reactor interface {
+	// Init runs once before any event is delivered.
+	Init(ctx Context)
+	// Receive delivers a message from another process.
+	Receive(ctx Context, from model.ID, payload []byte)
+	// Timer fires a timer set via Context.SetTimer.
+	Timer(ctx Context, tag uint64)
+}
+
+// Context is the engine-side interface a reactor uses to act on the world.
+type Context interface {
+	// ID returns the process this context belongs to.
+	ID() model.ID
+	// Now returns the current virtual time.
+	Now() Time
+	// Send transmits payload to the given process. Sending to an unknown or
+	// crashed process silently drops (the channel abstraction does not
+	// acknowledge).
+	Send(to model.ID, payload []byte)
+	// SetTimer schedules Timer(tag) after d.
+	SetTimer(d Time, tag uint64)
+	// Rand is a deterministic per-run RNG (shared; use only inside the
+	// reactor's own callbacks).
+	Rand() *rand.Rand
+}
+
+// NetworkModel assigns a delivery delay to each message.
+type NetworkModel interface {
+	// Delay is called once per message at send time.
+	Delay(from, to model.ID, now Time, rng *rand.Rand) Time
+}
+
+// Metrics accumulates network counters for the experiment tables.
+type Metrics struct {
+	Messages int64
+	Bytes    int64
+	ByKind   map[byte]int64
+}
+
+func newMetrics() *Metrics { return &Metrics{ByKind: make(map[byte]int64)} }
+
+func (m *Metrics) record(payload []byte) {
+	m.Messages++
+	m.Bytes += int64(len(payload))
+	if len(payload) > 0 {
+		m.ByKind[payload[0]]++
+	}
+}
+
+type eventKind uint8
+
+const (
+	evMessage eventKind = iota
+	evTimer
+)
+
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among same-time events
+	kind eventKind
+	to   model.ID
+	from model.ID // evMessage
+	body []byte   // evMessage
+	tag  uint64   // evTimer
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine drives a set of reactors over a virtual clock.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	procs   map[model.ID]*proc
+	order   []model.ID
+	net     NetworkModel
+	rng     *rand.Rand
+	metrics *Metrics
+	started bool
+	// preCrashed holds Crash marks issued before AddProcess.
+	preCrashed model.IDSet
+}
+
+type proc struct {
+	id      model.ID
+	reactor Reactor
+	ctx     *procCtx
+	crashed bool
+}
+
+// NewEngine creates an engine with the given network model and seed.
+func NewEngine(net NetworkModel, seed int64) *Engine {
+	return &Engine{
+		procs:   make(map[model.ID]*proc),
+		net:     net,
+		rng:     rand.New(rand.NewSource(seed)),
+		metrics: newMetrics(),
+	}
+}
+
+// Metrics returns the accumulated network counters.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// AddProcess registers a reactor under an ID. Must be called before Run.
+func (e *Engine) AddProcess(id model.ID, r Reactor) error {
+	if e.started {
+		return fmt.Errorf("sim: AddProcess(%v) after start", id)
+	}
+	if _, dup := e.procs[id]; dup {
+		return fmt.Errorf("sim: duplicate process %v", id)
+	}
+	p := &proc{id: id, reactor: r}
+	p.ctx = &procCtx{engine: e, proc: p}
+	if e.preCrashed.Has(id) {
+		p.crashed = true
+	}
+	e.procs[id] = p
+	e.order = append(e.order, id)
+	return nil
+}
+
+// Crash stops delivering events to and from the given process. It may be
+// called before the process is added; the mark is applied at registration.
+func (e *Engine) Crash(id model.ID) {
+	if p, ok := e.procs[id]; ok {
+		p.crashed = true
+		return
+	}
+	if e.preCrashed == nil {
+		e.preCrashed = model.NewIDSet()
+	}
+	e.preCrashed.Add(id)
+}
+
+func (e *Engine) start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	sort.Slice(e.order, func(i, j int) bool { return e.order[i] < e.order[j] })
+	for _, id := range e.order {
+		p := e.procs[id]
+		if !p.crashed {
+			p.reactor.Init(p.ctx)
+		}
+	}
+}
+
+// Step processes the next event. It returns false when the event queue is
+// empty.
+func (e *Engine) Step() bool {
+	e.start()
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		p, ok := e.procs[ev.to]
+		if !ok || p.crashed {
+			continue
+		}
+		switch ev.kind {
+		case evMessage:
+			p.reactor.Receive(p.ctx, ev.from, ev.body)
+		case evTimer:
+			p.reactor.Timer(p.ctx, ev.tag)
+		}
+		return true
+	}
+	return false
+}
+
+// RunUntil processes events until cond() holds (checked after every event),
+// the horizon passes, or the queue drains. It reports whether cond was met.
+func (e *Engine) RunUntil(cond func() bool, horizon Time) bool {
+	e.start()
+	if cond() {
+		return true
+	}
+	for e.events.Len() > 0 {
+		if e.events[0].at > horizon {
+			return false
+		}
+		if !e.Step() {
+			break
+		}
+		if cond() {
+			return true
+		}
+	}
+	return cond()
+}
+
+// Run processes events until the horizon passes or the queue drains.
+func (e *Engine) Run(horizon Time) {
+	e.RunUntil(func() bool { return false }, horizon)
+}
+
+func (e *Engine) push(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// procCtx implements Context for one process.
+type procCtx struct {
+	engine *Engine
+	proc   *proc
+}
+
+func (c *procCtx) ID() model.ID     { return c.proc.id }
+func (c *procCtx) Now() Time        { return c.engine.now }
+func (c *procCtx) Rand() *rand.Rand { return c.engine.rng }
+
+func (c *procCtx) Send(to model.ID, payload []byte) {
+	e := c.engine
+	if c.proc.crashed {
+		return
+	}
+	tgt, ok := e.procs[to]
+	if !ok || tgt.crashed || to == c.proc.id {
+		return
+	}
+	e.metrics.record(payload)
+	d := e.net.Delay(c.proc.id, to, e.now, e.rng)
+	if d < 0 {
+		d = 0
+	}
+	body := make([]byte, len(payload))
+	copy(body, payload)
+	e.push(&event{at: e.now + d, kind: evMessage, to: to, from: c.proc.id, body: body})
+}
+
+func (c *procCtx) SetTimer(d Time, tag uint64) {
+	if d < 0 {
+		d = 0
+	}
+	c.engine.push(&event{at: c.engine.now + d, kind: evTimer, to: c.proc.id, tag: tag})
+}

@@ -1,0 +1,203 @@
+package bftcup
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bftcup/bftcup/internal/core"
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/scenario"
+	"github.com/bftcup/bftcup/internal/sim"
+)
+
+// Behavior selects a Byzantine strategy in simulations.
+type Behavior int
+
+// Byzantine behaviors.
+const (
+	// BehaviorSilent never sends a message.
+	BehaviorSilent Behavior = iota
+	// BehaviorFakePD gossips a chosen false participant detector.
+	BehaviorFakePD
+	// BehaviorEquivocatePD claims different PDs to different peers.
+	BehaviorEquivocatePD
+	// BehaviorAsCorrect runs the correct protocol while counting against f.
+	BehaviorAsCorrect
+)
+
+// Byzantine configures one Byzantine process in a simulation.
+type Byzantine struct {
+	Behavior Behavior
+	// ClaimedPD is the advertised PD for BehaviorFakePD/BehaviorEquivocatePD
+	// (nil: the topology's real out-list).
+	ClaimedPD []ID
+	// AltPD is the second PD for BehaviorEquivocatePD.
+	AltPD []ID
+}
+
+// NetworkKind selects the communication model of Table I.
+type NetworkKind int
+
+// Network kinds.
+const (
+	// NetworkSynchronous bounds every delay by Delta from time zero.
+	NetworkSynchronous NetworkKind = iota
+	// NetworkPartiallySynchronous delays SlowGroups-crossing (or, with no
+	// groups, all) links until GST, synchronous afterwards.
+	NetworkPartiallySynchronous
+	// NetworkAsynchronousAdversarial grows delays faster than any timeout
+	// schedule: deterministic consensus never terminates.
+	NetworkAsynchronousAdversarial
+)
+
+// Network describes the simulated communication model.
+type Network struct {
+	Kind  NetworkKind
+	Delta time.Duration // default 5ms
+	GST   time.Duration // partial synchrony only
+	// SlowGroups: before GST, only intra-group links are fast. Empty means
+	// every link is slow pre-GST.
+	SlowGroups [][]ID
+}
+
+func (n Network) build() sim.NetworkModel {
+	delta := sim.Time(n.Delta)
+	if delta <= 0 {
+		delta = 5 * sim.Millisecond
+	}
+	switch n.Kind {
+	case NetworkPartiallySynchronous:
+		gst := sim.Time(n.GST)
+		if gst <= 0 {
+			gst = 2 * sim.Second
+		}
+		slow := func(a, b model.ID) bool { return true }
+		if len(n.SlowGroups) > 0 {
+			groups := make([]model.IDSet, 0, len(n.SlowGroups))
+			for _, g := range n.SlowGroups {
+				groups = append(groups, model.NewIDSet(g...))
+			}
+			slow = sim.SlowBetweenGroups(groups...)
+		}
+		return sim.PartialSync{GST: gst, Delta: delta, Slow: slow}
+	case NetworkAsynchronousAdversarial:
+		return sim.AsyncAdversarial{Delta: 2 * sim.Second, Factor: 3}
+	default:
+		return sim.Synchronous{Delta: delta}
+	}
+}
+
+// SimOptions describes one deterministic simulation.
+type SimOptions struct {
+	Topology  Topology
+	Protocol  Protocol
+	F         int // ProtocolBFTCUP / ProtocolPermissioned
+	Byzantine map[ID]Byzantine
+	Proposals map[ID]Value
+	Network   Network
+	Horizon   time.Duration // default 60s of virtual time
+	Seed      int64
+}
+
+// SimReport grades a simulated run.
+type SimReport struct {
+	// ConsensusSolved is true when Termination, Agreement and Validity all
+	// hold among correct processes.
+	ConsensusSolved bool
+	Termination     bool
+	Agreement       bool
+	Validity        bool
+	// FailureMode names the violated property (empty on success).
+	FailureMode string
+	Decisions   map[ID]Value
+	Committees  map[ID][]ID
+	Messages    int64
+	Bytes       int64
+	// Elapsed is the virtual time of the last correct decision.
+	Elapsed time.Duration
+}
+
+// Simulate runs the protocol stack on the deterministic discrete-event
+// simulator and checks the consensus properties. Identical options produce
+// identical reports.
+func Simulate(opt SimOptions) (*SimReport, error) {
+	if len(opt.Topology) == 0 {
+		return nil, fmt.Errorf("bftcup: empty topology")
+	}
+	var mode core.Mode
+	switch opt.Protocol {
+	case ProtocolBFTCUP:
+		mode = core.ModeKnownF
+	case ProtocolBFTCUPFT:
+		mode = core.ModeUnknownF
+	case ProtocolPermissioned:
+		mode = core.ModePermissioned
+	default:
+		return nil, fmt.Errorf("bftcup: unknown protocol %v", opt.Protocol)
+	}
+	spec := scenario.Spec{
+		Name:    "simulate",
+		Graph:   opt.Topology.graph(),
+		Mode:    mode,
+		F:       opt.F,
+		Net:     opt.Network.build(),
+		Horizon: sim.Time(opt.Horizon),
+		Seed:    opt.Seed,
+	}
+	if len(opt.Proposals) > 0 {
+		spec.Values = make(map[model.ID]model.Value, len(opt.Proposals))
+		for id, v := range opt.Proposals {
+			spec.Values[id] = v
+		}
+	}
+	if len(opt.Byzantine) > 0 {
+		spec.Byz = make(map[model.ID]scenario.ByzSpec, len(opt.Byzantine))
+		for id, b := range opt.Byzantine {
+			bs := scenario.ByzSpec{}
+			switch b.Behavior {
+			case BehaviorSilent:
+				bs.Kind = scenario.ByzSilent
+			case BehaviorFakePD:
+				bs.Kind = scenario.ByzFakePD
+			case BehaviorEquivocatePD:
+				bs.Kind = scenario.ByzEquivPD
+			case BehaviorAsCorrect:
+				bs.Kind = scenario.ByzAsCorrect
+			default:
+				return nil, fmt.Errorf("bftcup: unknown behavior %v", b.Behavior)
+			}
+			if b.ClaimedPD != nil {
+				bs.ClaimedPD = model.NewIDSet(b.ClaimedPD...)
+			}
+			if b.AltPD != nil {
+				bs.AltPD = model.NewIDSet(b.AltPD...)
+			}
+			spec.Byz[id] = bs
+		}
+	}
+	res, err := scenario.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	report := &SimReport{
+		Termination: res.Termination,
+		Agreement:   res.Agreement,
+		Validity:    res.Validity,
+		FailureMode: res.FailureMode(),
+		Decisions:   make(map[ID]Value),
+		Committees:  make(map[ID][]ID),
+		Messages:    res.Messages,
+		Bytes:       res.Bytes,
+		Elapsed:     time.Duration(res.Elapsed),
+	}
+	report.ConsensusSolved = res.Termination && res.Agreement && res.Validity
+	for id, pr := range res.PerProcess {
+		if pr.Decided {
+			report.Decisions[id] = pr.Value
+		}
+		if pr.Committee != nil {
+			report.Committees[id] = pr.Committee.Sorted()
+		}
+	}
+	return report, nil
+}
