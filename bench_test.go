@@ -20,6 +20,7 @@ import (
 	"github.com/bftcup/bftcup/internal/discovery"
 	"github.com/bftcup/bftcup/internal/graph"
 	"github.com/bftcup/bftcup/internal/kosr"
+	"github.com/bftcup/bftcup/internal/matrix"
 	"github.com/bftcup/bftcup/internal/model"
 	"github.com/bftcup/bftcup/internal/rrbcast"
 	"github.com/bftcup/bftcup/internal/scenario"
@@ -87,6 +88,40 @@ func BenchmarkFig4(b *testing.B) {
 	for _, exp := range scenario.Fig4() {
 		exp := exp
 		b.Run(exp.ID, func(b *testing.B) { runScenario(b, exp.Spec, exp.Expect.Consensus) })
+	}
+}
+
+// BenchmarkMatrix measures scenario-matrix throughput: the 24-cell standard
+// sweep (one seed) executed serially vs on the GOMAXPROCS worker pool.
+// cells/s is the headline metric; the parallel/serial ratio is the engine's
+// wall-clock speedup on this machine.
+func BenchmarkMatrix(b *testing.B) {
+	cells, err := matrix.StandardSweep(matrix.Seeds(1, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bench := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		bench := bench
+		b.Run(bench.name, func(b *testing.B) {
+			var cellsPerSec float64
+			for i := 0; i < b.N; i++ {
+				rep, err := matrix.Run(cells, matrix.Options{Parallelism: bench.parallelism})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Errors > 0 {
+					b.Fatalf("%d cells errored", rep.Errors)
+				}
+				cellsPerSec = float64(rep.Cells) / (float64(rep.WallNS) / 1e9)
+			}
+			b.ReportMetric(cellsPerSec, "cells/s")
+		})
 	}
 }
 

@@ -1,18 +1,19 @@
-// Command cupsim runs one BFT-CUP / BFT-CUPFT scenario on the deterministic
-// simulator and prints the per-process outcome.
+// Command cupsim runs BFT-CUP / BFT-CUPFT scenarios on the deterministic
+// simulator: one scenario with per-process output, or a seed sweep through
+// the scenario-matrix engine.
 //
 // Examples:
 //
 //	cupsim -graph fig1b -mode bft-cup -f 1 -byz 4:silent
 //	cupsim -graph fig4a -mode bft-cupft -byz 4:silent
 //	cupsim -graph fig2c -mode naive -net partial -gst 30s -slow 1,2,3/6,7,8
-//	cupsim -graph random-ext:7:4 -mode bft-cupft -seed 3
+//	cupsim -graph extended:core=7,noncore=4 -mode bft-cupft -seed 3
+//	cupsim -graph kosr:sink=5,nonsink=3,k=2 -mode bft-cup -seeds 1:50 -parallel 0 -json
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"sort"
 	"strconv"
@@ -21,6 +22,7 @@ import (
 
 	"github.com/bftcup/bftcup/internal/core"
 	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/matrix"
 	"github.com/bftcup/bftcup/internal/model"
 	"github.com/bftcup/bftcup/internal/scenario"
 	"github.com/bftcup/bftcup/internal/sim"
@@ -28,49 +30,109 @@ import (
 
 func main() {
 	var (
-		graphName = flag.String("graph", "fig1b", "topology: fig1a|fig1b|fig2a|fig2b|fig2c|fig3a|fig3b|fig4a|fig4b|complete:N|random:SINK:NONSINK:F|random-ext:CORE:NONCORE")
+		graphName = flag.String("graph", "fig1b", "graph def: a figure (fig1a…fig4b), complete:N, kosr:sink=S,nonsink=T,k=K[,extra=P], extended:core=S,noncore=T[,extra=P]")
 		modeName  = flag.String("mode", "bft-cup", "protocol: bft-cup|bft-cupft|naive|permissioned")
-		f         = flag.Int("f", 1, "fault threshold handed to processes (bft-cup / permissioned)")
+		f         = flag.Int("f", -1, "fault threshold handed to processes; -1 = the graph family's natural threshold")
 		byzFlag   = flag.String("byz", "", "byzantine processes, e.g. 4:silent,7:fake-pd or 4:as-correct")
 		netName   = flag.String("net", "sync", "network: sync|partial|async")
 		gst       = flag.Duration("gst", 2*time.Second, "GST for -net partial")
 		slowFlag  = flag.String("slow", "", "pre-GST fast groups, e.g. 1,2,3/6,7,8 (everything else slow)")
 		horizon   = flag.Duration("horizon", 60*time.Second, "virtual-time horizon")
-		seed      = flag.Int64("seed", 1, "simulation seed")
+		seed      = flag.Int64("seed", 1, "simulation seed (single run)")
+		seedsStr  = flag.String("seeds", "", "seed sweep, FROM:TO or a count N (= 1:N) — run the scenario once per seed through the matrix engine")
+		parallel  = flag.Int("parallel", 0, "sweep worker count: 0 = GOMAXPROCS, 1 = serial")
+		jsonOut   = flag.Bool("json", false, "emit the sweep report as JSON")
 	)
 	flag.Parse()
 
-	g, byzDefault, err := buildGraph(*graphName, *seed)
+	params, err := buildParams(*graphName, *modeName, *f, *byzFlag, *netName, *gst, *slowFlag, *horizon)
 	if err != nil {
 		fail(err)
 	}
-	mode, err := parseMode(*modeName)
-	if err != nil {
-		fail(err)
+
+	if *seedsStr != "" {
+		runSweep(params, *seedsStr, *parallel, *jsonOut)
+		return
 	}
-	byz, err := parseByz(*byzFlag, byzDefault)
+	params.Seed = *seed
+	runSingle(params, *graphName)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cupsim:", err)
+	os.Exit(2)
+}
+
+func buildParams(graphName, modeName string, f int, byzFlag, netName string, gst time.Duration, slowFlag string, horizon time.Duration) (scenario.Params, error) {
+	def, err := graph.ParseDef(graphName)
 	if err != nil {
-		fail(err)
+		return scenario.Params{}, err
 	}
-	net, err := buildNet(*netName, *gst, *slowFlag)
+	mode, err := parseMode(modeName)
 	if err != nil {
-		fail(err)
+		return scenario.Params{}, err
 	}
-	spec := scenario.Spec{
-		Name:    *graphName,
-		Graph:   g,
+	byz, err := parseByz(byzFlag)
+	if err != nil {
+		return scenario.Params{}, err
+	}
+	net, err := buildNet(netName, gst, slowFlag)
+	if err != nil {
+		return scenario.Params{}, err
+	}
+	return scenario.Params{
+		Name:    graphName,
+		Graph:   def,
 		Mode:    mode,
-		F:       *f,
+		F:       f,
 		Byz:     byz,
 		Net:     net,
-		Horizon: sim.Time(*horizon),
-		Seed:    *seed,
+		Horizon: sim.Time(horizon),
+	}, nil
+}
+
+func runSweep(params scenario.Params, seedsStr string, parallel int, jsonOut bool) {
+	seeds, err := matrix.ParseSeedRange(seedsStr)
+	if err != nil {
+		fail(err)
+	}
+	var cells []matrix.Cell
+	for _, s := range seeds {
+		p := params
+		p.Seed = s
+		p.Name = p.ID()
+		cells = append(cells, matrix.Cell{Index: len(cells), Params: p})
+	}
+	rep, err := matrix.Run(cells, matrix.Options{Parallelism: parallel})
+	if err != nil {
+		fail(err)
+	}
+	rep.Name = fmt.Sprintf("%s seeds %s", params.Name, seedsStr)
+	if jsonOut {
+		raw, err := rep.JSON()
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(raw)
+		fmt.Println()
+	} else {
+		rep.WriteText(os.Stdout, true)
+	}
+	if rep.Errors > 0 || rep.Consensus < rep.Cells {
+		os.Exit(1)
+	}
+}
+
+func runSingle(params scenario.Params, graphName string) {
+	spec, err := params.Spec()
+	if err != nil {
+		fail(err)
 	}
 	res, err := scenario.Run(spec)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("scenario  : %s (mode=%s, %d processes)\n", *graphName, mode, g.NumNodes())
+	fmt.Printf("scenario  : %s (mode=%s, %d processes)\n", graphName, params.Mode, spec.Graph.NumNodes())
 	fmt.Printf("verdict   : %s", res.Verdict())
 	if fm := res.FailureMode(); fm != "" {
 		fmt.Printf("  (%s)", fm)
@@ -100,55 +162,6 @@ func main() {
 	}
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "cupsim:", err)
-	os.Exit(2)
-}
-
-func buildGraph(name string, seed int64) (*graph.Digraph, model.IDSet, error) {
-	for _, fig := range graph.AllFigures() {
-		if fig.Name == name {
-			return fig.G, fig.Byz, nil
-		}
-	}
-	parts := strings.Split(name, ":")
-	rng := rand.New(rand.NewSource(seed))
-	switch parts[0] {
-	case "complete":
-		if len(parts) != 2 {
-			return nil, nil, fmt.Errorf("usage: complete:N")
-		}
-		n, err := strconv.Atoi(parts[1])
-		if err != nil || n < 1 {
-			return nil, nil, fmt.Errorf("bad N in %q", name)
-		}
-		ids := make([]model.ID, n)
-		for i := range ids {
-			ids[i] = model.ID(i + 1)
-		}
-		return graph.CompleteGraph(ids...), model.NewIDSet(), nil
-	case "random":
-		if len(parts) != 4 {
-			return nil, nil, fmt.Errorf("usage: random:SINK:NONSINK:F")
-		}
-		sink, _ := strconv.Atoi(parts[1])
-		non, _ := strconv.Atoi(parts[2])
-		ff, _ := strconv.Atoi(parts[3])
-		g, _, err := graph.GenKOSR(rng, graph.GenSpec{SinkSize: sink, NonSinkSize: non, K: ff + 1, ExtraEdgeP: 0.15})
-		return g, model.NewIDSet(), err
-	case "random-ext":
-		if len(parts) != 3 {
-			return nil, nil, fmt.Errorf("usage: random-ext:CORE:NONCORE")
-		}
-		core, _ := strconv.Atoi(parts[1])
-		non, _ := strconv.Atoi(parts[2])
-		g, _, _, err := graph.GenExtendedKOSR(rng, graph.GenSpec{SinkSize: core, NonSinkSize: non, ExtraEdgeP: 0.15})
-		return g, model.NewIDSet(), err
-	default:
-		return nil, nil, fmt.Errorf("unknown graph %q", name)
-	}
-}
-
 func parseMode(name string) (core.Mode, error) {
 	switch name {
 	case "bft-cup":
@@ -164,8 +177,8 @@ func parseMode(name string) (core.Mode, error) {
 	}
 }
 
-func parseByz(s string, _ model.IDSet) (map[model.ID]scenario.ByzSpec, error) {
-	out := make(map[model.ID]scenario.ByzSpec)
+func parseByz(s string) (map[model.ID]scenario.ByzParams, error) {
+	out := make(map[model.ID]scenario.ByzParams)
 	if s == "" {
 		return out, nil
 	}
@@ -179,50 +192,42 @@ func parseByz(s string, _ model.IDSet) (map[model.ID]scenario.ByzSpec, error) {
 		if len(kv) == 2 {
 			kind = kv[1]
 		}
-		var bs scenario.ByzSpec
+		var bp scenario.ByzParams
 		switch kind {
 		case "silent":
-			bs.Kind = scenario.ByzSilent
+			bp.Kind = scenario.ByzSilent
 		case "fake-pd":
-			bs.Kind = scenario.ByzFakePD
+			bp.Kind = scenario.ByzFakePD
 		case "equiv-pd":
-			bs.Kind = scenario.ByzEquivPD
+			bp.Kind = scenario.ByzEquivPD
 		case "as-correct":
-			bs.Kind = scenario.ByzAsCorrect
+			bp.Kind = scenario.ByzAsCorrect
 		default:
 			return nil, fmt.Errorf("unknown byzantine kind %q", kind)
 		}
-		out[model.ID(raw)] = bs
+		out[model.ID(raw)] = bp
 	}
 	return out, nil
 }
 
-func buildNet(name string, gst time.Duration, slow string) (sim.NetworkModel, error) {
-	const delta = 5 * sim.Millisecond
-	switch name {
-	case "sync":
-		return sim.Synchronous{Delta: delta}, nil
-	case "partial":
-		slowFn := func(a, b model.ID) bool { return true }
-		if slow != "" {
-			var groups []model.IDSet
-			for _, grp := range strings.Split(slow, "/") {
-				set := model.NewIDSet()
-				for _, idStr := range strings.Split(grp, ",") {
-					raw, err := strconv.ParseUint(strings.TrimSpace(idStr), 10, 64)
-					if err != nil {
-						return nil, fmt.Errorf("bad group member %q", idStr)
-					}
-					set.Add(model.ID(raw))
-				}
-				groups = append(groups, set)
-			}
-			slowFn = sim.SlowBetweenGroups(groups...)
-		}
-		return sim.PartialSync{GST: sim.Time(gst), Delta: delta, Slow: slowFn}, nil
-	case "async":
-		return sim.AsyncAdversarial{Delta: 2 * sim.Second, Factor: 3}, nil
-	default:
-		return nil, fmt.Errorf("unknown network %q", name)
+func buildNet(name string, gst time.Duration, slow string) (scenario.NetParams, error) {
+	kind, err := scenario.ParseNetKind(name)
+	if err != nil {
+		return scenario.NetParams{}, err
 	}
+	np := scenario.NetParams{Kind: kind, GST: sim.Time(gst)}
+	if slow != "" {
+		for _, grp := range strings.Split(slow, "/") {
+			set := model.NewIDSet()
+			for _, idStr := range strings.Split(grp, ",") {
+				raw, err := strconv.ParseUint(strings.TrimSpace(idStr), 10, 64)
+				if err != nil {
+					return scenario.NetParams{}, fmt.Errorf("bad group member %q", idStr)
+				}
+				set.Add(model.ID(raw))
+			}
+			np.FastGroups = append(np.FastGroups, set)
+		}
+	}
+	return np, nil
 }

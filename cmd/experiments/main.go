@@ -1,11 +1,20 @@
-// Command experiments regenerates every table and figure of the paper:
-// it runs each experiment of the reproduction suite on the deterministic
-// simulator and prints paper-expected vs measured outcomes as Markdown
-// (the source of EXPERIMENTS.md).
+// Command experiments drives the scenario-matrix engine. It regenerates
+// every table and figure of the paper (paper-expected vs measured outcomes
+// as Markdown, the source of EXPERIMENTS.md) and runs free parameter sweeps
+// far beyond the paper's grid.
 //
 // Usage:
 //
-//	experiments [-run table1|fig1|fig2|fig3|fig4|all] [-v]
+//	experiments [-run table1|fig1|fig2|fig3|fig4|all] [-v]       reproduce the paper
+//	experiments -matrix [-seeds 1:10] [-parallel N] [-json]      standard sweep (240 cells at 10 seeds)
+//	experiments -matrix -compare                                 serial-vs-parallel: identical reports + speedup
+//
+// Flags common to both modes:
+//
+//	-parallel N   worker count (0 = GOMAXPROCS, 1 = serial)
+//	-json         emit the full matrix report as JSON on stdout
+//	-trace        record per-cell event-trace digests in the report
+//	-cells        text output lists every cell, not just aggregates
 package main
 
 import (
@@ -15,26 +24,114 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/bftcup/bftcup/internal/matrix"
 	"github.com/bftcup/bftcup/internal/model"
 	"github.com/bftcup/bftcup/internal/scenario"
-	"github.com/bftcup/bftcup/internal/sim"
 	"github.com/bftcup/bftcup/internal/wire"
 )
 
-func modelID(raw uint64) model.ID { return model.ID(raw) }
-
-func failNote(res *scenario.Result) string {
-	if f := res.FailureMode(); f != "" {
-		return " — " + f
-	}
-	return ""
-}
-
 func main() {
-	runSel := flag.String("run", "all", "which experiment group to run: table1, fig1, fig2, fig3, fig4, all")
-	verbose := flag.Bool("v", false, "print per-process details")
+	var (
+		runSel   = flag.String("run", "all", "experiment group: table1, fig1, fig2, fig3, fig4, all (ignored with -matrix)")
+		verbose  = flag.Bool("v", false, "print per-process details")
+		doMatrix = flag.Bool("matrix", false, "run the standard scenario-matrix sweep instead of the paper suite")
+		seedsStr = flag.String("seeds", "1:10", "seed sweep for -matrix, as FROM:TO or a single count N (= 1:N)")
+		parallel = flag.Int("parallel", 0, "worker count: 0 = GOMAXPROCS, 1 = serial")
+		jsonOut  = flag.Bool("json", false, "emit the matrix report as JSON")
+		trace    = flag.Bool("trace", false, "record per-cell event-trace digests")
+		cellRows = flag.Bool("cells", false, "list every cell in text output")
+		compare  = flag.Bool("compare", false, "with -matrix: run serially then in parallel, assert identical reports, print speedup")
+	)
 	flag.Parse()
 
+	if *doMatrix {
+		runMatrix(*seedsStr, *parallel, *jsonOut, *trace, *cellRows, *compare)
+		return
+	}
+	runPaperSuite(*runSel, *parallel, *jsonOut, *trace, *verbose)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(2)
+}
+
+// runMatrix executes the standard sweep.
+func runMatrix(seedsStr string, parallel int, jsonOut, trace, cellRows, compare bool) {
+	seeds, err := matrix.ParseSeedRange(seedsStr)
+	if err != nil {
+		fail(err)
+	}
+	cells, err := matrix.StandardSweep(seeds)
+	if err != nil {
+		fail(err)
+	}
+	opts := matrix.Options{Parallelism: parallel, Trace: trace}
+	if !jsonOut {
+		opts.Progress = progressLine(len(cells))
+	}
+
+	var rep *matrix.Report
+	if compare {
+		serialOpts := opts
+		serialOpts.Parallelism = 1
+		serial, err := matrix.Run(cells, serialOpts)
+		if err != nil {
+			fail(err)
+		}
+		rep, err = matrix.Run(cells, opts)
+		if err != nil {
+			fail(err)
+		}
+		if s, p := serial.Fingerprint(), rep.Fingerprint(); s != p {
+			fail(fmt.Errorf("serial and parallel reports diverge:\n  serial   %s\n  parallel %s", s, p))
+		}
+		speedup := float64(serial.WallNS) / float64(rep.WallNS)
+		fmt.Fprintf(os.Stderr, "serial %.2fs, parallel %.2fs on %d workers → %.2fx speedup; reports identical (fingerprint %s)\n",
+			float64(serial.WallNS)/1e9, float64(rep.WallNS)/1e9, rep.Parallelism, speedup, rep.Fingerprint()[:12])
+	} else {
+		rep, err = matrix.Run(cells, opts)
+		if err != nil {
+			fail(err)
+		}
+	}
+	rep.Name = fmt.Sprintf("standard sweep, seeds %s", seedsStr)
+	emit(rep, jsonOut, cellRows)
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+func progressLine(total int) func(done, total int) {
+	if total < 40 {
+		return nil
+	}
+	return func(done, total int) {
+		if done%20 == 0 || done == total {
+			fmt.Fprintf(os.Stderr, "\r%d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+}
+
+func emit(rep *matrix.Report, jsonOut, cellRows bool) {
+	if jsonOut {
+		raw, err := rep.JSON()
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(raw)
+		fmt.Println()
+		return
+	}
+	rep.WriteText(os.Stdout, cellRows)
+}
+
+// runPaperSuite reproduces the paper's tables and figures through the matrix
+// engine and renders the classic paper-vs-measured Markdown.
+func runPaperSuite(runSel string, parallel int, jsonOut, trace, verbose bool) {
 	groups := map[string][]scenario.Experiment{
 		"table1": scenario.Table1(),
 		"fig1":   scenario.Fig1(),
@@ -43,23 +140,44 @@ func main() {
 		"fig4":   scenario.Fig4(),
 	}
 	var order []string
-	if *runSel == "all" {
+	if runSel == "all" {
 		order = []string{"table1", "fig1", "fig2", "fig3", "fig4"}
-	} else if _, ok := groups[*runSel]; ok {
-		order = []string{*runSel}
+	} else if _, ok := groups[runSel]; ok {
+		order = []string{runSel}
 	} else {
-		fmt.Fprintf(os.Stderr, "unknown group %q\n", *runSel)
+		fmt.Fprintf(os.Stderr, "unknown group %q\n", runSel)
 		os.Exit(2)
+	}
+
+	if jsonOut {
+		var exps []scenario.Experiment
+		for _, g := range order {
+			exps = append(exps, groups[g]...)
+		}
+		rep, err := matrix.Run(matrix.FromExperiments(exps), matrix.Options{Parallelism: parallel, Trace: trace})
+		if err != nil {
+			fail(err)
+		}
+		rep.Name = "paper suite: " + strings.Join(order, ",")
+		emit(rep, true, false)
+		if rep.Mismatches > 0 || rep.Errors > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 
 	mismatches := 0
 	for _, g := range order {
 		fmt.Printf("## %s\n\n", g)
+		rep, err := matrix.Run(matrix.FromExperiments(groups[g]), matrix.Options{Parallelism: parallel, Trace: trace})
+		if err != nil {
+			fail(err)
+		}
 		if g == "table1" {
-			runTable1(groups[g], *verbose, &mismatches)
+			renderTable1(groups[g], rep, verbose, &mismatches)
 			continue
 		}
-		runGroup(groups[g], *verbose, &mismatches)
+		renderGroup(groups[g], rep, verbose, &mismatches)
 	}
 	if mismatches > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiments diverged from the paper's prediction\n", mismatches)
@@ -67,30 +185,33 @@ func main() {
 	}
 }
 
-func runTable1(exps []scenario.Experiment, verbose bool, mismatches *int) {
+func mark(consensus bool) string {
+	if consensus {
+		return "✓"
+	}
+	return "✗"
+}
+
+func renderTable1(exps []scenario.Experiment, rep *matrix.Report, verbose bool, mismatches *int) {
 	type cell struct{ expected, measured string }
 	cells := make(map[string]cell)
 	var details []string
-	for _, exp := range exps {
-		res, err := scenario.Run(exp.Spec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	for i, exp := range exps {
+		o := &rep.Outcomes[i]
+		if o.Err != "" {
+			fail(fmt.Errorf("%s: %s", exp.ID, o.Err))
 		}
-		want := "✓"
-		if !exp.Expect.Consensus {
-			want = "✗"
-		}
-		got := res.Verdict()
+		want := mark(exp.Expect.Consensus)
+		got := mark(o.Consensus)
 		if got != want {
 			*mismatches++
 		}
 		key := strings.TrimPrefix(exp.ID, "table1/")
 		cells[key] = cell{expected: want, measured: got}
 		details = append(details, fmt.Sprintf("- `%s`: measured %s (elapsed %v, %d msgs, %d bytes)%s",
-			key, got, time(res.Elapsed), res.Messages, res.Bytes, failNote(res)))
+			key, got, o.VirtualNS, o.Messages, o.Bytes, failNote(o)))
 		if verbose {
-			details = append(details, perProcess(res)...)
+			details = append(details, perProcess(exp.Spec)...)
 		}
 	}
 	fmt.Println("| Communication | Known n, Known f | Unknown n, Known f | Unknown n, Unknown f |")
@@ -103,11 +224,11 @@ func runTable1(exps []scenario.Experiment, verbose bool, mismatches *int) {
 		fmt.Printf("| %s |", row.label)
 		for _, col := range []string{"known-n-known-f", "unknown-n-known-f", "unknown-n-unknown-f"} {
 			c := cells[row.key+"/"+col]
-			mark := c.measured
+			m := c.measured
 			if c.measured != c.expected {
-				mark = fmt.Sprintf("%s (paper: %s!)", c.measured, c.expected)
+				m = fmt.Sprintf("%s (paper: %s!)", c.measured, c.expected)
 			}
-			fmt.Printf(" %s |", mark)
+			fmt.Printf(" %s |", m)
 		}
 		fmt.Println()
 	}
@@ -118,36 +239,30 @@ func runTable1(exps []scenario.Experiment, verbose bool, mismatches *int) {
 	fmt.Println()
 }
 
-func runGroup(exps []scenario.Experiment, verbose bool, mismatches *int) {
+func renderGroup(exps []scenario.Experiment, rep *matrix.Report, verbose bool, mismatches *int) {
 	fmt.Println("| Experiment | Paper predicts | Measured | Failure mode | Elapsed | Msgs | Bytes |")
 	fmt.Println("|---|---|---|---|---|---|---|")
 	var notes []string
-	for _, exp := range exps {
-		res, err := scenario.Run(exp.Spec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	for i, exp := range exps {
+		o := &rep.Outcomes[i]
+		if o.Err != "" {
+			fail(fmt.Errorf("%s: %s", exp.ID, o.Err))
 		}
-		want := "✓"
-		if !exp.Expect.Consensus {
-			want = "✗"
-		}
-		got := res.Verdict()
+		want := mark(exp.Expect.Consensus)
+		got := mark(o.Consensus)
 		if got != want {
 			*mismatches++
 			got += " (MISMATCH)"
 		}
-		fail := res.FailureMode()
-		if fail == "" {
-			fail = "—"
+		failMode := o.FailureMode
+		if failMode == "" {
+			failMode = "—"
 		}
 		fmt.Printf("| `%s` | %s | %s | %s | %v | %d | %d |\n",
-			exp.ID, want, got, fail, time(res.Elapsed), res.Messages, res.Bytes)
+			exp.ID, want, got, failMode, o.VirtualNS, o.Messages, o.Bytes)
 		notes = append(notes, fmt.Sprintf("- `%s`: %s", exp.ID, exp.Expect.Note))
 		if verbose {
-			for _, l := range perProcess(res) {
-				notes = append(notes, l)
-			}
+			notes = append(notes, perProcess(exp.Spec)...)
 		}
 	}
 	fmt.Println()
@@ -157,7 +272,20 @@ func runGroup(exps []scenario.Experiment, verbose bool, mismatches *int) {
 	fmt.Println()
 }
 
-func perProcess(res *scenario.Result) []string {
+func failNote(o *matrix.Outcome) string {
+	if o.FailureMode != "" {
+		return " — " + o.FailureMode
+	}
+	return ""
+}
+
+// perProcess re-runs one spec serially to report per-process decisions — the
+// matrix outcome carries aggregates only.
+func perProcess(spec scenario.Spec) []string {
+	res, err := scenario.Run(spec)
+	if err != nil {
+		fail(err)
+	}
 	var out []string
 	ids := make([]uint64, 0, len(res.PerProcess))
 	for id := range res.PerProcess {
@@ -165,15 +293,14 @@ func perProcess(res *scenario.Result) []string {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, raw := range ids {
-		id := modelID(raw)
-		pr := res.PerProcess[id]
+		pr := res.PerProcess[model.ID(raw)]
 		role := "correct"
 		if pr.Byzantine {
 			role = "byzantine"
 		}
 		dec := "undecided"
 		if pr.Decided {
-			dec = fmt.Sprintf("decided %q at %v", pr.Value, time(pr.DecidedAt))
+			dec = fmt.Sprintf("decided %q at %v", pr.Value, pr.DecidedAt)
 		}
 		out = append(out, fmt.Sprintf("    - p%d (%s): %s, committee %v (g=%d)", raw, role, dec, pr.Committee, pr.G))
 	}
@@ -188,15 +315,4 @@ func perProcess(res *scenario.Result) []string {
 	}
 	out = append(out, "    - traffic: "+strings.Join(kindStrs, " "))
 	return out
-}
-
-func time(t sim.Time) string {
-	switch {
-	case t >= sim.Second:
-		return fmt.Sprintf("%.2fs", float64(t)/float64(sim.Second))
-	case t >= sim.Millisecond:
-		return fmt.Sprintf("%.1fms", float64(t)/float64(sim.Millisecond))
-	default:
-		return fmt.Sprintf("%dns", int64(t))
-	}
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+// TestReportFormat pins the output contract: first line is the
+// matrix-consumable def (with the seed), and the emitted def string parses
+// back to the same definition and rebuilds the same graph.
+func TestReportFormat(t *testing.T) {
+	def, err := buildDef("kosr", "", 5, 3, 1, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := def.Build(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	ok := report(&out, def, built.G, model.NewIDSet(), 1, 7)
+	if !ok {
+		t.Fatal("planted kosr graph failed validation")
+	}
+	lines := strings.Split(out.String(), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("report too short:\n%s", out.String())
+	}
+	defLine := lines[0]
+	if !strings.HasPrefix(defLine, "def: ") || !strings.HasSuffix(defLine, " seed=7") {
+		t.Fatalf("def line format broken: %q", defLine)
+	}
+	emitted := strings.TrimSuffix(strings.TrimPrefix(defLine, "def: "), " seed=7")
+	back, err := graph.ParseDef(emitted)
+	if err != nil {
+		t.Fatalf("emitted def %q does not parse: %v", emitted, err)
+	}
+	if back != def {
+		t.Fatalf("emitted def round-trips to %+v, want %+v", back, def)
+	}
+	rebuilt, err := back.Build(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.G.String() != built.G.String() {
+		t.Fatal("emitted def + seed rebuilds a different graph")
+	}
+	if !strings.Contains(out.String(), "BFT-CUP   : ✓") {
+		t.Fatalf("missing BFT-CUP verdict:\n%s", out.String())
+	}
+}
+
+func TestBuildDefFigure(t *testing.T) {
+	def, err := buildDef("kosr", "fig4a", 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Kind != graph.DefFigure || def.Figure != "fig4a" {
+		t.Fatalf("figure def wrong: %+v", def)
+	}
+	if _, err := buildDef("bogus", "", 1, 1, 1, 0); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestBuildDefExtended(t *testing.T) {
+	def, err := buildDef("extended", "", 6, 2, 0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := def.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.G.NumNodes() != 8 {
+		t.Fatalf("extended graph has %d nodes, want 8", built.G.NumNodes())
+	}
+	var out strings.Builder
+	if ok := report(&out, def, built.G, model.NewIDSet(), built.F, 1); !ok {
+		t.Fatalf("planted extended graph failed validation:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "BFT-CUPFT : ✓") {
+		t.Fatalf("missing BFT-CUPFT verdict:\n%s", out.String())
+	}
+}

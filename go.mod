@@ -1,0 +1,3 @@
+module github.com/bftcup/bftcup
+
+go 1.21

@@ -1,0 +1,273 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+// DefKind enumerates the graph families a Def can describe.
+type DefKind int
+
+// Graph families.
+const (
+	// DefFigure is a reconstructed paper figure (fig1a … fig4b).
+	DefFigure DefKind = iota
+	// DefComplete is the complete digraph on N nodes (the permissioned
+	// baseline).
+	DefComplete
+	// DefKOSR is a random k-OSR graph from GenKOSR.
+	DefKOSR
+	// DefExtended is a random extended k-OSR graph from GenExtendedKOSR.
+	DefExtended
+)
+
+// Def is a compact, textual, matrix-consumable description of a knowledge
+// connectivity graph: either a paper figure by name or a parameterized random
+// family. It is the lingua franca between graphgen (which emits defs),
+// cupsim/experiments (which accept them on the command line) and the matrix
+// engine (which sweeps over them). The canonical syntax, produced by String
+// and accepted by ParseDef:
+//
+//	fig1b                                  a paper figure
+//	complete:7                             complete digraph on 7 nodes
+//	kosr:sink=7,nonsink=4,k=3[,extra=0.15] random k-OSR family
+//	extended:core=5,noncore=3[,extra=0.15] random extended k-OSR family
+type Def struct {
+	Kind DefKind
+	// Figure is the figure name for DefFigure.
+	Figure string
+	// N is the node count for DefComplete.
+	N int
+	// Sink is the sink (kosr) or core (extended) size.
+	Sink int
+	// NonSink is the non-sink / non-core size.
+	NonSink int
+	// K is the required connectivity for DefKOSR (f+1).
+	K int
+	// ExtraEdgeP is the extra-edge probability for the random families.
+	ExtraEdgeP float64
+}
+
+// BuiltGraph is the result of materializing a Def.
+type BuiltGraph struct {
+	G *Digraph
+	// F is the natural fault threshold of the family: the figure's F, k-1
+	// for k-OSR, f_G for extended, ⌊(n-1)/3⌋ for complete. Callers may
+	// override it.
+	F int
+	// Byz is the figure's scripted Byzantine set (empty for generators).
+	Byz model.IDSet
+	// Sink is the planted sink/core for generators, the expected sink for
+	// figures (nil when the figure defines none).
+	Sink model.IDSet
+}
+
+// String renders the canonical textual form, parseable by ParseDef.
+func (d Def) String() string {
+	switch d.Kind {
+	case DefFigure:
+		return d.Figure
+	case DefComplete:
+		return fmt.Sprintf("complete:%d", d.N)
+	case DefKOSR:
+		s := fmt.Sprintf("kosr:sink=%d,nonsink=%d,k=%d", d.Sink, d.NonSink, d.K)
+		if d.ExtraEdgeP > 0 {
+			s += fmt.Sprintf(",extra=%g", d.ExtraEdgeP)
+		}
+		return s
+	case DefExtended:
+		s := fmt.Sprintf("extended:core=%d,noncore=%d", d.Sink, d.NonSink)
+		if d.ExtraEdgeP > 0 {
+			s += fmt.Sprintf(",extra=%g", d.ExtraEdgeP)
+		}
+		return s
+	default:
+		return fmt.Sprintf("def(%d)", int(d.Kind))
+	}
+}
+
+// NumNodes returns the node count the def will materialize to.
+func (d Def) NumNodes() int {
+	switch d.Kind {
+	case DefComplete:
+		return d.N
+	case DefKOSR, DefExtended:
+		return d.Sink + d.NonSink
+	case DefFigure:
+		for _, fig := range AllFigures() {
+			if fig.Name == d.Figure {
+				return fig.G.NumNodes()
+			}
+		}
+	}
+	return 0
+}
+
+// FigureNames returns the names ParseDef accepts as figures, sorted.
+func FigureNames() []string {
+	var names []string
+	for _, fig := range AllFigures() {
+		names = append(names, fig.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseDef parses the canonical textual form (see Def).
+func ParseDef(s string) (Def, error) {
+	s = strings.TrimSpace(s)
+	head, rest, hasRest := strings.Cut(s, ":")
+	switch head {
+	case "complete":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 1 {
+			return Def{}, fmt.Errorf("graph def %q: want complete:N with N ≥ 1", s)
+		}
+		return Def{Kind: DefComplete, N: n}, nil
+	case "kosr":
+		d := Def{Kind: DefKOSR, ExtraEdgeP: 0}
+		if err := parseDefFields(rest, map[string]func(string) error{
+			"sink":    intField(&d.Sink),
+			"nonsink": intField(&d.NonSink),
+			"k":       intField(&d.K),
+			"extra":   floatField(&d.ExtraEdgeP),
+		}); err != nil {
+			return Def{}, fmt.Errorf("graph def %q: %w", s, err)
+		}
+		if d.Sink <= 0 || d.K <= 0 {
+			return Def{}, fmt.Errorf("graph def %q: need sink ≥ 1 and k ≥ 1", s)
+		}
+		return d, nil
+	case "extended":
+		d := Def{Kind: DefExtended, ExtraEdgeP: 0}
+		if err := parseDefFields(rest, map[string]func(string) error{
+			"core":    intField(&d.Sink),
+			"noncore": intField(&d.NonSink),
+			"extra":   floatField(&d.ExtraEdgeP),
+		}); err != nil {
+			return Def{}, fmt.Errorf("graph def %q: %w", s, err)
+		}
+		if d.Sink < 3 {
+			return Def{}, fmt.Errorf("graph def %q: need core ≥ 3", s)
+		}
+		return d, nil
+	default:
+		if hasRest {
+			// Legacy cupsim forms random:SINK:NONSINK:F and
+			// random-ext:CORE:NONCORE stay accepted.
+			parts := strings.Split(s, ":")
+			switch {
+			case head == "random" && len(parts) == 4:
+				sink, e1 := strconv.Atoi(parts[1])
+				non, e2 := strconv.Atoi(parts[2])
+				f, e3 := strconv.Atoi(parts[3])
+				if e1 != nil || e2 != nil || e3 != nil {
+					return Def{}, fmt.Errorf("graph def %q: want random:SINK:NONSINK:F", s)
+				}
+				return Def{Kind: DefKOSR, Sink: sink, NonSink: non, K: f + 1, ExtraEdgeP: 0.15}, nil
+			case head == "random-ext" && len(parts) == 3:
+				core, e1 := strconv.Atoi(parts[1])
+				non, e2 := strconv.Atoi(parts[2])
+				if e1 != nil || e2 != nil {
+					return Def{}, fmt.Errorf("graph def %q: want random-ext:CORE:NONCORE", s)
+				}
+				return Def{Kind: DefExtended, Sink: core, NonSink: non, ExtraEdgeP: 0.15}, nil
+			}
+			return Def{}, fmt.Errorf("unknown graph def %q", s)
+		}
+		for _, fig := range AllFigures() {
+			if fig.Name == head {
+				return Def{Kind: DefFigure, Figure: head}, nil
+			}
+		}
+		return Def{}, fmt.Errorf("unknown graph def %q (figures: %s)", s, strings.Join(FigureNames(), " "))
+	}
+}
+
+func parseDefFields(s string, fields map[string]func(string) error) error {
+	if s == "" {
+		return fmt.Errorf("missing parameters")
+	}
+	for _, item := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(item, "=")
+		if !ok {
+			return fmt.Errorf("bad parameter %q (want key=value)", item)
+		}
+		set, known := fields[k]
+		if !known {
+			return fmt.Errorf("unknown parameter %q", k)
+		}
+		if err := set(v); err != nil {
+			return fmt.Errorf("parameter %q: %w", item, err)
+		}
+	}
+	return nil
+}
+
+func intField(dst *int) func(string) error {
+	return func(v string) error {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return err
+		}
+		*dst = n
+		return nil
+	}
+}
+
+func floatField(dst *float64) func(string) error {
+	return func(v string) error {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return err
+		}
+		*dst = f
+		return nil
+	}
+}
+
+// Build materializes the def. The seed drives the random families; figures
+// and complete graphs ignore it.
+func (d Def) Build(seed int64) (BuiltGraph, error) {
+	switch d.Kind {
+	case DefFigure:
+		for _, fig := range AllFigures() {
+			if fig.Name == d.Figure {
+				return BuiltGraph{G: fig.G, F: fig.F, Byz: fig.Byz, Sink: fig.ExpectedSink}, nil
+			}
+		}
+		return BuiltGraph{}, fmt.Errorf("unknown figure %q", d.Figure)
+	case DefComplete:
+		if d.N < 1 {
+			return BuiltGraph{}, fmt.Errorf("complete graph needs N ≥ 1")
+		}
+		ids := make([]model.ID, d.N)
+		for i := range ids {
+			ids[i] = model.ID(i + 1)
+		}
+		return BuiltGraph{G: CompleteGraph(ids...), F: (d.N - 1) / 3, Byz: model.NewIDSet()}, nil
+	case DefKOSR:
+		g, sink, err := GenKOSR(rand.New(rand.NewSource(seed)), GenSpec{
+			SinkSize: d.Sink, NonSinkSize: d.NonSink, K: d.K, ExtraEdgeP: d.ExtraEdgeP,
+		})
+		if err != nil {
+			return BuiltGraph{}, err
+		}
+		return BuiltGraph{G: g, F: d.K - 1, Byz: model.NewIDSet(), Sink: sink}, nil
+	case DefExtended:
+		g, core, fG, err := GenExtendedKOSR(rand.New(rand.NewSource(seed)), GenSpec{
+			SinkSize: d.Sink, NonSinkSize: d.NonSink, ExtraEdgeP: d.ExtraEdgeP,
+		})
+		if err != nil {
+			return BuiltGraph{}, err
+		}
+		return BuiltGraph{G: g, F: fG, Byz: model.NewIDSet(), Sink: core}, nil
+	default:
+		return BuiltGraph{}, fmt.Errorf("unknown graph def kind %d", int(d.Kind))
+	}
+}

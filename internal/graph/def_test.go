@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestParseDefRoundTrip(t *testing.T) {
+	defs := []Def{
+		{Kind: DefFigure, Figure: "fig1b"},
+		{Kind: DefComplete, N: 7},
+		{Kind: DefKOSR, Sink: 7, NonSink: 4, K: 3},
+		{Kind: DefKOSR, Sink: 5, NonSink: 2, K: 2, ExtraEdgeP: 0.15},
+		{Kind: DefExtended, Sink: 5, NonSink: 3},
+		{Kind: DefExtended, Sink: 6, NonSink: 2, ExtraEdgeP: 0.2},
+	}
+	for _, want := range defs {
+		got, err := ParseDef(want.String())
+		if err != nil {
+			t.Fatalf("ParseDef(%q): %v", want.String(), err)
+		}
+		if got != want {
+			t.Errorf("ParseDef(%q) = %+v, want %+v", want.String(), got, want)
+		}
+	}
+}
+
+func TestParseDefFigures(t *testing.T) {
+	for _, name := range FigureNames() {
+		d, err := ParseDef(name)
+		if err != nil {
+			t.Fatalf("ParseDef(%q): %v", name, err)
+		}
+		b, err := d.Build(1)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", name, err)
+		}
+		if b.G.NumNodes() == 0 {
+			t.Errorf("figure %q built empty", name)
+		}
+		if b.G.NumNodes() != d.NumNodes() {
+			t.Errorf("figure %q: NumNodes %d != built %d", name, d.NumNodes(), b.G.NumNodes())
+		}
+	}
+}
+
+func TestParseDefLegacyForms(t *testing.T) {
+	d, err := ParseDef("random:5:3:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != DefKOSR || d.Sink != 5 || d.NonSink != 3 || d.K != 2 {
+		t.Errorf("random:5:3:1 parsed to %+v", d)
+	}
+	d, err = ParseDef("random-ext:5:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != DefExtended || d.Sink != 5 || d.NonSink != 3 {
+		t.Errorf("random-ext:5:3 parsed to %+v", d)
+	}
+}
+
+func TestParseDefErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "figZZ", "complete:0", "complete:x", "kosr:", "kosr:sink=0,nonsink=1,k=1",
+		"kosr:bogus=3", "extended:core=2,noncore=1", "random:1:2", "kosr:sink",
+	} {
+		if _, err := ParseDef(bad); err == nil {
+			t.Errorf("ParseDef(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestDefBuildDeterministic(t *testing.T) {
+	for _, s := range []string{"kosr:sink=6,nonsink=3,k=2,extra=0.3", "extended:core=5,noncore=4,extra=0.3"} {
+		d, err := ParseDef(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := d.Build(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := d.Build(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.G.String() != b.G.String() {
+			t.Errorf("%s: same seed produced different graphs", s)
+		}
+		c, err := d.Build(43)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.G.String() == c.G.String() {
+			t.Errorf("%s: different seeds produced identical graphs (suspicious)", s)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package matrix is the scenario-matrix engine: it expands experiment axes
+// (graph family × protocol mode × network model × Byzantine placement ×
+// fault threshold × seed) into the cross-product of scenario parameters and
+// executes the cells on a worker pool — one deterministic simulation engine
+// per cell, parallelism bounded by GOMAXPROCS. Every cell is graded against
+// the four consensus properties (Agreement, Validity, Integrity,
+// Termination) and aggregated into a Report with per-axis statistics, a
+// deterministic fingerprint (serial and parallel execution provably agree)
+// and JSON / text renderings.
+//
+// The paper's tables and figures are fixed points of this engine (see
+// FromExperiments); sweeps beyond the paper — more seeds, bigger random
+// graphs, adversarial placements — are new axis values, not new code.
+package matrix
+
+import (
+	"fmt"
+
+	"github.com/bftcup/bftcup/internal/core"
+	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/scenario"
+	"github.com/bftcup/bftcup/internal/sim"
+)
+
+// Axes describes one parameter sweep. Empty axes default to a single
+// neutral value, so callers only set the dimensions they sweep.
+type Axes struct {
+	// Name labels the resulting report.
+	Name string
+	// Graphs are the knowledge-connectivity-graph families to sweep.
+	Graphs []graph.Def
+	// Modes are the committee-identification protocols.
+	Modes []core.Mode
+	// Nets are the network models. Async cells automatically stretch the
+	// discovery/poll periods (the non-terminating runs would otherwise
+	// generate unbounded gossip volume).
+	Nets []scenario.NetParams
+	// Byz are the automatic Byzantine placements (default: none).
+	Byz []scenario.AutoByz
+	// F are the fault thresholds handed to processes; -1 means the graph
+	// family's natural threshold (default: [-1]).
+	F []int
+	// Seeds are the simulation seeds; each seed also drives random graph
+	// generation for generator-family cells (default: [1]).
+	Seeds []int64
+	// Horizon bounds every run (default 60 virtual seconds).
+	Horizon sim.Time
+}
+
+// Cell is one expanded point of the sweep.
+type Cell struct {
+	// Index is the cell's position in expansion order; aggregation is
+	// performed in this order regardless of execution order, which is what
+	// makes parallel and serial runs produce identical reports.
+	Index  int
+	Params scenario.Params
+	// Expect carries the paper's prediction when the cell comes from the
+	// reproduction suite; nil for free sweeps.
+	Expect *scenario.Expect
+}
+
+// ID returns the stable cell identifier.
+func (c Cell) ID() string { return c.Params.ID() }
+
+func orDefault[T any](vals []T, def T) []T {
+	if len(vals) == 0 {
+		return []T{def}
+	}
+	return vals
+}
+
+// Size returns the number of cells Expand will produce.
+func (a Axes) Size() int {
+	if len(a.Graphs) == 0 {
+		return 0
+	}
+	n := len(a.Graphs)
+	n *= len(orDefault(a.Modes, core.ModeUnknownF))
+	n *= len(orDefault(a.Nets, scenario.NetParams{}))
+	n *= len(orDefault(a.Byz, scenario.AutoByz{}))
+	n *= len(orDefault(a.F, -1))
+	n *= len(orDefault(a.Seeds, 1))
+	return n
+}
+
+// Expand produces the cross-product of the axes in deterministic order
+// (graphs outermost, seeds innermost). Cells that cannot materialize (e.g. a
+// generator spec too small for its connectivity) surface as errors here, not
+// at run time.
+func (a Axes) Expand() ([]Cell, error) {
+	graphs := a.Graphs
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("matrix %q: no graph axis", a.Name)
+	}
+	modes := orDefault(a.Modes, core.ModeUnknownF)
+	nets := orDefault(a.Nets, scenario.NetParams{Kind: scenario.NetSync})
+	byz := orDefault(a.Byz, scenario.AutoByz{})
+	fs := orDefault(a.F, -1)
+	seeds := orDefault(a.Seeds, 1)
+	horizon := a.Horizon
+	if horizon <= 0 {
+		horizon = 60 * sim.Second
+	}
+
+	cells := make([]Cell, 0, a.Size())
+	for _, g := range graphs {
+		for _, mode := range modes {
+			for _, net := range nets {
+				for _, b := range byz {
+					for _, f := range fs {
+						for _, seed := range seeds {
+							p := scenario.Params{
+								Graph:         g,
+								Mode:          mode,
+								F:             f,
+								Auto:          b,
+								Net:           net,
+								Horizon:       horizon,
+								Seed:          seed,
+								SlowDiscovery: net.Kind == scenario.NetAsync,
+							}
+							p.Name = p.ID()
+							// Materialize once to reject impossible cells
+							// early with a precise error.
+							if _, err := p.Spec(); err != nil {
+								return nil, fmt.Errorf("matrix %q cell %d: %w", a.Name, len(cells), err)
+							}
+							cells = append(cells, Cell{Index: len(cells), Params: p})
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// FromExperiments wraps the reproduction suite's experiments as matrix
+// cells, carrying the paper's predictions into the report.
+func FromExperiments(exps []scenario.Experiment) []Cell {
+	cells := make([]Cell, 0, len(exps))
+	for _, exp := range exps {
+		exp := exp
+		p := exp.Params
+		p.Name = exp.ID
+		cells = append(cells, Cell{Index: len(cells), Params: p, Expect: &exp.Expect})
+	}
+	return cells
+}

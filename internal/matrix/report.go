@@ -1,0 +1,210 @@
+package matrix
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/bftcup/bftcup/internal/sim"
+)
+
+// AxisStat aggregates outcomes sharing one axis value.
+type AxisStat struct {
+	Value     string `json:"value"`
+	Cells     int    `json:"cells"`
+	Consensus int    `json:"consensus"`
+	Errors    int    `json:"errors"`
+}
+
+// Report is the aggregated result of a matrix run. Every field except the
+// wall-clock ones (WallNS, per-outcome WallNS, Parallelism) is a pure
+// function of the cells and their deterministic execution — Fingerprint
+// hashes exactly that, and the regression tests assert serial and parallel
+// fingerprints agree.
+type Report struct {
+	Name        string `json:"name,omitempty"`
+	Cells       int    `json:"cells"`
+	Consensus   int    `json:"consensus"`
+	Errors      int    `json:"errors"`
+	Mismatches  int    `json:"mismatches"` // expectation-carrying cells that diverged
+	Expected    int    `json:"expected"`   // expectation-carrying cells
+	Parallelism int    `json:"parallelism"`
+	WallNS      int64  `json:"wall_ns"`
+
+	TotalMessages int64    `json:"total_messages"`
+	TotalBytes    int64    `json:"total_bytes"`
+	MaxVirtualNS  sim.Time `json:"max_virtual_ns"`
+
+	// Axes maps axis name (graph, mode, net, byz, seed) to per-value stats,
+	// in first-seen (i.e. expansion) order.
+	Axes map[string][]AxisStat `json:"axes"`
+
+	Outcomes []Outcome `json:"outcomes"`
+}
+
+// aggregate folds outcomes (already in cell-index order) into a report.
+func aggregate(outcomes []Outcome, parallelism int) *Report {
+	rep := &Report{
+		Cells:       len(outcomes),
+		Parallelism: parallelism,
+		Axes:        make(map[string][]AxisStat),
+		Outcomes:    outcomes,
+	}
+	axisOrder := map[string]map[string]int{} // axis → value → index into rep.Axes[axis]
+	bump := func(axis, value string, o *Outcome) {
+		idx, ok := axisOrder[axis]
+		if !ok {
+			idx = make(map[string]int)
+			axisOrder[axis] = idx
+		}
+		i, ok := idx[value]
+		if !ok {
+			i = len(rep.Axes[axis])
+			idx[value] = i
+			rep.Axes[axis] = append(rep.Axes[axis], AxisStat{Value: value})
+		}
+		st := &rep.Axes[axis][i]
+		st.Cells++
+		if o.Consensus {
+			st.Consensus++
+		}
+		if o.Err != "" {
+			st.Errors++
+		}
+	}
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.Err != "" {
+			rep.Errors++
+		}
+		if o.Consensus {
+			rep.Consensus++
+		}
+		if o.Expect != nil {
+			rep.Expected++
+			if o.Match != nil && !*o.Match {
+				rep.Mismatches++
+			}
+		}
+		rep.TotalMessages += o.Messages
+		rep.TotalBytes += o.Bytes
+		if o.VirtualNS > rep.MaxVirtualNS {
+			rep.MaxVirtualNS = o.VirtualNS
+		}
+		bump("graph", o.Graph, o)
+		bump("mode", o.Mode, o)
+		bump("net", o.Net, o)
+		bump("byz", o.Byz, o)
+		bump("seed", fmt.Sprintf("%d", o.Seed), o)
+	}
+	return rep
+}
+
+// Fingerprint hashes every deterministic field of the report — the full
+// outcome list in cell order plus the aggregate counters — and excludes
+// wall-clock measurements and parallelism. Two runs of the same cells agree
+// on it no matter how they were scheduled.
+func (r *Report) Fingerprint() string {
+	h := sha256.New()
+	put := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
+	put("cells=%d consensus=%d errors=%d mismatches=%d expected=%d msgs=%d bytes=%d maxvirt=%d\n",
+		r.Cells, r.Consensus, r.Errors, r.Mismatches, r.Expected,
+		r.TotalMessages, r.TotalBytes, r.MaxVirtualNS)
+	for i := range r.Outcomes {
+		o := &r.Outcomes[i]
+		put("%d|%s|%s|%s|%s|%s|%d|%d|%t%t%t%t%t|%s|%d|%d|%d|%s|%d|%s\n",
+			o.Index, o.ID, o.Graph, o.Mode, o.Net, o.Byz, o.F, o.Seed,
+			o.Consensus, o.Agreement, o.Validity, o.Integrity, o.Termination,
+			o.FailureMode, o.VirtualNS, o.Messages, o.Bytes,
+			o.TraceDigest, o.TraceEvents, o.Err)
+		if o.Expect != nil {
+			put("expect=%t match=%t\n", *o.Expect, *o.Match)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// JSON renders the full report (summary + per-cell outcomes).
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteText renders a human-readable summary: per-axis tables, the failure
+// list, totals. When cellRows is true every cell gets its own row (useful
+// for small matrices; sweeps with hundreds of cells usually want the
+// aggregates only).
+func (r *Report) WriteText(w io.Writer, cellRows bool) {
+	name := r.Name
+	if name == "" {
+		name = "matrix"
+	}
+	fmt.Fprintf(w, "# %s: %d cells, %d consensus, %d failed, %d errors",
+		name, r.Cells, r.Consensus, r.Cells-r.Consensus-r.Errors, r.Errors)
+	if r.Expected > 0 {
+		fmt.Fprintf(w, ", %d/%d matched the paper", r.Expected-r.Mismatches, r.Expected)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "# %d workers, %.2fs wall, %d msgs, %d wire bytes\n\n",
+		r.Parallelism, float64(r.WallNS)/1e9, r.TotalMessages, r.TotalBytes)
+
+	for _, axis := range []string{"graph", "mode", "net", "byz", "seed"} {
+		stats := r.Axes[axis]
+		if len(stats) < 2 {
+			continue
+		}
+		fmt.Fprintf(w, "## by %s\n\n", axis)
+		fmt.Fprintf(w, "| %s | cells | consensus | errors |\n|---|---|---|---|\n", axis)
+		for _, st := range stats {
+			fmt.Fprintf(w, "| %s | %d | %d | %d |\n", st.Value, st.Cells, st.Consensus, st.Errors)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if cellRows {
+		fmt.Fprintln(w, "| cell | verdict | failure | virtual | msgs | bytes |")
+		fmt.Fprintln(w, "|---|---|---|---|---|---|")
+		for i := range r.Outcomes {
+			o := &r.Outcomes[i]
+			verdict := "✓"
+			switch {
+			case o.Err != "":
+				verdict = "error"
+			case !o.Consensus:
+				verdict = "✗"
+			}
+			fail := o.FailureMode
+			if fail == "" {
+				fail = "—"
+			}
+			if o.Err != "" {
+				fail = o.Err
+			}
+			fmt.Fprintf(w, "| `%s` | %s | %s | %s | %d | %d |\n",
+				o.ID, verdict, fail, o.VirtualNS, o.Messages, o.Bytes)
+		}
+		fmt.Fprintln(w)
+		return
+	}
+
+	var failed []string
+	for i := range r.Outcomes {
+		o := &r.Outcomes[i]
+		switch {
+		case o.Err != "":
+			failed = append(failed, fmt.Sprintf("- `%s`: error: %s", o.ID, o.Err))
+		case o.Match != nil && !*o.Match:
+			failed = append(failed, fmt.Sprintf("- `%s`: measured %t, paper predicts %t", o.ID, o.Consensus, *o.Expect))
+		case o.Match == nil && !o.Consensus:
+			failed = append(failed, fmt.Sprintf("- `%s`: %s", o.ID, o.FailureMode))
+		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintln(w, "## cells without consensus / diverging from the paper")
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, strings.Join(failed, "\n"))
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,166 @@
+package matrix
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bftcup/bftcup/internal/scenario"
+	"github.com/bftcup/bftcup/internal/sim"
+)
+
+// Options tunes matrix execution.
+type Options struct {
+	// Parallelism is the worker count; ≤ 0 means GOMAXPROCS. 1 is fully
+	// serial (the baseline the determinism tests compare against).
+	Parallelism int
+	// Trace enables per-cell event/decision trace digests (costs one SHA-256
+	// stream per cell).
+	Trace bool
+	// Progress, when non-nil, is called after every finished cell with the
+	// number completed so far and the total. Calls are serialized.
+	Progress func(done, total int)
+}
+
+// Outcome is the graded result of one cell.
+type Outcome struct {
+	Index int    `json:"index"`
+	ID    string `json:"id"`
+	Graph string `json:"graph"`
+	Mode  string `json:"mode"`
+	Net   string `json:"net"`
+	Byz   string `json:"byz"`
+	F     int    `json:"f"`
+	Seed  int64  `json:"seed"`
+
+	Consensus   bool   `json:"consensus"`
+	Agreement   bool   `json:"agreement"`
+	Validity    bool   `json:"validity"`
+	Integrity   bool   `json:"integrity"`
+	Termination bool   `json:"termination"`
+	FailureMode string `json:"failure_mode,omitempty"`
+
+	// Expect / Match are set for cells carrying a paper prediction.
+	Expect *bool `json:"expect,omitempty"`
+	Match  *bool `json:"match,omitempty"`
+
+	VirtualNS   sim.Time `json:"virtual_ns"`
+	Messages    int64    `json:"messages"`
+	Bytes       int64    `json:"bytes"`
+	TraceDigest string   `json:"trace_digest,omitempty"`
+	TraceEvents int64    `json:"trace_events,omitempty"`
+
+	// WallNS is measured wall-clock time for this cell. It is the one
+	// nondeterministic field; Report.Fingerprint excludes it.
+	WallNS int64 `json:"wall_ns"`
+
+	Err string `json:"err,omitempty"`
+}
+
+// runCell executes one cell on its own deterministic simulation engine.
+func runCell(c Cell, trace bool) Outcome {
+	p := c.Params
+	p.Trace = trace
+	out := Outcome{
+		Index: c.Index,
+		ID:    p.ID(),
+		Graph: p.Graph.String(),
+		Mode:  p.Mode.String(),
+		Net:   p.Net.Label(),
+		Byz:   p.ByzLabel(),
+		F:     p.F,
+		Seed:  p.Seed,
+	}
+	start := time.Now()
+	defer func() { out.WallNS = time.Since(start).Nanoseconds() }()
+	spec, err := p.Spec()
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	res, err := scenario.Run(spec)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.Consensus = res.Consensus()
+	out.Agreement = res.Agreement
+	out.Validity = res.Validity
+	out.Integrity = res.Integrity
+	out.Termination = res.Termination
+	out.FailureMode = res.FailureMode()
+	out.VirtualNS = res.Elapsed
+	out.Messages = res.Messages
+	out.Bytes = res.Bytes
+	out.TraceDigest = res.TraceDigest
+	out.TraceEvents = res.TraceEvents
+	if c.Expect != nil {
+		want := c.Expect.Consensus
+		match := want == out.Consensus
+		out.Expect, out.Match = &want, &match
+	}
+	return out
+}
+
+// Run executes the cells on a worker pool and aggregates the outcomes in
+// cell-index order, so the report (minus wall-clock fields) is independent
+// of parallelism and scheduling.
+func Run(cells []Cell, opts Options) (*Report, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("matrix: no cells to run")
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(cells) {
+		par = len(cells)
+	}
+
+	outcomes := make([]Outcome, len(cells))
+	start := time.Now()
+	var next atomic.Int64
+	next.Store(-1)
+	var done atomic.Int64
+	var progressMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(cells) {
+					return
+				}
+				outcomes[i] = runCell(cells[i], opts.Trace)
+				n := int(done.Add(1))
+				if opts.Progress != nil {
+					progressMu.Lock()
+					opts.Progress(n, len(cells))
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rep := aggregate(outcomes, par)
+	rep.WallNS = time.Since(start).Nanoseconds()
+	return rep, nil
+}
+
+// RunAxes expands and runs in one step.
+func RunAxes(a Axes, opts Options) (*Report, error) {
+	cells, err := a.Expand()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := Run(cells, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Name = a.Name
+	return rep, nil
+}

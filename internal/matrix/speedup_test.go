@@ -1,0 +1,44 @@
+package matrix
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestParallelSpeedup measures wall-clock speedup of the worker pool over
+// serial execution on the standard sweep. The cells are CPU-bound (key
+// generation, signature verification, event simulation), so on ≥ 4 cores
+// the pool must beat serial by a wide margin; the acceptance bar is 2×, and
+// the test asserts a slightly softer 1.5× to stay robust against noisy CI
+// neighbors. Machines with fewer than 4 cores skip — there is nothing to
+// measure there (this container may be single-core; CI runners are not).
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping wall-clock measurement in -short mode")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need ≥ 4 cores to measure speedup, have %d", runtime.GOMAXPROCS(0))
+	}
+	cells, err := StandardSweep(Seeds(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Run(cells, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(cells, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.Fingerprint(), parallel.Fingerprint(); s != p {
+		t.Fatalf("speedup run diverged from serial: %s vs %s", s, p)
+	}
+	speedup := float64(serial.WallNS) / float64(parallel.WallNS)
+	t.Logf("%d cells: serial %.2fs, parallel %.2fs on %d workers → %.2fx",
+		len(cells), float64(serial.WallNS)/1e9, float64(parallel.WallNS)/1e9,
+		parallel.Parallelism, speedup)
+	if speedup < 1.5 {
+		t.Errorf("parallel speedup %.2fx below 1.5x on %d workers", speedup, parallel.Parallelism)
+	}
+}

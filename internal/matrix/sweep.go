@@ -1,0 +1,116 @@
+package matrix
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/bftcup/bftcup/internal/core"
+	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/scenario"
+	"github.com/bftcup/bftcup/internal/sim"
+)
+
+// Concat merges cell lists into one matrix, reindexing in order.
+func Concat(lists ...[]Cell) []Cell {
+	var out []Cell
+	for _, l := range lists {
+		for _, c := range l {
+			c.Index = len(out)
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ParseSeedRange parses a seed-sweep flag: "FROM:TO", or a bare count "N"
+// meaning 1:N. The shared parser keeps every CLI's sweep syntax identical.
+func ParseSeedRange(s string) ([]int64, error) {
+	if from, to, ok := strings.Cut(s, ":"); ok {
+		a, err1 := strconv.ParseInt(from, 10, 64)
+		b, err2 := strconv.ParseInt(to, 10, 64)
+		if err1 != nil || err2 != nil || b < a {
+			return nil, fmt.Errorf("bad seed range %q (want FROM:TO)", s)
+		}
+		return Seeds(a, b), nil
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("bad seed count %q (want N or FROM:TO)", s)
+	}
+	return Seeds(1, n), nil
+}
+
+// Seeds returns [from, from+1, …, to] for seed-sweep axes.
+func Seeds(from, to int64) []int64 {
+	if to < from {
+		return nil
+	}
+	out := make([]int64, 0, to-from+1)
+	for s := from; s <= to; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+func mustParseDef(s string) graph.Def {
+	d, err := graph.ParseDef(s)
+	if err != nil {
+		panic(fmt.Sprintf("matrix: bad built-in graph def %q: %v", s, err))
+	}
+	return d
+}
+
+// StandardSweep is the default scenario matrix of cmd/experiments -matrix:
+// each protocol family crossed with its valid graph families, the sync and
+// partially-synchronous network models, clean and single-silent-fault
+// placements, and the given seed range. With the default ten seeds it
+// expands to 240 cells. Every axis combination included here solves
+// consensus per the paper's theorems, so the sweep doubles as a wide
+// regression net: any cell without consensus is a finding.
+func StandardSweep(seeds []int64) ([]Cell, error) {
+	if len(seeds) == 0 {
+		seeds = Seeds(1, 10)
+	}
+	none := scenario.AutoByz{}
+	tailSilent := scenario.AutoByz{Kind: scenario.ByzSilent, Count: 1, Place: scenario.PlaceTail}
+	nets := []scenario.NetParams{
+		{Kind: scenario.NetSync},
+		{Kind: scenario.NetPartial, GST: 2 * sim.Second},
+	}
+	groups := []Axes{
+		{
+			Name:   "bft-cup",
+			Graphs: []graph.Def{mustParseDef("fig1b"), mustParseDef("kosr:sink=5,nonsink=3,k=2,extra=0.15")},
+			Modes:  []core.Mode{core.ModeKnownF},
+			Nets:   nets,
+			Byz:    []scenario.AutoByz{none, tailSilent},
+			Seeds:  seeds,
+		},
+		{
+			Name:   "bft-cupft",
+			Graphs: []graph.Def{mustParseDef("fig4a"), mustParseDef("fig4b"), mustParseDef("extended:core=5,noncore=3,extra=0.15")},
+			Modes:  []core.Mode{core.ModeUnknownF},
+			Nets:   nets,
+			Byz:    []scenario.AutoByz{none, tailSilent},
+			Seeds:  seeds,
+		},
+		{
+			Name:   "permissioned",
+			Graphs: []graph.Def{mustParseDef("complete:7")},
+			Modes:  []core.Mode{core.ModePermissioned},
+			Nets:   nets,
+			Byz:    []scenario.AutoByz{none, tailSilent},
+			Seeds:  seeds,
+		},
+	}
+	var lists [][]Cell
+	for _, g := range groups {
+		cells, err := g.Expand()
+		if err != nil {
+			return nil, err
+		}
+		lists = append(lists, cells)
+	}
+	return Concat(lists...), nil
+}

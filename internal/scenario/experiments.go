@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"fmt"
+
 	"github.com/bftcup/bftcup/internal/core"
 	"github.com/bftcup/bftcup/internal/graph"
 	"github.com/bftcup/bftcup/internal/model"
@@ -14,159 +16,147 @@ type Expect struct {
 	Note      string // which property fails and why, per the paper
 }
 
-// Experiment pairs a runnable spec with the paper's prediction.
+// Experiment pairs a runnable spec with the paper's prediction. Params is
+// the data-driven description; Spec is its materialization (kept so existing
+// callers — the benchmarks, the CLIs — run it directly).
 type Experiment struct {
 	ID     string // e.g. "table1/partial/bft-cupft" or "fig2c"
+	Params Params
 	Spec   Spec
 	Expect Expect
 }
 
 const (
-	delta       = 5 * sim.Millisecond
-	defHorizon  = 120 * sim.Second
-	asyncDelta  = 2 * sim.Second // above the PBFT base timeout
-	asyncFactor = 3
+	defHorizon = 120 * sim.Second
 )
 
-func syncNet() sim.NetworkModel { return sim.Synchronous{Delta: delta} }
+func figDef(name string) graph.Def { return graph.Def{Kind: graph.DefFigure, Figure: name} }
 
-// partialNet is eventually synchronous with chaotic (maximally delayed)
-// links before GST.
-func partialNet(gst sim.Time) sim.NetworkModel {
-	return sim.PartialSync{GST: gst, Delta: delta, Slow: func(a, b model.ID) bool { return true }}
+// row is one line of the data-driven experiment tables: everything the
+// harness needs to build and grade a run, as plain values.
+type row struct {
+	id     string
+	params Params
+	expect Expect
 }
 
-func asyncNet() sim.NetworkModel {
-	return sim.AsyncAdversarial{Delta: asyncDelta, Factor: asyncFactor}
+func build(rows []row) []Experiment {
+	out := make([]Experiment, 0, len(rows))
+	for _, r := range rows {
+		r.params.Name = r.id
+		spec, err := r.params.Spec()
+		if err != nil {
+			// The tables are static data; a row that cannot materialize is a
+			// programming error caught by the package tests.
+			panic(fmt.Sprintf("experiment %s: %v", r.id, err))
+		}
+		out = append(out, Experiment{ID: r.id, Params: r.params, Spec: spec, Expect: r.expect})
+	}
+	return out
 }
 
-// slowDiscovery keeps the event volume of non-terminating async runs sane:
-// knowledge still converges, consensus still cannot.
-func slowDiscovery(s Spec) Spec {
-	s.Discovery.Period = 500 * sim.Millisecond
-	s.PollPeriod = 2 * sim.Second
-	return s
-}
-
-// permissionedSpec is the known-n-known-f column: complete graph on seven
+// permissionedParams is the known-n-known-f column: complete graph on seven
 // processes, f = 2, two silent Byzantine members.
-func permissionedSpec(name string, net sim.NetworkModel) Spec {
-	g := graph.CompleteGraph(1, 2, 3, 4, 5, 6, 7)
-	return Spec{
-		Name:  name,
-		Graph: g,
+func permissionedParams(net NetParams, horizon sim.Time, seed int64) Params {
+	return Params{
+		Graph: graph.Def{Kind: graph.DefComplete, N: 7},
 		Mode:  core.ModePermissioned,
 		F:     2,
-		Byz: map[model.ID]ByzSpec{
+		Byz: map[model.ID]ByzParams{
 			3: {Kind: ByzSilent},
 			6: {Kind: ByzSilent},
 		},
 		Net:     net,
-		Horizon: defHorizon,
-		Seed:    7,
+		Horizon: horizon,
+		Seed:    seed,
 	}
 }
 
-// bftCUPSpec is the unknown-n-known-f column: Fig 1b, f = 1, Byzantine 4
+// bftCUPParams is the unknown-n-known-f column: Fig 1b, f = 1, Byzantine 4
 // advertising the false PD {1,2,3} from the paper's worked example.
-func bftCUPSpec(name string, net sim.NetworkModel) Spec {
-	fig := graph.Fig1b()
-	return Spec{
-		Name:  name,
-		Graph: fig.G,
+func bftCUPParams(net NetParams, horizon sim.Time, seed int64) Params {
+	return Params{
+		Graph: figDef("fig1b"),
 		Mode:  core.ModeKnownF,
-		F:     fig.F,
-		Byz: map[model.ID]ByzSpec{
-			4: {Kind: ByzFakePD, ClaimedPD: model.NewIDSet(1, 2, 3)},
+		F:     -1,
+		Byz: map[model.ID]ByzParams{
+			4: {Kind: ByzFakePD, ClaimedPD: []model.ID{1, 2, 3}},
 		},
 		Net:     net,
-		Horizon: defHorizon,
-		Seed:    11,
+		Horizon: horizon,
+		Seed:    seed,
 	}
 }
 
-// bftCUPFTSpec is the unknown-n-unknown-f column: Fig 4a with silent
+// bftCUPFTParams is the unknown-n-unknown-f column: Fig 4a with silent
 // Byzantine 4; no process receives f.
-func bftCUPFTSpec(name string, net sim.NetworkModel) Spec {
-	fig := graph.Fig4a()
-	return Spec{
-		Name:  name,
-		Graph: fig.G,
+func bftCUPFTParams(net NetParams, horizon sim.Time, seed int64) Params {
+	return Params{
+		Graph: figDef("fig4a"),
 		Mode:  core.ModeUnknownF,
-		Byz: map[model.ID]ByzSpec{
+		Byz: map[model.ID]ByzParams{
 			4: {Kind: ByzSilent},
 		},
 		Net:     net,
-		Horizon: defHorizon,
-		Seed:    13,
+		Horizon: horizon,
+		Seed:    seed,
 	}
+}
+
+func slow(p Params) Params {
+	p.SlowDiscovery = true
+	return p
 }
 
 // Table1 returns the nine cells of Table I: three knowledge models × three
 // communication models. The async row uses the adversarial scheduler as a
 // witness of [24]'s impossibility (observed non-termination by the horizon).
 func Table1() []Experiment {
-	gst := 2 * sim.Second
-	mk := func(id string, spec Spec, expect Expect) Experiment {
-		return Experiment{ID: "table1/" + id, Spec: spec, Expect: expect}
-	}
+	sync := NetParams{Kind: NetSync}
+	partial := NetParams{Kind: NetPartial, GST: 2 * sim.Second}
+	async := NetParams{Kind: NetAsync}
 	yes := Expect{Consensus: true}
 	no := Expect{Consensus: false, Note: "deterministic consensus impossible in asynchrony [24]; adversarial schedule shows non-termination"}
-	return []Experiment{
-		mk("sync/known-n-known-f", permissionedSpec("table1/sync/known-n-known-f", syncNet()), yes),
-		mk("sync/unknown-n-known-f", bftCUPSpec("table1/sync/unknown-n-known-f", syncNet()), yes),
-		mk("sync/unknown-n-unknown-f", bftCUPFTSpec("table1/sync/unknown-n-unknown-f", syncNet()), yes),
-		mk("partial/known-n-known-f", permissionedSpec("table1/partial/known-n-known-f", partialNet(gst)), yes),
-		mk("partial/unknown-n-known-f", bftCUPSpec("table1/partial/unknown-n-known-f", partialNet(gst)), yes),
-		mk("partial/unknown-n-unknown-f", bftCUPFTSpec("table1/partial/unknown-n-unknown-f", partialNet(gst)), yes),
-		mk("async/known-n-known-f", slowDiscovery(withHorizon(permissionedSpec("table1/async/known-n-known-f", asyncNet()), 60*sim.Second)), no),
-		mk("async/unknown-n-known-f", slowDiscovery(withHorizon(bftCUPSpec("table1/async/unknown-n-known-f", asyncNet()), 60*sim.Second)), no),
-		mk("async/unknown-n-unknown-f", slowDiscovery(withHorizon(bftCUPFTSpec("table1/async/unknown-n-unknown-f", asyncNet()), 60*sim.Second)), no),
-	}
-}
-
-func withHorizon(s Spec, h sim.Time) Spec {
-	s.Horizon = h
-	return s
+	return build([]row{
+		{"table1/sync/known-n-known-f", permissionedParams(sync, defHorizon, 7), yes},
+		{"table1/sync/unknown-n-known-f", bftCUPParams(sync, defHorizon, 11), yes},
+		{"table1/sync/unknown-n-unknown-f", bftCUPFTParams(sync, defHorizon, 13), yes},
+		{"table1/partial/known-n-known-f", permissionedParams(partial, defHorizon, 7), yes},
+		{"table1/partial/unknown-n-known-f", bftCUPParams(partial, defHorizon, 11), yes},
+		{"table1/partial/unknown-n-unknown-f", bftCUPFTParams(partial, defHorizon, 13), yes},
+		{"table1/async/known-n-known-f", slow(permissionedParams(async, 60*sim.Second, 7)), no},
+		{"table1/async/unknown-n-known-f", slow(bftCUPParams(async, 60*sim.Second, 11)), no},
+		{"table1/async/unknown-n-unknown-f", slow(bftCUPFTParams(async, 60*sim.Second, 13)), no},
+	})
 }
 
 // Fig1 returns the two Fig. 1 experiments: the invalid graph (1a) where the
 // silent bridge process splits the system into islands that decide
 // independently, and the valid graph (1b) where BFT-CUP solves consensus.
 func Fig1() []Experiment {
-	a := graph.Fig1a()
-	b := graph.Fig1b()
-	return []Experiment{
+	return build([]row{
 		{
-			ID: "fig1a",
-			Spec: Spec{
-				Name:  "fig1a",
-				Graph: a.G,
-				Mode:  core.ModeKnownF,
-				F:     a.F,
-				Byz:   map[model.ID]ByzSpec{4: {Kind: ByzSilent}},
-				Net:   syncNet(),
+			"fig1a",
+			Params{
+				Graph: figDef("fig1a"), Mode: core.ModeKnownF, F: -1,
+				Byz: map[model.ID]ByzParams{4: {Kind: ByzSilent}},
+				Net: NetParams{Kind: NetSync},
 				// Both islands decide quickly; the violation is immediate.
-				Horizon: 60 * sim.Second,
-				Seed:    21,
+				Horizon: 60 * sim.Second, Seed: 21,
 			},
-			Expect: Expect{Consensus: false, Note: "graph violates Theorem 1; the two knowledge islands decide independently (Agreement violated)"},
+			Expect{Consensus: false, Note: "graph violates Theorem 1; the two knowledge islands decide independently (Agreement violated)"},
 		},
 		{
-			ID: "fig1b",
-			Spec: Spec{
-				Name:    "fig1b",
-				Graph:   b.G,
-				Mode:    core.ModeKnownF,
-				F:       b.F,
-				Byz:     map[model.ID]ByzSpec{4: {Kind: ByzFakePD, ClaimedPD: model.NewIDSet(1, 2, 3)}},
-				Net:     syncNet(),
-				Horizon: 60 * sim.Second,
-				Seed:    22,
+			"fig1b",
+			Params{
+				Graph: figDef("fig1b"), Mode: core.ModeKnownF, F: -1,
+				Byz:     map[model.ID]ByzParams{4: {Kind: ByzFakePD, ClaimedPD: []model.ID{1, 2, 3}}},
+				Net:     NetParams{Kind: NetSync},
+				Horizon: 60 * sim.Second, Seed: 22,
 			},
-			Expect: Expect{Consensus: true, Note: "graph satisfies Theorem 1; sink {1,2,3,4} identified despite the Byzantine PD claim"},
+			Expect{Consensus: true, Note: "graph satisfies Theorem 1; sink {1,2,3,4} identified despite the Byzantine PD claim"},
 		},
-	}
+	})
 }
 
 // Fig2 returns the Theorem 7 construction: systems A and B solve consensus
@@ -174,13 +164,10 @@ func Fig1() []Experiment {
 // BFT-CUP model satisfied with f=0, but f unknown — violates Agreement under
 // the indistinguishability schedule for every no-f rule (and for a wrong f).
 func Fig2() []Experiment {
-	a, b, ab := graph.Fig2a(), graph.Fig2b(), graph.Fig2c()
-	abNet := func() sim.NetworkModel {
-		return sim.PartialSync{
-			GST:   30 * sim.Second,
-			Delta: delta,
-			Slow:  sim.SlowBetweenGroups(model.NewIDSet(1, 2, 3), model.NewIDSet(6, 7, 8)),
-		}
+	abNet := NetParams{
+		Kind:       NetPartial,
+		GST:        30 * sim.Second,
+		FastGroups: []model.IDSet{model.NewIDSet(1, 2, 3), model.NewIDSet(6, 7, 8)},
 	}
 	sameU := map[model.ID]model.Value{}
 	for _, id := range []model.ID{5, 6, 7, 8} {
@@ -197,50 +184,50 @@ func Fig2() []Experiment {
 	for id, v := range sameU {
 		abValues[id] = v
 	}
-	return []Experiment{
+	return build([]row{
 		{
-			ID: "fig2a",
-			Spec: Spec{
-				Name: "fig2a", Graph: a.G, Mode: core.ModeKnownF, F: a.F,
-				Byz:    map[model.ID]ByzSpec{4: {Kind: ByzSilent}},
-				Values: sameV, Net: syncNet(), Horizon: 60 * sim.Second, Seed: 31,
+			"fig2a",
+			Params{
+				Graph: figDef("fig2a"), Mode: core.ModeKnownF, F: -1,
+				Byz:    map[model.ID]ByzParams{4: {Kind: ByzSilent}},
+				Values: sameV, Net: NetParams{Kind: NetSync}, Horizon: 60 * sim.Second, Seed: 31,
 			},
-			Expect: Expect{Consensus: true, Note: "system A decides v"},
+			Expect{Consensus: true, Note: "system A decides v"},
 		},
 		{
-			ID: "fig2b",
-			Spec: Spec{
-				Name: "fig2b", Graph: b.G, Mode: core.ModeKnownF, F: b.F,
-				Byz:    map[model.ID]ByzSpec{5: {Kind: ByzSilent}},
-				Values: sameU, Net: syncNet(), Horizon: 60 * sim.Second, Seed: 32,
+			"fig2b",
+			Params{
+				Graph: figDef("fig2b"), Mode: core.ModeKnownF, F: -1,
+				Byz:    map[model.ID]ByzParams{5: {Kind: ByzSilent}},
+				Values: sameU, Net: NetParams{Kind: NetSync}, Horizon: 60 * sim.Second, Seed: 32,
 			},
-			Expect: Expect{Consensus: true, Note: "system B decides u"},
+			Expect{Consensus: true, Note: "system B decides u"},
 		},
 		{
-			ID: "fig2c/naive",
-			Spec: Spec{
-				Name: "fig2c/naive", Graph: ab.G, Mode: core.ModeNaive,
-				Values: abValues, Net: abNet(), Horizon: 90 * sim.Second, Seed: 33,
+			"fig2c/naive",
+			Params{
+				Graph: figDef("fig2c"), Mode: core.ModeNaive,
+				Values: abValues, Net: abNet, Horizon: 90 * sim.Second, Seed: 33,
 			},
-			Expect: Expect{Consensus: false, Note: "Theorem 7: {1,2,3} decide v, {6,7,8} decide u"},
+			Expect{Consensus: false, Note: "Theorem 7: {1,2,3} decide v, {6,7,8} decide u"},
 		},
 		{
-			ID: "fig2c/bft-cupft",
-			Spec: Spec{
-				Name: "fig2c/bft-cupft", Graph: ab.G, Mode: core.ModeUnknownF,
-				Values: abValues, Net: abNet(), Horizon: 90 * sim.Second, Seed: 34,
+			"fig2c/bft-cupft",
+			Params{
+				Graph: figDef("fig2c"), Mode: core.ModeUnknownF,
+				Values: abValues, Net: abNet, Horizon: 90 * sim.Second, Seed: 34,
 			},
-			Expect: Expect{Consensus: false, Note: "AB is 1-OSR but not extended (two maximal sinks): the Core algorithm splits too"},
+			Expect{Consensus: false, Note: "AB is 1-OSR but not extended (two maximal sinks): the Core algorithm splits too"},
 		},
 		{
-			ID: "fig2c/wrong-f",
-			Spec: Spec{
-				Name: "fig2c/wrong-f", Graph: ab.G, Mode: core.ModeKnownF, F: 1,
-				Values: abValues, Net: abNet(), Horizon: 90 * sim.Second, Seed: 35,
+			"fig2c/wrong-f",
+			Params{
+				Graph: figDef("fig2c"), Mode: core.ModeKnownF, F: 1,
+				Values: abValues, Net: abNet, Horizon: 90 * sim.Second, Seed: 35,
 			},
-			Expect: Expect{Consensus: false, Note: "a wrong threshold (f=1, real f=0) reproduces the same split"},
+			Expect{Consensus: false, Note: "a wrong threshold (f=1, real f=0) reproduces the same split"},
 		},
-	}
+	})
 }
 
 // Fig3 returns the false-sink experiment: on Fig 3a (valid 2-OSR, Byzantine
@@ -248,91 +235,82 @@ func Fig2() []Experiment {
 // {1,2,3,4,6} satisfy isSink(2, ·, {5,7}) and decide independently of the
 // true sink {5,7,8}.
 func Fig3() []Experiment {
-	fig := graph.Fig3a()
-	net := func() sim.NetworkModel {
-		return sim.PartialSync{
-			GST:   30 * sim.Second,
-			Delta: delta,
-			Slow:  sim.SlowBetweenGroups(model.NewIDSet(1, 2, 3, 4, 6), model.NewIDSet(5, 7, 8)),
+	net := NetParams{
+		Kind:       NetPartial,
+		GST:        30 * sim.Second,
+		FastGroups: []model.IDSet{model.NewIDSet(1, 2, 3, 4, 6), model.NewIDSet(5, 7, 8)},
+	}
+	expect := Expect{Consensus: false, Note: "false sink {1,2,3,4,6}∪{5,7} (connectivity 3) outranks the true sink {5,7,8} (connectivity 2)"}
+	mk := func(mode core.Mode) Params {
+		return Params{
+			Graph: figDef("fig3a"), Mode: mode,
+			Byz:     map[model.ID]ByzParams{1: {Kind: ByzAsCorrect}},
+			Net:     net,
+			Horizon: 90 * sim.Second,
+			Seed:    41,
 		}
 	}
-	mk := func(id string, mode core.Mode, f int) Experiment {
-		return Experiment{
-			ID: id,
-			Spec: Spec{
-				Name: id, Graph: fig.G, Mode: mode, F: f,
-				Byz:     map[model.ID]ByzSpec{1: {Kind: ByzAsCorrect}},
-				Net:     net(),
-				Horizon: 90 * sim.Second,
-				Seed:    41,
-			},
-			Expect: Expect{Consensus: false, Note: "false sink {1,2,3,4,6}∪{5,7} (connectivity 3) outranks the true sink {5,7,8} (connectivity 2)"},
-		}
-	}
-	return []Experiment{
-		mk("fig3a/naive", core.ModeNaive, 0),
-		mk("fig3a/bft-cupft", core.ModeUnknownF, 0),
-	}
+	return build([]row{
+		{"fig3a/naive", mk(core.ModeNaive), expect},
+		{"fig3a/bft-cupft", mk(core.ModeUnknownF), expect},
+	})
 }
 
 // Fig4 returns the BFT-CUPFT possibility experiments on both extended k-OSR
 // graphs, plus the broken variant of Fig 4a without its added links.
 func Fig4() []Experiment {
-	a := graph.Fig4a()
-	b := graph.Fig4b()
-	broken := graph.Fig4aWithoutAddedLinks()
-	return []Experiment{
+	return build([]row{
 		{
-			ID: "fig4a",
-			Spec: Spec{
-				Name: "fig4a", Graph: a.G, Mode: core.ModeUnknownF,
-				Byz:     map[model.ID]ByzSpec{4: {Kind: ByzSilent}},
-				Net:     syncNet(),
+			"fig4a",
+			Params{
+				Graph: figDef("fig4a"), Mode: core.ModeUnknownF,
+				Byz:     map[model.ID]ByzParams{4: {Kind: ByzSilent}},
+				Net:     NetParams{Kind: NetSync},
 				Horizon: 60 * sim.Second,
 				Seed:    51,
 			},
-			Expect: Expect{Consensus: true, Note: "core {1,2,3,4} identified everywhere; sink of the full graph differs from the core"},
+			Expect{Consensus: true, Note: "core {1,2,3,4} identified everywhere; sink of the full graph differs from the core"},
 		},
 		{
-			ID: "fig4a/all-correct",
-			Spec: Spec{
-				Name: "fig4a/all-correct", Graph: a.G, Mode: core.ModeUnknownF,
-				Net:     syncNet(),
+			"fig4a/all-correct",
+			Params{
+				Graph: figDef("fig4a"), Mode: core.ModeUnknownF,
+				Net:     NetParams{Kind: NetSync},
 				Horizon: 60 * sim.Second,
 				Seed:    52,
 			},
-			Expect: Expect{Consensus: true, Note: "same core with the Byzantine seat occupied by a correct process"},
+			Expect{Consensus: true, Note: "same core with the Byzantine seat occupied by a correct process"},
 		},
 		{
-			ID: "fig4a/without-added-links",
-			Spec: Spec{
-				Name: "fig4a/without-added-links", Graph: broken.G, Mode: core.ModeUnknownF,
-				Byz: map[model.ID]ByzSpec{4: {Kind: ByzSilent}},
-				Net: sim.PartialSync{
-					GST:   30 * sim.Second,
-					Delta: delta,
-					Slow:  sim.SlowTouching(model.NewIDSet(5)),
+			"fig4a/without-added-links",
+			Params{
+				Graph: figDef("fig4a-without-added-links"), Mode: core.ModeUnknownF,
+				Byz: map[model.ID]ByzParams{4: {Kind: ByzSilent}},
+				Net: NetParams{
+					Kind:      NetPartial,
+					GST:       30 * sim.Second,
+					SlowTouch: model.NewIDSet(5),
 				},
 				Horizon: 90 * sim.Second,
 				Seed:    53,
 			},
-			Expect: Expect{Consensus: false, Note: "without 6→3 and 7→2, {6,7,8}∪{5} ties the core's connectivity: {5,6,7,8} can decide independently when 5 is slow"},
+			Expect{Consensus: false, Note: "without 6→3 and 7→2, {6,7,8}∪{5} ties the core's connectivity: {5,6,7,8} can decide independently when 5 is slow"},
 		},
 		{
-			ID: "fig4b",
-			Spec: Spec{
-				Name: "fig4b", Graph: b.G, Mode: core.ModeUnknownF,
-				Byz: map[model.ID]ByzSpec{
+			"fig4b",
+			Params{
+				Graph: figDef("fig4b"), Mode: core.ModeUnknownF,
+				Byz: map[model.ID]ByzParams{
 					4: {Kind: ByzSilent},
 					9: {Kind: ByzSilent},
 				},
-				Net:     syncNet(),
+				Net:     NetParams{Kind: NetSync},
 				Horizon: 60 * sim.Second,
 				Seed:    54,
 			},
-			Expect: Expect{Consensus: true, Note: "core = sink = {8..15}; f = 2 tolerated without any process knowing it"},
+			Expect{Consensus: true, Note: "core = sink = {8..15}; f = 2 tolerated without any process knowing it"},
 		},
-	}
+	})
 }
 
 // AllExperiments returns every experiment in presentation order.

@@ -1,0 +1,396 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/bftcup/bftcup/internal/core"
+	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/sim"
+)
+
+// NetKind selects one of the paper's three communication assumptions.
+type NetKind int
+
+// Network kinds.
+const (
+	NetSync NetKind = iota
+	NetPartial
+	NetAsync
+)
+
+// String implements fmt.Stringer.
+func (k NetKind) String() string {
+	switch k {
+	case NetSync:
+		return "sync"
+	case NetPartial:
+		return "partial"
+	case NetAsync:
+		return "async"
+	default:
+		return fmt.Sprintf("net(%d)", int(k))
+	}
+}
+
+// ParseNetKind parses the String form.
+func ParseNetKind(s string) (NetKind, error) {
+	switch s {
+	case "sync":
+		return NetSync, nil
+	case "partial":
+		return NetPartial, nil
+	case "async":
+		return NetAsync, nil
+	default:
+		return 0, fmt.Errorf("unknown network kind %q (want sync|partial|async)", s)
+	}
+}
+
+// NetParams is a pure-data description of a network model; Model builds the
+// corresponding sim.NetworkModel. Zero values pick the defaults the
+// experiment suite uses throughout.
+type NetParams struct {
+	Kind NetKind
+	// Delta is the post-GST (or always, for sync) delivery bound.
+	// Default 5ms.
+	Delta sim.Time
+	// GST is the global stabilization time for NetPartial. Default 2s.
+	GST sim.Time
+	// FastGroups, when non-empty, keeps only intra-group links fast before
+	// GST (the Theorem 7 schedules). SlowTouch slows every link touching one
+	// of its members (the Fig. 4 schedule). When both are empty, every link
+	// is slow before GST.
+	FastGroups []model.IDSet
+	SlowTouch  model.IDSet
+	// AsyncDelta / AsyncFactor tune the adversarial scheduler.
+	// Defaults 2s / 3.
+	AsyncDelta  sim.Time
+	AsyncFactor int64
+}
+
+// Label renders the network model with its distinguishing parameters
+// (effective defaults applied), so sweeps over GST, delta or slow-link
+// schedules stay attributable in cell IDs and per-axis statistics.
+func (np NetParams) Label() string {
+	delta := np.Delta
+	if delta <= 0 {
+		delta = 5 * sim.Millisecond
+	}
+	deltaPart := ""
+	if delta != 5*sim.Millisecond {
+		deltaPart = ",delta=" + delta.String()
+	}
+	switch np.Kind {
+	case NetPartial:
+		gst := np.GST
+		if gst <= 0 {
+			gst = 2 * sim.Second
+		}
+		parts := []string{"gst=" + gst.String()}
+		if deltaPart != "" {
+			parts = append(parts, deltaPart[1:])
+		}
+		if len(np.FastGroups) > 0 {
+			var gs []string
+			for _, g := range np.FastGroups {
+				gs = append(gs, g.String())
+			}
+			parts = append(parts, "fast="+strings.Join(gs, "|"))
+		}
+		if np.SlowTouch.Len() > 0 {
+			parts = append(parts, "slow-touch="+np.SlowTouch.String())
+		}
+		return "partial(" + strings.Join(parts, ",") + ")"
+	case NetAsync:
+		ad := np.AsyncDelta
+		if ad <= 0 {
+			ad = 2 * sim.Second
+		}
+		f := np.AsyncFactor
+		if f <= 0 {
+			f = 3
+		}
+		if ad == 2*sim.Second && f == 3 {
+			return "async"
+		}
+		return fmt.Sprintf("async(delta=%s,factor=%d)", ad, f)
+	default:
+		if deltaPart != "" {
+			return "sync(" + deltaPart[1:] + ")"
+		}
+		return "sync"
+	}
+}
+
+// Model materializes the network model.
+func (np NetParams) Model() sim.NetworkModel {
+	delta := np.Delta
+	if delta <= 0 {
+		delta = 5 * sim.Millisecond
+	}
+	switch np.Kind {
+	case NetPartial:
+		gst := np.GST
+		if gst <= 0 {
+			gst = 2 * sim.Second
+		}
+		slow := func(a, b model.ID) bool { return true }
+		switch {
+		case len(np.FastGroups) > 0:
+			slow = sim.SlowBetweenGroups(np.FastGroups...)
+		case np.SlowTouch.Len() > 0:
+			slow = sim.SlowTouching(np.SlowTouch)
+		}
+		return sim.PartialSync{GST: gst, Delta: delta, Slow: slow}
+	case NetAsync:
+		ad := np.AsyncDelta
+		if ad <= 0 {
+			ad = 2 * sim.Second
+		}
+		f := np.AsyncFactor
+		if f <= 0 {
+			f = 3
+		}
+		return sim.AsyncAdversarial{Delta: ad, Factor: f}
+	default:
+		return sim.Synchronous{Delta: delta}
+	}
+}
+
+// ByzParams is the pure-data form of ByzSpec (no callbacks): AltRecipients
+// replaces ChooseAlt with an explicit recipient set.
+type ByzParams struct {
+	Kind      ByzKind
+	ClaimedPD []model.ID
+	AltPD     []model.ID
+	// AltRecipients lists the peers that receive AltPD under ByzEquivPD
+	// (empty keeps the default even-ID split).
+	AltRecipients []model.ID
+}
+
+// ByzPlace selects a deterministic automatic placement for swept Byzantine
+// processes.
+type ByzPlace int
+
+// Placements.
+const (
+	// PlaceFigure uses the figure's scripted Byzantine set (generators have
+	// none, so it degenerates to no Byzantine processes).
+	PlaceFigure ByzPlace = iota
+	// PlaceTail picks the highest-ID processes (the non-sink/non-core region
+	// of generated graphs), which keeps the planted sink intact.
+	PlaceTail
+	// PlaceSink picks the lowest-ID sink/core members — adversarial
+	// placement that stresses the committee itself.
+	PlaceSink
+)
+
+// String implements fmt.Stringer.
+func (p ByzPlace) String() string {
+	switch p {
+	case PlaceFigure:
+		return "figure"
+	case PlaceTail:
+		return "tail"
+	case PlaceSink:
+		return "sink"
+	default:
+		return fmt.Sprintf("place(%d)", int(p))
+	}
+}
+
+// AutoByz places Count Byzantine processes of the given Kind according to
+// Place. The zero value means "no automatic placement".
+type AutoByz struct {
+	Kind  ByzKind
+	Count int
+	Place ByzPlace
+}
+
+// String renders a compact axis label.
+func (a AutoByz) String() string {
+	if a.Count == 0 {
+		return "none"
+	}
+	return fmt.Sprintf("%s×%d@%s", a.Kind, a.Count, a.Place)
+}
+
+// Params is a fully data-driven experiment description: every field is a
+// plain value (no graphs, callbacks or network models), so Params can be
+// swept by the matrix engine, serialized, diffed and reproduced from a CLI
+// flag string. Spec materializes it.
+type Params struct {
+	Name  string
+	Graph graph.Def
+	// GraphSeed drives random graph families; 0 falls back to Seed.
+	GraphSeed int64
+	Mode      core.Mode
+	// F is the threshold handed to processes. -1 uses the graph family's
+	// natural threshold (figure F, k-1, f_G, ⌊(n-1)/3⌋).
+	F int
+	// Byz assigns explicit Byzantine behaviors; Auto adds swept placements
+	// on top (explicit entries win on collision).
+	Byz  map[model.ID]ByzParams
+	Auto AutoByz
+	// Values maps processes to proposals (defaults to "v<id>").
+	Values map[model.ID]model.Value
+	Net    NetParams
+	// Horizon bounds the run. Default 60s.
+	Horizon sim.Time
+	Seed    int64
+	// SlowDiscovery stretches the gossip/poll periods, keeping the event
+	// volume of non-terminating (async) runs sane.
+	SlowDiscovery bool
+	// Trace enables event/decision trace digests on the result.
+	Trace bool
+}
+
+// ID renders a stable, human-readable cell identifier:
+// graph/mode/net/byz/f=…/seed=….
+func (p Params) ID() string {
+	parts := []string{
+		p.Graph.String(),
+		p.Mode.String(),
+		p.Net.Label(),
+		"byz=" + p.ByzLabel(),
+	}
+	if p.F >= 0 {
+		parts = append(parts, fmt.Sprintf("f=%d", p.F))
+	}
+	parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	return strings.Join(parts, "/")
+}
+
+// ByzLabel renders the Byzantine assignment as a stable axis label.
+func (p Params) ByzLabel() string {
+	if len(p.Byz) == 0 && p.Auto.Count == 0 {
+		return "none"
+	}
+	var parts []string
+	if len(p.Byz) > 0 {
+		ids := make([]model.ID, 0, len(p.Byz))
+		for id := range p.Byz {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			parts = append(parts, fmt.Sprintf("%d:%s", uint64(id), p.Byz[id].Kind))
+		}
+	}
+	if p.Auto.Count > 0 {
+		parts = append(parts, p.Auto.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// Spec materializes the parameters into a runnable Spec.
+func (p Params) Spec() (Spec, error) {
+	gseed := p.GraphSeed
+	if gseed == 0 {
+		gseed = p.Seed
+	}
+	built, err := p.Graph.Build(gseed)
+	if err != nil {
+		return Spec{}, fmt.Errorf("params %q: %w", p.Name, err)
+	}
+	f := p.F
+	if f < 0 {
+		f = built.F
+	}
+	byz := make(map[model.ID]ByzSpec)
+	for _, id := range p.autoByzIDs(built) {
+		byz[id] = p.autoByzSpec(built, id)
+	}
+	for id, bp := range p.Byz {
+		spec := ByzSpec{Kind: bp.Kind}
+		if len(bp.ClaimedPD) > 0 {
+			spec.ClaimedPD = model.NewIDSet(bp.ClaimedPD...)
+		}
+		if len(bp.AltPD) > 0 {
+			spec.AltPD = model.NewIDSet(bp.AltPD...)
+		}
+		if len(bp.AltRecipients) > 0 {
+			alt := model.NewIDSet(bp.AltRecipients...)
+			spec.ChooseAlt = func(id model.ID) bool { return alt.Has(id) }
+		}
+		byz[id] = spec
+	}
+	horizon := p.Horizon
+	if horizon <= 0 {
+		horizon = 60 * sim.Second
+	}
+	name := p.Name
+	if name == "" {
+		name = p.ID()
+	}
+	out := Spec{
+		Name:    name,
+		Graph:   built.G,
+		Mode:    p.Mode,
+		F:       f,
+		Byz:     byz,
+		Values:  p.Values,
+		Net:     p.Net.Model(),
+		Horizon: horizon,
+		Seed:    p.Seed,
+		Trace:   p.Trace,
+	}
+	if p.SlowDiscovery {
+		out.Discovery.Period = 500 * sim.Millisecond
+		out.PollPeriod = 2 * sim.Second
+	}
+	return out, nil
+}
+
+// autoByzIDs resolves the automatic placement to concrete process IDs.
+func (p Params) autoByzIDs(built graph.BuiltGraph) []model.ID {
+	if p.Auto.Count == 0 {
+		return nil
+	}
+	if p.Auto.Place == PlaceFigure {
+		ids := built.Byz.Sorted()
+		if len(ids) > p.Auto.Count {
+			ids = ids[:p.Auto.Count]
+		}
+		return ids
+	}
+	nodes := built.G.Nodes()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	var pool []model.ID
+	switch p.Auto.Place {
+	case PlaceSink:
+		if built.Sink.Len() > 0 {
+			pool = built.Sink.Sorted()
+		} else {
+			pool = nodes
+		}
+	default: // PlaceTail: highest IDs first
+		for i := len(nodes) - 1; i >= 0; i-- {
+			pool = append(pool, nodes[i])
+		}
+	}
+	if len(pool) > p.Auto.Count {
+		pool = pool[:p.Auto.Count]
+	}
+	return pool
+}
+
+// autoByzSpec derives the ByzSpec for an automatically placed process. For
+// ByzFakePD the claimed PD is the sink minus the process itself — a
+// plausible false claim; ByzEquivPD additionally advertises an empty set to
+// half the peers.
+func (p Params) autoByzSpec(built graph.BuiltGraph, id model.ID) ByzSpec {
+	spec := ByzSpec{Kind: p.Auto.Kind}
+	switch p.Auto.Kind {
+	case ByzFakePD, ByzEquivPD:
+		if built.Sink.Len() > 0 {
+			claimed := built.Sink.Clone()
+			claimed.Remove(id)
+			spec.ClaimedPD = claimed
+		}
+	}
+	return spec
+}

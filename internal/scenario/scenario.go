@@ -81,6 +81,10 @@ type Spec struct {
 	Discovery   discovery.Config
 	PBFTTimeout sim.Time
 	PollPeriod  sim.Time
+
+	// Trace, when set, records every delivered event and every decision into
+	// a streaming digest (Result.TraceDigest) for determinism assertions.
+	Trace bool
 }
 
 // ProcessResult is the outcome at one process.
@@ -100,17 +104,27 @@ type Result struct {
 	Termination bool // every correct process decided within the horizon
 	Agreement   bool // no two correct processes decided differently
 	Validity    bool // every decided value was proposed by some process
+	Integrity   bool // no correct process decided more than once
 	Messages    int64
 	Bytes       int64
 	ByKind      map[byte]int64
 	// Elapsed is the virtual time of the last correct decision (or the
 	// horizon when Termination fails).
 	Elapsed sim.Time
+	// TraceDigest / TraceEvents are set when Spec.Trace was on: a SHA-256
+	// over the canonical encoding of every delivered event and decision.
+	TraceDigest string
+	TraceEvents int64
+}
+
+// Consensus reports whether all four consensus properties held.
+func (r *Result) Consensus() bool {
+	return r.Termination && r.Agreement && r.Validity && r.Integrity
 }
 
 // Verdict renders ✓/✗ in the style of the paper's Table I.
 func (r *Result) Verdict() string {
-	if r.Termination && r.Agreement && r.Validity {
+	if r.Consensus() {
 		return "✓"
 	}
 	return "✗"
@@ -123,6 +137,8 @@ func (r *Result) FailureMode() string {
 		return "agreement violated"
 	case !r.Validity:
 		return "validity violated"
+	case !r.Integrity:
+		return "integrity violated"
 	case !r.Termination:
 		return "no termination"
 	default:
@@ -148,12 +164,18 @@ func Run(spec Spec) (*Result, error) {
 	}
 
 	engine := sim.NewEngine(spec.Net, spec.Seed)
+	var trace *sim.Trace
+	if spec.Trace {
+		trace = sim.NewTrace()
+		engine.SetTrace(trace)
+	}
 	res := &Result{Name: spec.Name, PerProcess: make(map[model.ID]ProcessResult)}
 	proposals := make(map[model.ID]model.Value, len(ids))
 	nodes := make(map[model.ID]*core.Node)
 	correct := model.NewIDSet()
 	decisions := make(map[model.ID]model.Value)
 	decidedAt := make(map[model.ID]sim.Time)
+	doubleDecided := model.NewIDSet()
 
 	for _, id := range ids {
 		id := id
@@ -175,8 +197,15 @@ func Run(spec Spec) (*Result, error) {
 				PollPeriod:  spec.PollPeriod,
 			}
 			n := core.NewNode(signers[id], reg, cfg, func(v model.Value) {
+				if _, dup := decisions[id]; dup {
+					doubleDecided.Add(id)
+					return
+				}
 				decisions[id] = v
 				decidedAt[id] = engine.Now()
+				if trace != nil {
+					trace.RecordDecision(id, engine.Now(), []byte(v))
+				}
 			})
 			nodes[id] = n
 			if err := engine.AddProcess(id, n); err != nil {
@@ -226,7 +255,12 @@ func Run(spec Spec) (*Result, error) {
 		engine.RunUntil(func() bool { return false }, minTime(engine.Now()+sim.Second, spec.Horizon))
 	}
 
-	res.Agreement, res.Validity = true, true
+	res.Agreement, res.Validity, res.Integrity = true, true, true
+	for id := range doubleDecided {
+		if correct.Has(id) {
+			res.Integrity = false
+		}
+	}
 	var last sim.Time
 	var agreed model.Value
 	first := true
@@ -269,6 +303,9 @@ func Run(spec Spec) (*Result, error) {
 		res.Elapsed = last
 	} else {
 		res.Elapsed = spec.Horizon
+	}
+	if trace != nil {
+		res.TraceDigest, res.TraceEvents = trace.Digest(), trace.Events()
 	}
 	m := engine.Metrics()
 	res.Messages, res.Bytes = m.Messages, m.Bytes

@@ -167,21 +167,25 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestResultHelpers(t *testing.T) {
-	r := &Result{Termination: true, Agreement: true, Validity: true}
+	r := &Result{Termination: true, Agreement: true, Validity: true, Integrity: true}
 	if r.Verdict() != "✓" || r.FailureMode() != "" {
 		t.Fatalf("clean verdict wrong: %q %q", r.Verdict(), r.FailureMode())
 	}
-	r2 := &Result{Termination: true, Agreement: false, Validity: true}
+	r2 := &Result{Termination: true, Agreement: false, Validity: true, Integrity: true}
 	if r2.Verdict() != "✗" || r2.FailureMode() != "agreement violated" {
 		t.Fatalf("violation verdict wrong: %q %q", r2.Verdict(), r2.FailureMode())
 	}
-	r3 := &Result{Termination: false, Agreement: true, Validity: true}
+	r3 := &Result{Termination: false, Agreement: true, Validity: true, Integrity: true}
 	if r3.FailureMode() != "no termination" {
 		t.Fatalf("termination verdict wrong: %q", r3.FailureMode())
 	}
-	r4 := &Result{Termination: true, Agreement: true, Validity: false}
+	r4 := &Result{Termination: true, Agreement: true, Validity: false, Integrity: true}
 	if r4.FailureMode() != "validity violated" {
 		t.Fatalf("validity verdict wrong: %q", r4.FailureMode())
+	}
+	r5 := &Result{Termination: true, Agreement: true, Validity: true, Integrity: false}
+	if r5.Verdict() != "✗" || r5.FailureMode() != "integrity violated" {
+		t.Fatalf("integrity verdict wrong: %q %q", r5.Verdict(), r5.FailureMode())
 	}
 }
 

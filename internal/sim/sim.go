@@ -30,6 +30,18 @@ const (
 	Second      Time = 1000 * Millisecond
 )
 
+// String renders the virtual duration human-readably ("2.00s", "14.3ms").
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.2fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.1fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
 // Reactor is a deterministic, single-threaded protocol state machine. The
 // engine never calls a reactor concurrently.
 type Reactor interface {
@@ -128,6 +140,7 @@ type Engine struct {
 	net     NetworkModel
 	rng     *rand.Rand
 	metrics *Metrics
+	trace   *Trace
 	started bool
 	// preCrashed holds Crash marks issued before AddProcess.
 	preCrashed model.IDSet
@@ -211,6 +224,9 @@ func (e *Engine) Step() bool {
 		p, ok := e.procs[ev.to]
 		if !ok || p.crashed {
 			continue
+		}
+		if e.trace != nil {
+			e.trace.record(ev)
 		}
 		switch ev.kind {
 		case evMessage:
