@@ -116,6 +116,7 @@ func (t Topology) Clone() Topology {
 
 // CheckResult reports whether a topology satisfies a model's requirements.
 type CheckResult struct {
+	// OK reports whether the requirements hold.
 	OK bool
 	// Reason explains a failure (empty when OK).
 	Reason string

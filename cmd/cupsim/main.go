@@ -1,6 +1,7 @@
 // Command cupsim runs BFT-CUP / BFT-CUPFT scenarios on the deterministic
 // simulator: one scenario with per-process output, or a seed sweep through
-// the scenario-matrix engine.
+// the scenario-matrix engine — monolithic, or as deterministic shards
+// streamed to JSONL and merged back into the identical aggregate report.
 //
 // Examples:
 //
@@ -9,6 +10,8 @@
 //	cupsim -graph fig2c -mode naive -net partial -gst 30s -slow 1,2,3/6,7,8
 //	cupsim -graph extended:core=7,noncore=4 -mode bft-cupft -seed 3
 //	cupsim -graph kosr:sink=5,nonsink=3,k=2 -mode bft-cup -seeds 1:50 -parallel 0 -json
+//	cupsim -graph fig1b -seeds 1:100 -shard 1/4 -jsonl part1.jsonl
+//	cupsim -merge part1.jsonl part2.jsonl part3.jsonl part4.jsonl
 package main
 
 import (
@@ -42,8 +45,16 @@ func main() {
 		seedsStr  = flag.String("seeds", "", "seed sweep, FROM:TO or a count N (= 1:N) — run the scenario once per seed through the matrix engine")
 		parallel  = flag.Int("parallel", 0, "sweep worker count: 0 = GOMAXPROCS, 1 = serial")
 		jsonOut   = flag.Bool("json", false, "emit the sweep report as JSON")
+		shardStr  = flag.String("shard", "", "with -seeds: run only shard i/n of the sweep (deterministic partition)")
+		jsonlPath = flag.String("jsonl", "", "with -seeds: stream per-cell outcomes as JSONL to this file ('-' = stdout)")
+		doMerge   = flag.Bool("merge", false, "merge shard JSONL files (positional arguments) into the aggregate report")
 	)
 	flag.Parse()
+
+	if *doMerge {
+		runMerge(flag.Args(), *jsonOut)
+		return
+	}
 
 	params, err := buildParams(*graphName, *modeName, *f, *byzFlag, *netName, *gst, *slowFlag, *horizon)
 	if err != nil {
@@ -51,11 +62,28 @@ func main() {
 	}
 
 	if *seedsStr != "" {
-		runSweep(params, *seedsStr, *parallel, *jsonOut)
+		runSweep(params, *seedsStr, *parallel, *jsonOut, *shardStr, *jsonlPath)
 		return
 	}
 	params.Seed = *seed
 	runSingle(params, *graphName)
+}
+
+// runMerge reconstructs the aggregate sweep report from shard JSONL files.
+func runMerge(paths []string, jsonOut bool) {
+	if len(paths) == 0 {
+		fail(fmt.Errorf("-merge needs shard files as positional arguments"))
+	}
+	rep, err := matrix.MergeFiles(paths...)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "merged %d shard file(s): %d cells, fingerprint %s\n",
+		len(paths), rep.Cells, rep.Fingerprint())
+	emitSweep(rep, jsonOut)
+	if rep.Errors > 0 || rep.Consensus < rep.Cells {
+		os.Exit(1)
+	}
 }
 
 func fail(err error) {
@@ -91,8 +119,12 @@ func buildParams(graphName, modeName string, f int, byzFlag, netName string, gst
 	}, nil
 }
 
-func runSweep(params scenario.Params, seedsStr string, parallel int, jsonOut bool) {
+func runSweep(params scenario.Params, seedsStr string, parallel int, jsonOut bool, shardStr, jsonlPath string) {
 	seeds, err := matrix.ParseSeedRange(seedsStr)
+	if err != nil {
+		fail(err)
+	}
+	shard, err := matrix.ParseShard(shardStr)
 	if err != nil {
 		fail(err)
 	}
@@ -103,11 +135,42 @@ func runSweep(params scenario.Params, seedsStr string, parallel int, jsonOut boo
 		p.Name = p.ID()
 		cells = append(cells, matrix.Cell{Index: len(cells), Params: p})
 	}
-	rep, err := matrix.Run(cells, matrix.Options{Parallelism: parallel})
+	name := fmt.Sprintf("%s seeds %s", params.Name, seedsStr)
+	part := shard.Of(cells)
+
+	if jsonlPath != "" {
+		tr, err := matrix.RunStreamFile(jsonlPath, part, matrix.Options{Parallelism: parallel}, matrix.StreamHeader{
+			Name:       name,
+			TotalCells: len(cells),
+			Shard:      shard.String(),
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "shard %s: %d cells streamed, %d consensus, %d errors, %.2fs\n",
+			shard, tr.CellsRun, tr.Consensus, tr.Errors, float64(tr.WallNS)/1e9)
+		if tr.Errors > 0 || tr.Consensus < tr.CellsRun {
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep, err := matrix.Run(part, matrix.Options{Parallelism: parallel})
 	if err != nil {
 		fail(err)
 	}
-	rep.Name = fmt.Sprintf("%s seeds %s", params.Name, seedsStr)
+	rep.Name = name
+	if !shard.IsAll() {
+		rep.Name = fmt.Sprintf("%s, shard %s", name, shard)
+	}
+	emitSweep(rep, jsonOut)
+	if rep.Errors > 0 || rep.Consensus < rep.Cells {
+		os.Exit(1)
+	}
+}
+
+// emitSweep renders a sweep report as JSON or per-cell text.
+func emitSweep(rep *matrix.Report, jsonOut bool) {
 	if jsonOut {
 		raw, err := rep.JSON()
 		if err != nil {
@@ -117,9 +180,6 @@ func runSweep(params scenario.Params, seedsStr string, parallel int, jsonOut boo
 		fmt.Println()
 	} else {
 		rep.WriteText(os.Stdout, true)
-	}
-	if rep.Errors > 0 || rep.Consensus < rep.Cells {
-		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/bftcup/bftcup/internal/matrix"
+	"github.com/bftcup/bftcup/internal/sim"
+)
+
+// BenchEntry is one point of the BENCH_matrix.json performance trajectory:
+// the simulator hot path (events/sec, allocs) and the matrix engine
+// (cells/sec) measured on one machine at one commit. CI appends an entry per
+// run, so the file records how fast the engine is getting — or regressing —
+// over the repository's history.
+type BenchEntry struct {
+	Label    string        `json:"label,omitempty"`
+	Date     string        `json:"date"`
+	Go       string        `json:"go"`
+	MaxProcs int           `json:"maxprocs"`
+	Engine   []EngineBench `json:"engine"`
+	// Matrix is nil for entries that predate the matrix timing (the pre-PR-2
+	// baseline was measured on the engine benchmarks alone).
+	Matrix *MatrixBench `json:"matrix,omitempty"`
+}
+
+// EngineBench is one sim.Workload measured via testing.Benchmark.
+type EngineBench struct {
+	Name         string  `json:"name"`
+	EventsPerOp  int64   `json:"events_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+}
+
+// MatrixBench is a timed standard-sweep run.
+type MatrixBench struct {
+	Cells       int     `json:"cells"`
+	Parallelism int     `json:"parallelism"`
+	WallSeconds float64 `json:"wall_seconds"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	Fingerprint string  `json:"fingerprint"`
+}
+
+// engineBench measures one workload. events/sec divides deterministic
+// simulator events by wall time, so it is comparable across runs even when
+// b.N differs.
+func engineBench(name string, w sim.Workload) EngineBench {
+	var events int64
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n, err := sim.RunWorkload(w)
+			if err != nil {
+				fail(err)
+			}
+			events = n
+		}
+	})
+	ns := float64(res.NsPerOp())
+	return EngineBench{
+		Name:         name,
+		EventsPerOp:  events,
+		EventsPerSec: float64(events) / (ns / 1e9),
+		NsPerEvent:   ns / float64(events),
+		AllocsPerOp:  res.AllocsPerOp(),
+		BytesPerOp:   res.AllocedBytesPerOp(),
+	}
+}
+
+// runBenchJSON measures the hot paths and appends a BenchEntry to the
+// trajectory file (created if absent).
+func runBenchJSON(path, label string) {
+	entry := BenchEntry{
+		Label:    label,
+		Date:     time.Now().UTC().Format(time.RFC3339),
+		Go:       runtime.Version(),
+		MaxProcs: runtime.GOMAXPROCS(0),
+		Engine: []EngineBench{
+			engineBench("ring-16", sim.Workload{Procs: 16, Tokens: 16, Fanout: 1}),
+			engineBench("ring-64", sim.Workload{Procs: 64, Tokens: 64, Fanout: 1}),
+		},
+	}
+
+	cells, err := matrix.StandardSweep(matrix.Seeds(1, 2))
+	if err != nil {
+		fail(err)
+	}
+	rep, err := matrix.Run(cells, matrix.Options{})
+	if err != nil {
+		fail(err)
+	}
+	if rep.Errors > 0 {
+		fail(fmt.Errorf("bench sweep had %d errored cells", rep.Errors))
+	}
+	entry.Matrix = &MatrixBench{
+		Cells:       rep.Cells,
+		Parallelism: rep.Parallelism,
+		WallSeconds: float64(rep.WallNS) / 1e9,
+		CellsPerSec: float64(rep.Cells) / (float64(rep.WallNS) / 1e9),
+		Fingerprint: rep.Fingerprint(),
+	}
+
+	var trajectory []BenchEntry
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &trajectory); err != nil {
+			fail(fmt.Errorf("%s: existing trajectory is not a JSON array: %w", path, err))
+		}
+	} else if !os.IsNotExist(err) {
+		fail(err)
+	}
+	trajectory = append(trajectory, entry)
+	out, err := json.MarshalIndent(trajectory, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+
+	for _, e := range entry.Engine {
+		fmt.Printf("engine %-10s %12.0f events/s  %6.1f ns/event  %6d allocs/op\n",
+			e.Name, e.EventsPerSec, e.NsPerEvent, e.AllocsPerOp)
+	}
+	fmt.Printf("matrix %d cells on %d workers: %.2f cells/s (%.2fs)\n",
+		entry.Matrix.Cells, entry.Matrix.Parallelism, entry.Matrix.CellsPerSec, entry.Matrix.WallSeconds)
+	fmt.Printf("appended to %s (%d entries)\n", path, len(trajectory))
+}

@@ -1,15 +1,20 @@
 // Command experiments drives the scenario-matrix engine. It regenerates
 // every table and figure of the paper (paper-expected vs measured outcomes
-// as Markdown, the source of EXPERIMENTS.md) and runs free parameter sweeps
-// far beyond the paper's grid.
+// as Markdown, the source of EXPERIMENTS.md), runs free parameter sweeps far
+// beyond the paper's grid — monolithic or split into deterministic shards
+// whose JSONL streams merge back into the identical aggregate report — and
+// maintains the repository's performance trajectory file.
 //
 // Usage:
 //
 //	experiments [-run table1|fig1|fig2|fig3|fig4|all] [-v]       reproduce the paper
 //	experiments -matrix [-seeds 1:10] [-parallel N] [-json]      standard sweep (240 cells at 10 seeds)
 //	experiments -matrix -compare                                 serial-vs-parallel: identical reports + speedup
+//	experiments -matrix -shard 2/3 -jsonl part2.jsonl            run one shard, streaming per-cell JSONL
+//	experiments -merge part1.jsonl part2.jsonl part3.jsonl       reconstruct the aggregate report from shards
+//	experiments -bench-json [-bench-out BENCH_matrix.json]       append engine+matrix numbers to the trajectory
 //
-// Flags common to both modes:
+// Flags common to the report-producing modes:
 //
 //	-parallel N   worker count (0 = GOMAXPROCS, 1 = serial)
 //	-json         emit the full matrix report as JSON on stdout
@@ -32,23 +37,34 @@ import (
 
 func main() {
 	var (
-		runSel   = flag.String("run", "all", "experiment group: table1, fig1, fig2, fig3, fig4, all (ignored with -matrix)")
-		verbose  = flag.Bool("v", false, "print per-process details")
-		doMatrix = flag.Bool("matrix", false, "run the standard scenario-matrix sweep instead of the paper suite")
-		seedsStr = flag.String("seeds", "1:10", "seed sweep for -matrix, as FROM:TO or a single count N (= 1:N)")
-		parallel = flag.Int("parallel", 0, "worker count: 0 = GOMAXPROCS, 1 = serial")
-		jsonOut  = flag.Bool("json", false, "emit the matrix report as JSON")
-		trace    = flag.Bool("trace", false, "record per-cell event-trace digests")
-		cellRows = flag.Bool("cells", false, "list every cell in text output")
-		compare  = flag.Bool("compare", false, "with -matrix: run serially then in parallel, assert identical reports, print speedup")
+		runSel     = flag.String("run", "all", "experiment group: table1, fig1, fig2, fig3, fig4, all (ignored with -matrix)")
+		verbose    = flag.Bool("v", false, "print per-process details")
+		doMatrix   = flag.Bool("matrix", false, "run the standard scenario-matrix sweep instead of the paper suite")
+		seedsStr   = flag.String("seeds", "1:10", "seed sweep for -matrix, as FROM:TO or a single count N (= 1:N)")
+		parallel   = flag.Int("parallel", 0, "worker count: 0 = GOMAXPROCS, 1 = serial")
+		jsonOut    = flag.Bool("json", false, "emit the matrix report as JSON")
+		trace      = flag.Bool("trace", false, "record per-cell event-trace digests")
+		cellRows   = flag.Bool("cells", false, "list every cell in text output")
+		compare    = flag.Bool("compare", false, "with -matrix: run serially then in parallel, assert identical reports, print speedup")
+		shardStr   = flag.String("shard", "", "with -matrix: run only shard i/n of the sweep (deterministic partition)")
+		jsonlPath  = flag.String("jsonl", "", "with -matrix: stream per-cell outcomes as JSONL to this file ('-' = stdout) instead of buffering a report")
+		doMerge    = flag.Bool("merge", false, "merge shard JSONL files (positional arguments) into the aggregate report")
+		benchJSON  = flag.Bool("bench-json", false, "run the engine and matrix hot-path benchmarks and append an entry to the trajectory file")
+		benchOut   = flag.String("bench-out", "BENCH_matrix.json", "trajectory file for -bench-json")
+		benchLabel = flag.String("bench-label", "", "label recorded with the -bench-json entry")
 	)
 	flag.Parse()
 
-	if *doMatrix {
-		runMatrix(*seedsStr, *parallel, *jsonOut, *trace, *cellRows, *compare)
-		return
+	switch {
+	case *doMerge:
+		runMerge(flag.Args(), *jsonOut, *cellRows)
+	case *benchJSON:
+		runBenchJSON(*benchOut, *benchLabel)
+	case *doMatrix:
+		runMatrix(*seedsStr, *parallel, *jsonOut, *trace, *cellRows, *compare, *shardStr, *jsonlPath)
+	default:
+		runPaperSuite(*runSel, *parallel, *jsonOut, *trace, *verbose)
 	}
-	runPaperSuite(*runSel, *parallel, *jsonOut, *trace, *verbose)
 }
 
 func fail(err error) {
@@ -56,8 +72,26 @@ func fail(err error) {
 	os.Exit(2)
 }
 
-// runMatrix executes the standard sweep.
-func runMatrix(seedsStr string, parallel int, jsonOut, trace, cellRows, compare bool) {
+// runMerge reconstructs the aggregate report from shard JSONL files.
+func runMerge(paths []string, jsonOut, cellRows bool) {
+	if len(paths) == 0 {
+		fail(fmt.Errorf("-merge needs shard files as positional arguments"))
+	}
+	rep, err := matrix.MergeFiles(paths...)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "merged %d shard file(s): %d cells, fingerprint %s\n",
+		len(paths), rep.Cells, rep.Fingerprint())
+	emit(rep, jsonOut, cellRows)
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// runMatrix executes the standard sweep: whole, or one deterministic shard,
+// optionally streaming per-cell JSONL instead of buffering a report.
+func runMatrix(seedsStr string, parallel int, jsonOut, trace, cellRows, compare bool, shardStr, jsonlPath string) {
 	seeds, err := matrix.ParseSeedRange(seedsStr)
 	if err != nil {
 		fail(err)
@@ -66,9 +100,35 @@ func runMatrix(seedsStr string, parallel int, jsonOut, trace, cellRows, compare 
 	if err != nil {
 		fail(err)
 	}
+	shard, err := matrix.ParseShard(shardStr)
+	if err != nil {
+		fail(err)
+	}
+	if compare && (!shard.IsAll() || jsonlPath != "") {
+		fail(fmt.Errorf("-compare runs the whole sweep twice; it cannot be combined with -shard or -jsonl"))
+	}
+	name := fmt.Sprintf("standard sweep, seeds %s", seedsStr)
+	part := shard.Of(cells)
 	opts := matrix.Options{Parallelism: parallel, Trace: trace}
-	if !jsonOut {
-		opts.Progress = progressLine(len(cells))
+	if !jsonOut && jsonlPath != "-" {
+		opts.Progress = progressLine(len(part))
+	}
+
+	if jsonlPath != "" {
+		tr, err := matrix.RunStreamFile(jsonlPath, part, opts, matrix.StreamHeader{
+			Name:       name,
+			TotalCells: len(cells),
+			Shard:      shard.String(),
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "shard %s: %d cells streamed, %d consensus, %d errors, %.2fs\n",
+			shard, tr.CellsRun, tr.Consensus, tr.Errors, float64(tr.WallNS)/1e9)
+		if tr.Errors > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 
 	var rep *matrix.Report
@@ -90,12 +150,16 @@ func runMatrix(seedsStr string, parallel int, jsonOut, trace, cellRows, compare 
 		fmt.Fprintf(os.Stderr, "serial %.2fs, parallel %.2fs on %d workers → %.2fx speedup; reports identical (fingerprint %s)\n",
 			float64(serial.WallNS)/1e9, float64(rep.WallNS)/1e9, rep.Parallelism, speedup, rep.Fingerprint()[:12])
 	} else {
-		rep, err = matrix.Run(cells, opts)
+		rep, err = matrix.Run(part, opts)
 		if err != nil {
 			fail(err)
 		}
 	}
-	rep.Name = fmt.Sprintf("standard sweep, seeds %s", seedsStr)
+	rep.Name = name
+	if !shard.IsAll() {
+		rep.Name = fmt.Sprintf("%s, shard %s", name, shard)
+	}
+	fmt.Fprintf(os.Stderr, "fingerprint %s\n", rep.Fingerprint())
 	emit(rep, jsonOut, cellRows)
 	if rep.Errors > 0 {
 		os.Exit(1)

@@ -1,9 +1,3 @@
-// Package byz implements Byzantine process behaviors for fault-injection
-// experiments. A Byzantine process cannot forge other processes' signatures
-// (the authenticated model), but it can stay silent, lie about its own
-// participant detector, equivocate — claiming different PDs to different
-// peers — or simply behave correctly while being counted against the fault
-// threshold (the strategy behind the paper's Fig. 3 narrative).
 package byz
 
 import (

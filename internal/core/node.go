@@ -1,21 +1,3 @@
-// Package core implements the paper's consensus protocols as a single
-// event-driven node (Algorithm 3) parameterized by how the committee is
-// identified:
-//
-//   - ModeKnownF — the authenticated BFT-CUP model of Section III:
-//     Discovery (Algorithm 1) + the Sink algorithm (Algorithm 2) with the
-//     fault threshold f given to every process.
-//   - ModeUnknownF — the BFT-CUPFT model of Section VI: Discovery + the Core
-//     algorithm (Algorithm 4); no process knows f.
-//   - ModeNaive — the straw man of Observation 1 (Section IV): adopt the
-//     first sink found at any g. Unsafe by Theorem 7; used to reproduce the
-//     impossibility experiments.
-//   - ModePermissioned — the classic setting (known membership and f): run
-//     the committee consensus directly over PDᵢ ∪ {i}.
-//
-// Once the committee S is identified, members run PBFT over S with quorum
-// ⌈(|S|+g+1)/2⌉ while non-members poll ⟨GETDECIDEDVAL⟩ and decide on
-// ⌈(|S|+1)/2⌉ matching answers (Algorithm 3).
 package core
 
 import (
@@ -66,6 +48,7 @@ const maxPending = 8192
 
 // Config parameterizes a node.
 type Config struct {
+	// Mode selects the committee-identification rule.
 	Mode Mode
 	// F is the fault threshold given to the process (ModeKnownF and
 	// ModePermissioned only; the whole point of BFT-CUPFT is not having it).
@@ -223,9 +206,10 @@ func (n *Node) Receive(ctx sim.Context, from model.ID, payload []byte) {
 		if n.committee == nil {
 			if len(n.pending) < maxPending {
 				// The committee is not identified yet; buffer so that a late
-				// process can still join the committee protocol.
+				// process can still join the committee protocol. The engine
+				// recycles payload buffers after the callback, so keep a copy.
 				n.pendingFrom = append(n.pendingFrom, from)
-				n.pending = append(n.pending, payload)
+				n.pending = append(n.pending, append([]byte(nil), payload...))
 			}
 			return
 		}
@@ -237,7 +221,8 @@ func (n *Node) Receive(ctx sim.Context, from model.ID, payload []byte) {
 			// A member that is still on an earlier slot must not lose
 			// traffic (especially DecideNotes) for slots it will start.
 			if n.committee.Members().Has(n.self) && slot < n.cfg.Slots && n.pendingN < maxPending {
-				n.slotPending[slot] = append(n.slotPending[slot], pendingMsg{from: from, payload: payload})
+				// Copied: the engine recycles payload buffers after delivery.
+				n.slotPending[slot] = append(n.slotPending[slot], pendingMsg{from: from, payload: append([]byte(nil), payload...)})
 				n.pendingN++
 			}
 		}

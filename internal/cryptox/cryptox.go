@@ -1,7 +1,3 @@
-// Package cryptox provides the digital-signature layer of the authenticated
-// BFT-CUP / BFT-CUPFT model: per-process Ed25519 keys, a static ID→key
-// registry standing in for the paper's Sybil-proof identity assumption, and
-// an insecure fast signer for benchmarks where signing cost would dominate.
 package cryptox
 
 import (

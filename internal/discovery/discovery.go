@@ -1,9 +1,3 @@
-// Package discovery implements Algorithm 1 of the paper: the knowledge-
-// expansion protocol by which every process periodically asks the processes
-// it knows for the signed participant detectors (PDs) they have collected.
-// Signatures make relayed PDs trustworthy: a Byzantine process can lie about
-// its own PD (the Sink/Core algorithms tolerate that) but cannot forge or
-// alter the PD of any correct process.
 package discovery
 
 import (
@@ -22,9 +16,12 @@ const TimerTag uint64 = 1 << 40
 // SignedPD is one ⟨i, PDᵢ⟩ᵢ record: a participant detector signed by its
 // owner.
 type SignedPD struct {
+	// Owner is the process that signed the record.
 	Owner model.ID
-	PD    model.IDSet
-	Sig   []byte
+	// PD is the participant detector the owner claims.
+	PD model.IDSet
+	// Sig is the owner's signature over Canonical(Owner, PD).
+	Sig []byte
 }
 
 // Canonical returns the byte string that is signed: a domain tag, the owner

@@ -38,6 +38,7 @@ const (
 //	kosr:sink=7,nonsink=4,k=3[,extra=0.15] random k-OSR family
 //	extended:core=5,noncore=3[,extra=0.15] random extended k-OSR family
 type Def struct {
+	// Kind selects the family (figure, complete, k-OSR, extended k-OSR).
 	Kind DefKind
 	// Figure is the figure name for DefFigure.
 	Figure string
@@ -55,6 +56,7 @@ type Def struct {
 
 // BuiltGraph is the result of materializing a Def.
 type BuiltGraph struct {
+	// G is the materialized knowledge connectivity graph.
 	G *Digraph
 	// F is the natural fault threshold of the family: the figure's F, k-1
 	// for k-OSR, f_G for extended, ⌊(n-1)/3⌋ for complete. Callers may

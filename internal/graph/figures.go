@@ -8,10 +8,12 @@ import "github.com/bftcup/bftcup/internal/model"
 // satisfy every textual constraint the paper asserts about each figure, and
 // figures_test.go machine-checks those constraints (see DESIGN.md §3).
 type Figure struct {
+	// Name is the paper's figure label (e.g. "fig1b").
 	Name string
-	G    *Digraph
-	F    int         // the (possibly unknown to processes) fault threshold
-	Byz  model.IDSet // the Byzantine nodes in the paper's narrative
+	// G is the reconstructed knowledge connectivity graph.
+	G   *Digraph
+	F   int         // the (possibly unknown to processes) fault threshold
+	Byz model.IDSet // the Byzantine nodes in the paper's narrative
 	// ExpectedSink is the sink of the safe subgraph (BFT-CUP committee
 	// restricted to correct processes), when meaningful.
 	ExpectedSink model.IDSet
@@ -19,7 +21,8 @@ type Figure struct {
 	// (correct sink/core members plus the ≤ f Byzantine ones identified via
 	// P4), when meaningful.
 	ExpectedCommittee model.IDSet
-	Notes             string
+	// Notes records the paper's narrative for the figure.
+	Notes string
 }
 
 func adj(pairs map[model.ID][]model.ID) *Digraph { return FromAdjacency(pairs) }

@@ -8,6 +8,7 @@ import (
 
 // KOSRReport explains why a graph does or does not belong to k-OSR PD.
 type KOSRReport struct {
+	// OK reports membership in k-OSR PD; K echoes the k that was checked.
 	OK               bool
 	K                int
 	Sink             model.IDSet // the unique sink component, when it exists
@@ -65,10 +66,12 @@ func CheckKOSR(g *Digraph, k int) KOSRReport {
 
 // BFTCUPReport is the verdict of CheckBFTCUP.
 type BFTCUPReport struct {
+	// OK reports whether Theorem 1's requirements hold; F echoes the checked
+	// fault threshold.
 	OK     bool
 	F      int
 	Sink   model.IDSet // sink of the safe subgraph, when it exists
-	Reason string
+	Reason string      // empty when OK
 }
 
 // CheckBFTCUP verifies Theorem 1's requirements for solving BFT-CUP: the safe

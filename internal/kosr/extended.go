@@ -10,12 +10,13 @@ import (
 
 // ExtendedReport is the verdict of CheckExtendedKOSR.
 type ExtendedReport struct {
+	// OK reports membership in extended k-OSR PD; K echoes the checked k.
 	OK     bool
 	K      int
 	Core   model.IDSet // Vcore when OK
 	FG     int         // f_Gdi(Vcore) = k_Gdi(Vcore) - 1
 	Exact  bool        // whether sink enumeration was exhaustive
-	Reason string
+	Reason string      // empty when OK
 	// Sinks lists every distinct sink set found, with its f_G, for
 	// diagnostics and the experiments' tables.
 	Sinks []SinkInfo
@@ -23,6 +24,7 @@ type ExtendedReport struct {
 
 // SinkInfo describes one sink set found during extended-k-OSR checking.
 type SinkInfo struct {
+	// Members is the sink set; FG its fault capacity f_G.
 	Members model.IDSet
 	FG      int
 }
@@ -110,9 +112,12 @@ func CheckExtendedKOSR(gdi *graph.Digraph, k int) ExtendedReport {
 
 // BFTCUPFTReport is the verdict of CheckBFTCUPFT.
 type BFTCUPFTReport struct {
-	OK     bool
-	F      int
-	Core   model.IDSet // core of the safe subgraph
+	// OK reports whether the BFT-CUPFT requirements hold; F echoes the
+	// actual Byzantine count the safe subgraph was computed with.
+	OK   bool
+	F    int
+	Core model.IDSet // core of the safe subgraph
+	// FG is the core's fault capacity f_G; Reason is empty when OK.
 	FG     int
 	Reason string
 }

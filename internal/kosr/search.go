@@ -9,7 +9,10 @@ import (
 // Candidate is a sink identified in a view: the partition (S1, S2), the
 // threshold g at which isSink holds, and derived committee parameters.
 type Candidate struct {
-	G  int
+	// G is the fault threshold at which isSink held.
+	G int
+	// S1 is the sink partition; S2 the ≤ G extra processes identified via
+	// property P4.
 	S1 model.IDSet
 	S2 model.IDSet
 }

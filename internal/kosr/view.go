@@ -1,13 +1,3 @@
-// Package kosr implements the knowledge-side decision procedures of the
-// paper: the isSink predicate of Theorem 3, the sink search of Algorithm 2
-// (known fault threshold), the core search of Algorithm 4 (unknown fault
-// threshold), the naive any-sink rule of Observation 1, and the extended
-// k-OSR PD checker of Definition 2.
-//
-// Notation note (see DESIGN.md §2): property P3 counts *target* vertices
-// outside S1 that S1 points at, while P4 counts *source* vertices of S1
-// pointing at a given process. This is the only reading consistent with the
-// paper's worked examples and proofs.
 package kosr
 
 import (
@@ -19,6 +9,7 @@ import (
 // (S_known) and the participant detectors it has received and verified
 // (S_PD, whose key set is S_received).
 type View struct {
+	// Known is S_known: every process this process has heard of.
 	Known model.IDSet
 	// PD maps a process to its (signed, verified) participant detector.
 	// The key set is S_received.

@@ -1,0 +1,11 @@
+// Package live drives the same protocol reactors as package sim, but with
+// real goroutines, channels and wall-clock timers: one goroutine per process,
+// an unbounded mailbox per process (so no send can deadlock the system), and
+// an in-memory network with optional artificial latency. Examples use it to
+// run the full BFT-CUP / BFT-CUPFT stack as a genuinely concurrent system;
+// its tests run under the race detector.
+//
+// Unlike the simulator, the live runtime never recycles payload buffers —
+// every delivery owns its slice — so a reactor correct under sim's stricter
+// zero-copy contract is automatically correct here.
+package live

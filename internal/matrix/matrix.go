@@ -51,8 +51,9 @@ type Axes struct {
 type Cell struct {
 	// Index is the cell's position in expansion order; aggregation is
 	// performed in this order regardless of execution order, which is what
-	// makes parallel and serial runs produce identical reports.
-	Index  int
+	// makes parallel, serial and sharded runs produce identical reports.
+	Index int
+	// Params is the fully data-driven scenario this cell runs.
 	Params scenario.Params
 	// Expect carries the paper's prediction when the cell comes from the
 	// reproduction suite; nil for free sweeps.

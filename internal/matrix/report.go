@@ -13,10 +13,13 @@ import (
 
 // AxisStat aggregates outcomes sharing one axis value.
 type AxisStat struct {
-	Value     string `json:"value"`
-	Cells     int    `json:"cells"`
-	Consensus int    `json:"consensus"`
-	Errors    int    `json:"errors"`
+	// Value is the axis value label (e.g. a graph name or "sync").
+	Value string `json:"value"`
+	// Cells / Consensus / Errors count the outcomes with this value, how
+	// many reached consensus, and how many errored.
+	Cells     int `json:"cells"`
+	Consensus int `json:"consensus"`
+	Errors    int `json:"errors"`
 }
 
 // Report is the aggregated result of a matrix run. Every field except the
@@ -25,15 +28,29 @@ type AxisStat struct {
 // hashes exactly that, and the regression tests assert serial and parallel
 // fingerprints agree.
 type Report struct {
-	Name        string `json:"name,omitempty"`
-	Cells       int    `json:"cells"`
-	Consensus   int    `json:"consensus"`
-	Errors      int    `json:"errors"`
-	Mismatches  int    `json:"mismatches"` // expectation-carrying cells that diverged
-	Expected    int    `json:"expected"`   // expectation-carrying cells
-	Parallelism int    `json:"parallelism"`
-	WallNS      int64  `json:"wall_ns"`
+	// Name labels the sweep the report came from.
+	Name string `json:"name,omitempty"`
+	// Cells / Consensus / Errors are the whole-sweep counts.
+	Cells     int `json:"cells"`
+	Consensus int `json:"consensus"`
+	Errors    int `json:"errors"`
+	// Mismatches / Expected count expectation-carrying cells that diverged
+	// from the paper's prediction, and how many carried one at all.
+	Mismatches int `json:"mismatches"`
+	Expected   int `json:"expected"`
+	// Parallelism is the worker count that produced the report (0 for a
+	// merged report); WallNS is wall-clock time. Both are excluded from the
+	// fingerprint.
+	Parallelism int   `json:"parallelism"`
+	WallNS      int64 `json:"wall_ns"`
 
+	// FingerprintHex is filled in by JSON() so emitted reports carry their
+	// own deterministic fingerprint; it is derived state, never aggregated
+	// and never part of the Fingerprint hash itself.
+	FingerprintHex string `json:"fingerprint,omitempty"`
+
+	// TotalMessages / TotalBytes sum the simulator traffic of every cell;
+	// MaxVirtualNS is the longest virtual run among them.
 	TotalMessages int64    `json:"total_messages"`
 	TotalBytes    int64    `json:"total_bytes"`
 	MaxVirtualNS  sim.Time `json:"max_virtual_ns"`
@@ -42,6 +59,7 @@ type Report struct {
 	// in first-seen (i.e. expansion) order.
 	Axes map[string][]AxisStat `json:"axes"`
 
+	// Outcomes holds every cell's graded result in cell-index order.
 	Outcomes []Outcome `json:"outcomes"`
 }
 
@@ -127,8 +145,10 @@ func (r *Report) Fingerprint() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// JSON renders the full report (summary + per-cell outcomes).
+// JSON renders the full report (summary + per-cell outcomes), stamped with
+// its deterministic fingerprint.
 func (r *Report) JSON() ([]byte, error) {
+	r.FingerprintHex = r.Fingerprint()
 	return json.MarshalIndent(r, "", "  ")
 }
 

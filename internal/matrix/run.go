@@ -24,10 +24,16 @@ type Options struct {
 	Progress func(done, total int)
 }
 
-// Outcome is the graded result of one cell.
+// Outcome is the graded result of one cell. Every field except WallNS is
+// deterministic, and the JSONL stream round-trips all of them, which is what
+// makes a merged shard report fingerprint-identical to a monolithic run.
 type Outcome struct {
-	Index int    `json:"index"`
-	ID    string `json:"id"`
+	// Index is the cell's global position in expansion order.
+	Index int `json:"index"`
+	// ID is the stable cell identifier (scenario.Params.ID).
+	ID string `json:"id"`
+	// Graph / Mode / Net / Byz / F / Seed are the cell's axis labels, echoed
+	// so shard files and reports are self-describing.
 	Graph string `json:"graph"`
 	Mode  string `json:"mode"`
 	Net   string `json:"net"`
@@ -35,6 +41,8 @@ type Outcome struct {
 	F     int    `json:"f"`
 	Seed  int64  `json:"seed"`
 
+	// Consensus is the conjunction of the four graded properties below;
+	// FailureMode names the first violated one (empty for a clean run).
 	Consensus   bool   `json:"consensus"`
 	Agreement   bool   `json:"agreement"`
 	Validity    bool   `json:"validity"`
@@ -46,6 +54,9 @@ type Outcome struct {
 	Expect *bool `json:"expect,omitempty"`
 	Match  *bool `json:"match,omitempty"`
 
+	// VirtualNS is the virtual time of the last correct decision; Messages
+	// and Bytes are the simulator's traffic counters. TraceDigest/TraceEvents
+	// are set when Options.Trace was on.
 	VirtualNS   sim.Time `json:"virtual_ns"`
 	Messages    int64    `json:"messages"`
 	Bytes       int64    `json:"bytes"`
@@ -104,12 +115,14 @@ func runCell(c Cell, trace bool) Outcome {
 	return out
 }
 
-// Run executes the cells on a worker pool and aggregates the outcomes in
-// cell-index order, so the report (minus wall-clock fields) is independent
-// of parallelism and scheduling.
-func Run(cells []Cell, opts Options) (*Report, error) {
+// runPool executes cells on a worker pool and feeds every finished outcome to
+// sink in completion order. Sink calls are serialized; pos is the cell's
+// position within the cells slice (not its global Index). A sink error stops
+// workers from claiming further cells and is returned. The effective
+// parallelism is returned alongside.
+func runPool(cells []Cell, opts Options, sink func(pos int, o Outcome) error) (int, error) {
 	if len(cells) == 0 {
-		return nil, fmt.Errorf("matrix: no cells to run")
+		return 0, fmt.Errorf("matrix: no cells to run")
 	}
 	par := opts.Parallelism
 	if par <= 0 {
@@ -119,33 +132,58 @@ func Run(cells []Cell, opts Options) (*Report, error) {
 		par = len(cells)
 	}
 
-	outcomes := make([]Outcome, len(cells))
-	start := time.Now()
 	var next atomic.Int64
 	next.Store(-1)
-	var done atomic.Int64
-	var progressMu sync.Mutex
+	var stop atomic.Bool
+	var sinkMu sync.Mutex
+	var sinkErr error
+	done := 0
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if stop.Load() {
+					return
+				}
 				i := int(next.Add(1))
 				if i >= len(cells) {
 					return
 				}
-				outcomes[i] = runCell(cells[i], opts.Trace)
-				n := int(done.Add(1))
-				if opts.Progress != nil {
-					progressMu.Lock()
-					opts.Progress(n, len(cells))
-					progressMu.Unlock()
+				o := runCell(cells[i], opts.Trace)
+				sinkMu.Lock()
+				if sinkErr == nil {
+					if err := sink(i, o); err != nil {
+						sinkErr = err
+						stop.Store(true)
+					}
 				}
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, len(cells))
+				}
+				sinkMu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
+	return par, sinkErr
+}
+
+// Run executes the cells on a worker pool and aggregates the outcomes in
+// cell-index order, so the report (minus wall-clock fields) is independent
+// of parallelism and scheduling.
+func Run(cells []Cell, opts Options) (*Report, error) {
+	outcomes := make([]Outcome, len(cells))
+	start := time.Now()
+	par, err := runPool(cells, opts, func(pos int, o Outcome) error {
+		outcomes[pos] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	rep := aggregate(outcomes, par)
 	rep.WallNS = time.Since(start).Nanoseconds()
 	return rep, nil

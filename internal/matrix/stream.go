@@ -1,0 +1,240 @@
+package matrix
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// The streaming JSONL format lets a sweep emit per-cell results as they
+// complete — no in-memory Report, no lost work on a crash mid-sweep — and
+// lets shards of one sweep run on different workers and be merged later. A
+// stream is one JSON object per line:
+//
+//	{"type":"header","header":{...}}     exactly once, first
+//	{"type":"outcome","outcome":{...}}   once per cell, in completion order
+//	{"type":"trailer","trailer":{...}}   exactly once, last (integrity check)
+//
+// Merge reconstructs the aggregate Report from a complete set of shard
+// streams; its Fingerprint provably equals the monolithic run's because the
+// fingerprint is a pure function of the outcomes in cell-index order and
+// every cell runs on its own deterministic engine either way.
+
+// StreamHeader opens a stream and identifies the slice of the sweep it
+// carries.
+type StreamHeader struct {
+	// Name labels the sweep; all shards of one sweep must agree on it.
+	Name string `json:"name"`
+	// TotalCells is the size of the whole sweep (not of this shard).
+	TotalCells int `json:"total_cells"`
+	// Shard is the canonical "i/n" shard spec this stream ran.
+	Shard string `json:"shard"`
+	// ShardCells is how many cells this shard contains.
+	ShardCells int `json:"shard_cells"`
+}
+
+// StreamTrailer closes a stream; a missing or inconsistent trailer marks a
+// truncated or corrupted shard file.
+type StreamTrailer struct {
+	// CellsRun must equal the header's ShardCells.
+	CellsRun int `json:"cells_run"`
+	// Errors and Consensus are this shard's counts (summary only; Merge
+	// recomputes everything from the outcomes).
+	Errors int `json:"errors"`
+	// Consensus counts this shard's cells where all four properties held.
+	Consensus int `json:"consensus"`
+	// WallNS is this shard's wall-clock time.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// streamRecord is one JSONL line.
+type streamRecord struct {
+	Type    string         `json:"type"`
+	Header  *StreamHeader  `json:"header,omitempty"`
+	Outcome *Outcome       `json:"outcome,omitempty"`
+	Trailer *StreamTrailer `json:"trailer,omitempty"`
+}
+
+// RunStream executes the cells and writes every outcome to w as a JSONL line
+// the moment it completes (completion order, not index order — Merge sorts).
+// The returned trailer summarizes the shard. Unlike Run, nothing beyond the
+// running summary is buffered.
+func RunStream(cells []Cell, opts Options, w io.Writer, hdr StreamHeader) (*StreamTrailer, error) {
+	hdr.ShardCells = len(cells)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(streamRecord{Type: "header", Header: &hdr}); err != nil {
+		return nil, err
+	}
+	var tr StreamTrailer
+	start := time.Now()
+	// An empty shard (more shards than cells) is legitimate: it emits a
+	// valid header+trailer stream with zero outcomes, which Merge accepts.
+	if len(cells) > 0 {
+		_, err := runPool(cells, opts, func(_ int, o Outcome) error {
+			tr.CellsRun++
+			if o.Err != "" {
+				tr.Errors++
+			}
+			if o.Consensus {
+				tr.Consensus++
+			}
+			// Flushed per line so a concurrent tail (or a crash post-mortem)
+			// sees every completed cell.
+			if err := enc.Encode(streamRecord{Type: "outcome", Outcome: &o}); err != nil {
+				return err
+			}
+			return bw.Flush()
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	tr.WallNS = time.Since(start).Nanoseconds()
+	if err := enc.Encode(streamRecord{Type: "trailer", Trailer: &tr}); err != nil {
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// RunStreamFile is RunStream writing to a file path; "-" streams to stdout.
+// The shared helper keeps cupsim's and experiments' shard modes identical.
+func RunStreamFile(path string, cells []Cell, opts Options, hdr StreamHeader) (*StreamTrailer, error) {
+	if path == "-" {
+		return RunStream(cells, opts, os.Stdout, hdr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := RunStream(cells, opts, f, hdr)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// readStream parses one shard stream, validating its framing.
+func readStream(r io.Reader) (*StreamHeader, []Outcome, *StreamTrailer, error) {
+	dec := json.NewDecoder(r)
+	var hdr *StreamHeader
+	var tr *StreamTrailer
+	var outs []Outcome
+	for {
+		var rec streamRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, nil, fmt.Errorf("stream: %w", err)
+		}
+		switch rec.Type {
+		case "header":
+			if hdr != nil {
+				return nil, nil, nil, fmt.Errorf("stream: duplicate header")
+			}
+			hdr = rec.Header
+		case "outcome":
+			if hdr == nil {
+				return nil, nil, nil, fmt.Errorf("stream: outcome before header")
+			}
+			if tr != nil {
+				return nil, nil, nil, fmt.Errorf("stream: outcome after trailer")
+			}
+			if rec.Outcome == nil {
+				return nil, nil, nil, fmt.Errorf("stream: empty outcome record")
+			}
+			outs = append(outs, *rec.Outcome)
+		case "trailer":
+			if tr != nil {
+				return nil, nil, nil, fmt.Errorf("stream: duplicate trailer")
+			}
+			tr = rec.Trailer
+		default:
+			return nil, nil, nil, fmt.Errorf("stream: unknown record type %q", rec.Type)
+		}
+	}
+	if hdr == nil {
+		return nil, nil, nil, fmt.Errorf("stream: missing header")
+	}
+	if tr == nil {
+		return nil, nil, nil, fmt.Errorf("stream: missing trailer (truncated shard file?)")
+	}
+	if tr.CellsRun != len(outs) || (hdr.ShardCells != 0 && hdr.ShardCells != len(outs)) {
+		return nil, nil, nil, fmt.Errorf("stream: header/trailer claim %d/%d cells, found %d",
+			hdr.ShardCells, tr.CellsRun, len(outs))
+	}
+	return hdr, outs, tr, nil
+}
+
+// MergeStreams reconstructs the aggregate Report from a complete set of shard
+// streams of one sweep. Every cell index 0..TotalCells-1 must appear exactly
+// once across the streams. The resulting report's Fingerprint equals the
+// monolithic run's (wall-clock fields are excluded from the fingerprint;
+// WallNS is the sum of the shards' wall times).
+func MergeStreams(readers ...io.Reader) (*Report, error) {
+	if len(readers) == 0 {
+		return nil, fmt.Errorf("merge: no streams")
+	}
+	var name string
+	total := -1
+	var outcomes []Outcome
+	var wallNS int64
+	for i, r := range readers {
+		hdr, outs, tr, err := readStream(r)
+		if err != nil {
+			return nil, fmt.Errorf("merge: stream %d: %w", i, err)
+		}
+		if i == 0 {
+			name, total = hdr.Name, hdr.TotalCells
+		} else if hdr.Name != name || hdr.TotalCells != total {
+			return nil, fmt.Errorf("merge: stream %d is from a different sweep (%q, %d cells; want %q, %d)",
+				i, hdr.Name, hdr.TotalCells, name, total)
+		}
+		outcomes = append(outcomes, outs...)
+		wallNS += tr.WallNS
+	}
+	if len(outcomes) != total {
+		return nil, fmt.Errorf("merge: %d outcomes for a %d-cell sweep (missing or extra shards?)", len(outcomes), total)
+	}
+	sort.Slice(outcomes, func(i, j int) bool { return outcomes[i].Index < outcomes[j].Index })
+	for i := range outcomes {
+		if outcomes[i].Index != i {
+			return nil, fmt.Errorf("merge: cell index %d missing or duplicated (saw %d at position %d)",
+				i, outcomes[i].Index, i)
+		}
+	}
+	rep := aggregate(outcomes, 0)
+	rep.Name = name
+	rep.WallNS = wallNS
+	return rep, nil
+}
+
+// MergeFiles is MergeStreams over shard files on disk.
+func MergeFiles(paths ...string) (*Report, error) {
+	readers := make([]io.Reader, 0, len(paths))
+	files := make([]*os.File, 0, len(paths))
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, fmt.Errorf("merge: %w", err)
+		}
+		files = append(files, f)
+		readers = append(readers, f)
+	}
+	return MergeStreams(readers...)
+}

@@ -1,10 +1,3 @@
-// Package model defines the basic vocabulary shared by every layer of the
-// BFT-CUP / BFT-CUPFT stack: process identifiers, proposal values, and an
-// ordered set of identifiers with deterministic iteration.
-//
-// Determinism matters: the discrete-event simulator must produce identical
-// traces for identical seeds, so nothing in this package ever iterates over a
-// Go map when order can be observed.
 package model
 
 import (

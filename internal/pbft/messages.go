@@ -1,9 +1,3 @@
-// Package pbft implements the committee consensus the paper delegates to
-// "a traditional consensus protocol, e.g., PBFT [22]": a signed, single-shot
-// PBFT with view changes, generalized to the quorum size ⌈(n+f+1)/2⌉ that
-// [11] proves necessary for sink committees (n = 3f+1 recovers the classic
-// 2f+1). Instances are slot-addressed so multi-decision chains can be built
-// on top (see examples/committee).
 package pbft
 
 import (
@@ -69,9 +63,11 @@ func unmarshalSigs(r *wire.Reader) []sigEntry {
 // prepare signatures from distinct committee members. It is what a view
 // change carries forward so no decided value can be lost.
 type PreparedCert struct {
+	// View is the view the value prepared in; Value is the prepared value.
 	View  uint64
 	Value model.Value
-	Sigs  []sigEntry
+	// Sigs holds the quorum's prepare signatures, keyed by signer.
+	Sigs []sigEntry
 }
 
 // validCert checks a prepared certificate against a committee and quorum.
@@ -117,9 +113,11 @@ func unmarshalCert(r *wire.Reader) *PreparedCert {
 // digest). Broadcast in a DecideNote so laggards decide without re-running
 // the protocol.
 type CommitCert struct {
+	// View is the view the value committed in; Value is the decided value.
 	View  uint64
 	Value model.Value
-	Sigs  []sigEntry
+	// Sigs holds the quorum's commit signatures, keyed by signer.
+	Sigs []sigEntry
 }
 
 func (c *CommitCert) valid(slot uint64, committee model.IDSet, quorum int, v cryptox.Verifier) bool {

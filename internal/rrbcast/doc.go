@@ -1,0 +1,12 @@
+// Package rrbcast implements the reachable reliable broadcast primitive of
+// the ORIGINAL (unauthenticated) BFT-CUP protocol [10], which Section III of
+// the paper replaces with digital signatures: a message is delivered only
+// once copies of identical content have arrived over more than f
+// internally-node-disjoint forwarding paths, so at least one path is
+// Byzantine-free and the content is authentic without signatures.
+//
+// It exists as the baseline for the paper's simplification claim: the
+// authenticated protocol is drastically simpler and cheaper. The benchmark
+// suite (BenchmarkAuthVsUnauthDissemination) quantifies the message/byte gap
+// on the same dissemination task.
+package rrbcast

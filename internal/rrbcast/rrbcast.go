@@ -1,13 +1,3 @@
-// Package rrbcast implements the reachable reliable broadcast primitive of
-// the ORIGINAL (unauthenticated) BFT-CUP protocol [10], which Section III of
-// the paper replaces with digital signatures: a message is delivered only
-// once copies of identical content have arrived over more than f
-// internally-node-disjoint forwarding paths, so at least one path is
-// Byzantine-free and the content is authentic without signatures.
-//
-// It exists as the baseline for the paper's simplification claim: the
-// authenticated protocol is drastically simpler and cheaper. The benchmark
-// suite quantifies the message/byte gap on the same dissemination task.
 package rrbcast
 
 import (
@@ -28,9 +18,12 @@ const DefaultForwardCap = 8
 
 // Message is one broadcast in flight.
 type Message struct {
-	Origin  model.ID
-	Seq     uint64
-	Path    []model.ID // forwarders after the origin, in order (origin excluded)
+	// Origin is the broadcasting process; Seq distinguishes its broadcasts.
+	Origin model.ID
+	Seq    uint64
+	// Path lists the forwarders after the origin, in order (origin excluded).
+	Path []model.ID
+	// Payload is the broadcast content.
 	Payload []byte
 }
 

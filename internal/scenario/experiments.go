@@ -20,9 +20,11 @@ type Expect struct {
 // the data-driven description; Spec is its materialization (kept so existing
 // callers — the benchmarks, the CLIs — run it directly).
 type Experiment struct {
-	ID     string // e.g. "table1/partial/bft-cupft" or "fig2c"
+	ID string // e.g. "table1/partial/bft-cupft" or "fig2c"
+	// Params is the data-driven description; Spec its materialization.
 	Params Params
 	Spec   Spec
+	// Expect is the paper's prediction for the experiment.
 	Expect Expect
 }
 

@@ -53,6 +53,7 @@ func ParseNetKind(s string) (NetKind, error) {
 // corresponding sim.NetworkModel. Zero values pick the defaults the
 // experiment suite uses throughout.
 type NetParams struct {
+	// Kind selects the communication assumption.
 	Kind NetKind
 	// Delta is the post-GST (or always, for sync) delivery bound.
 	// Default 5ms.
@@ -64,10 +65,12 @@ type NetParams struct {
 	// of its members (the Fig. 4 schedule). When both are empty, every link
 	// is slow before GST.
 	FastGroups []model.IDSet
-	SlowTouch  model.IDSet
-	// AsyncDelta / AsyncFactor tune the adversarial scheduler.
+	// SlowTouch slows every link touching one of its members before GST.
+	SlowTouch model.IDSet
+	// AsyncDelta and AsyncFactor tune the adversarial scheduler.
 	// Defaults 2s / 3.
-	AsyncDelta  sim.Time
+	AsyncDelta sim.Time
+	// AsyncFactor is the delay growth factor (floored at 3).
 	AsyncFactor int64
 }
 
@@ -163,9 +166,12 @@ func (np NetParams) Model() sim.NetworkModel {
 // ByzParams is the pure-data form of ByzSpec (no callbacks): AltRecipients
 // replaces ChooseAlt with an explicit recipient set.
 type ByzParams struct {
-	Kind      ByzKind
+	// Kind selects the behavior.
+	Kind ByzKind
+	// ClaimedPD is the advertised PD (nil: the graph's real PD).
 	ClaimedPD []model.ID
-	AltPD     []model.ID
+	// AltPD is the second record for ByzEquivPD.
+	AltPD []model.ID
 	// AltRecipients lists the peers that receive AltPD under ByzEquivPD
 	// (empty keeps the default even-ID split).
 	AltRecipients []model.ID
@@ -205,8 +211,11 @@ func (p ByzPlace) String() string {
 // AutoByz places Count Byzantine processes of the given Kind according to
 // Place. The zero value means "no automatic placement".
 type AutoByz struct {
-	Kind  ByzKind
+	// Kind is the behavior every placed process gets.
+	Kind ByzKind
+	// Count is how many processes to place (0 = none).
 	Count int
+	// Place selects which processes.
 	Place ByzPlace
 }
 
@@ -223,24 +232,30 @@ func (a AutoByz) String() string {
 // swept by the matrix engine, serialized, diffed and reproduced from a CLI
 // flag string. Spec materializes it.
 type Params struct {
-	Name  string
+	// Name labels the cell; empty defaults to ID().
+	Name string
+	// Graph is the knowledge-connectivity-graph family to build.
 	Graph graph.Def
 	// GraphSeed drives random graph families; 0 falls back to Seed.
 	GraphSeed int64
-	Mode      core.Mode
+	// Mode selects the committee-identification protocol.
+	Mode core.Mode
 	// F is the threshold handed to processes. -1 uses the graph family's
 	// natural threshold (figure F, k-1, f_G, ⌊(n-1)/3⌋).
 	F int
 	// Byz assigns explicit Byzantine behaviors; Auto adds swept placements
 	// on top (explicit entries win on collision).
-	Byz  map[model.ID]ByzParams
+	Byz map[model.ID]ByzParams
+	// Auto places additional swept Byzantine processes.
 	Auto AutoByz
 	// Values maps processes to proposals (defaults to "v<id>").
 	Values map[model.ID]model.Value
-	Net    NetParams
+	// Net describes the network model.
+	Net NetParams
 	// Horizon bounds the run. Default 60s.
 	Horizon sim.Time
-	Seed    int64
+	// Seed drives the simulation (and graph generation when GraphSeed is 0).
+	Seed int64
 	// SlowDiscovery stretches the gossip/poll periods, keeping the event
 	// volume of non-terminating (async) runs sane.
 	SlowDiscovery bool

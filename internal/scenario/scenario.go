@@ -51,6 +51,7 @@ func (k ByzKind) String() string {
 
 // ByzSpec configures one Byzantine process.
 type ByzSpec struct {
+	// Kind selects the behavior.
 	Kind ByzKind
 	// ClaimedPD is the advertised PD for ByzFakePD / ByzEquivPD (record A).
 	// Nil means the graph's real PD.
@@ -63,21 +64,29 @@ type ByzSpec struct {
 
 // Spec is a full experiment description.
 type Spec struct {
+	// Name labels the experiment in results and errors.
 	Name string
 	// Graph is the knowledge connectivity graph; correct processes use its
 	// out-edges as their PDs.
 	Graph *graph.Digraph
-	Mode  core.Mode
+	// Mode selects the committee-identification protocol.
+	Mode core.Mode
 	// F is handed to processes in ModeKnownF / ModePermissioned.
-	F   int
+	F int
+	// Byz assigns Byzantine behaviors to processes.
 	Byz map[model.ID]ByzSpec
 	// Values maps processes to proposals; missing entries default to "v<id>".
 	Values map[model.ID]model.Value
-	Net    sim.NetworkModel
+	// Net is the network model the engine runs under.
+	Net sim.NetworkModel
 	// Horizon bounds the run; Termination is judged against it.
 	Horizon sim.Time
-	Seed    int64
+	// Seed drives the engine RNG and key generation.
+	Seed int64
 
+	// Discovery tunes Algorithm 1; PBFTTimeout and PollPeriod override the
+	// committee protocol's base view timeout and the non-member polling
+	// interval (zero keeps the defaults).
 	Discovery   discovery.Config
 	PBFTTimeout sim.Time
 	PollPeriod  sim.Time
@@ -89,25 +98,30 @@ type Spec struct {
 
 // ProcessResult is the outcome at one process.
 type ProcessResult struct {
+	// Byzantine marks the process as faulty in the spec.
 	Byzantine bool
+	// Decided / Value / DecidedAt describe the decision, if one was reached.
 	Decided   bool
 	Value     model.Value
 	DecidedAt sim.Time
+	// Committee / G are the committee candidate the process adopted.
 	Committee model.IDSet
 	G         int
 }
 
 // Result grades a run.
 type Result struct {
+	// Name echoes the spec; PerProcess holds each process's outcome.
 	Name        string
 	PerProcess  map[model.ID]ProcessResult
 	Termination bool // every correct process decided within the horizon
 	Agreement   bool // no two correct processes decided differently
 	Validity    bool // every decided value was proposed by some process
 	Integrity   bool // no correct process decided more than once
-	Messages    int64
-	Bytes       int64
-	ByKind      map[byte]int64
+	// Messages / Bytes / ByKind are the simulator's traffic counters.
+	Messages int64
+	Bytes    int64
+	ByKind   map[byte]int64
 	// Elapsed is the virtual time of the last correct decision (or the
 	// horizon when Termination fails).
 	Elapsed sim.Time
@@ -309,10 +323,7 @@ func Run(spec Spec) (*Result, error) {
 	}
 	m := engine.Metrics()
 	res.Messages, res.Bytes = m.Messages, m.Bytes
-	res.ByKind = make(map[byte]int64, len(m.ByKind))
-	for k, v := range m.ByKind {
-		res.ByKind[k] = v
-	}
+	res.ByKind = m.ByKind()
 	return res, nil
 }
 

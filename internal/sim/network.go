@@ -18,6 +18,7 @@ func jitter(d Time, rng *rand.Rand) Time {
 // Synchronous delivers every message within Delta (uniform jitter in
 // [Delta/2, Delta]) from time zero: the synchronous row of Table I.
 type Synchronous struct {
+	// Delta is the delivery bound; every message arrives within it.
 	Delta Time
 }
 
@@ -33,6 +34,7 @@ func (s Synchronous) Delay(_, _ model.ID, _ Time, rng *rand.Rand) Time {
 // the knob the Theorem 7 and Fig. 3 schedules turn to build
 // indistinguishable executions. Other links behave synchronously throughout.
 type PartialSync struct {
+	// GST is the global stabilization time; Delta the post-GST bound.
 	GST   Time
 	Delta Time
 	// Slow marks link classes that stay silent until GST. Nil means no slow

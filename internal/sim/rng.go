@@ -1,0 +1,33 @@
+package sim
+
+import "math/rand"
+
+// splitmix64 is the Steele–Lea–Flood "SplitMix" generator (Fast Splittable
+// Pseudorandom Number Generators, OOPSLA 2014): one 64-bit addition and three
+// xor-multiply mixing steps per draw, no state tables. It replaces
+// math/rand's default additive-lagged-Fibonacci source on the engine hot path
+// — a network-delay draw happens once per message — while staying behind the
+// standard *rand.Rand so the Context and NetworkModel interfaces are
+// unchanged. Deterministic: the same seed always yields the same stream.
+type splitmix64 struct{ state uint64 }
+
+// newRand wraps a seeded splitmix64 in a *rand.Rand. rand.New detects the
+// Source64 implementation, so Uint64-based draws bypass the Int63 shim.
+func newRand(seed int64) *rand.Rand {
+	return rand.New(&splitmix64{state: uint64(seed)})
+}
+
+// Uint64 implements rand.Source64.
+func (s *splitmix64) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed implements rand.Source.
+func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }

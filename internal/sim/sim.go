@@ -9,10 +9,26 @@
 // link classes used to build the Theorem 7 indistinguishability schedules)
 // and an adversarial asynchronous scheduler whose delays grow with time,
 // exhibiting the non-termination that [24] proves unavoidable.
+//
+// # Hot path
+//
+// The engine is written to be allocation-free in steady state: events live by
+// value in a manually-sifted binary heap (no container/heap interface
+// boxing), message bodies are reference-counted buffers drawn from a
+// per-engine free list, and consecutive sends of byte-identical payloads — the
+// broadcast pattern every protocol layer uses — share one interned buffer
+// instead of copying per recipient. The RNG behind Context.Rand and
+// NetworkModel.Delay is a splitmix64 source wrapped in math/rand, a few
+// nanoseconds per draw with no per-engine table allocation.
+//
+// The zero-copy delivery contract: the payload slice passed to
+// Reactor.Receive is only valid for the duration of the callback. A reactor
+// that buffers a payload for later must copy it first (forwarding it to
+// Context.Send within the callback is fine — the engine re-interns it).
 package sim
 
 import (
-	"container/heap"
+	"bytes"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -47,7 +63,10 @@ func (t Time) String() string {
 type Reactor interface {
 	// Init runs once before any event is delivered.
 	Init(ctx Context)
-	// Receive delivers a message from another process.
+	// Receive delivers a message from another process. The payload slice is
+	// only valid until the callback returns (it is recycled into the engine's
+	// buffer pool afterwards); reactors that keep a payload for later must
+	// copy it.
 	Receive(ctx Context, from model.ID, payload []byte)
 	// Timer fires a timer set via Context.SetTimer.
 	Timer(ctx Context, tag uint64)
@@ -61,7 +80,8 @@ type Context interface {
 	Now() Time
 	// Send transmits payload to the given process. Sending to an unknown or
 	// crashed process silently drops (the channel abstraction does not
-	// acknowledge).
+	// acknowledge). The payload is copied (or interned, for repeated
+	// broadcasts of identical bytes); the caller may reuse its buffer.
 	Send(to model.ID, payload []byte)
 	// SetTimer schedules Timer(tag) after d.
 	SetTimer(d Time, tag uint64)
@@ -78,19 +98,28 @@ type NetworkModel interface {
 
 // Metrics accumulates network counters for the experiment tables.
 type Metrics struct {
+	// Messages counts every accepted Send.
 	Messages int64
-	Bytes    int64
-	ByKind   map[byte]int64
+	// Bytes totals the payload bytes of every accepted Send.
+	Bytes int64
+	// byKind counts messages per leading payload byte (the wire kind).
+	// An array, not a map: the per-message increment is on the hot path.
+	byKind [256]int64
 }
 
-func newMetrics() *Metrics { return &Metrics{ByKind: make(map[byte]int64)} }
+// KindCount returns how many messages carried the given leading kind byte.
+func (m *Metrics) KindCount(k byte) int64 { return m.byKind[k] }
 
-func (m *Metrics) record(payload []byte) {
-	m.Messages++
-	m.Bytes += int64(len(payload))
-	if len(payload) > 0 {
-		m.ByKind[payload[0]]++
+// ByKind returns a snapshot of the per-kind message counts (only kinds with
+// at least one message appear).
+func (m *Metrics) ByKind() map[byte]int64 {
+	out := make(map[byte]int64)
+	for k, v := range m.byKind {
+		if v != 0 {
+			out[byte(k)] = v
+		}
 	}
+	return out
 }
 
 type eventKind uint8
@@ -100,41 +129,42 @@ const (
 	evTimer
 )
 
+// msgBody is a reference-counted payload buffer. Bodies are recycled through
+// the engine's free list once every referencing event has been delivered, so
+// the steady-state message path allocates nothing; refcounts let repeated
+// sends of identical bytes (broadcasts) share one buffer.
+type msgBody struct {
+	data []byte
+	refs int32
+}
+
+// event is one scheduled delivery. Events are stored by value in the heap —
+// no per-event allocation — and carry the resolved *proc so delivery needs no
+// map lookup.
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among same-time events
 	kind eventKind
 	to   model.ID
 	from model.ID // evMessage
-	body []byte   // evMessage
+	tgt  *proc
+	body *msgBody // evMessage
 	tag  uint64   // evTimer
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (at, seq): virtual time first, FIFO within a tick.
+func (ev *event) before(o *event) bool {
+	if ev.at != o.at {
+		return ev.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return ev.seq < o.seq
 }
 
 // Engine drives a set of reactors over a virtual clock.
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []event // manual binary min-heap on (at, seq)
 	procs   map[model.ID]*proc
 	order   []model.ID
 	net     NetworkModel
@@ -142,6 +172,12 @@ type Engine struct {
 	metrics *Metrics
 	trace   *Trace
 	started bool
+
+	// bodyFree recycles payload buffers; lastBody interns the most recent one
+	// so broadcast loops sending identical bytes share a single buffer.
+	bodyFree []*msgBody
+	lastBody *msgBody
+
 	// preCrashed holds Crash marks issued before AddProcess.
 	preCrashed model.IDSet
 }
@@ -158,8 +194,8 @@ func NewEngine(net NetworkModel, seed int64) *Engine {
 	return &Engine{
 		procs:   make(map[model.ID]*proc),
 		net:     net,
-		rng:     rand.New(rand.NewSource(seed)),
-		metrics: newMetrics(),
+		rng:     newRand(seed),
+		metrics: &Metrics{},
 	}
 }
 
@@ -218,21 +254,22 @@ func (e *Engine) start() {
 // empty.
 func (e *Engine) Step() bool {
 	e.start()
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*event)
+	for len(e.events) > 0 {
+		ev := e.popEvent()
 		e.now = ev.at
-		p, ok := e.procs[ev.to]
-		if !ok || p.crashed {
+		if ev.tgt.crashed {
+			e.releaseBody(ev.body)
 			continue
 		}
 		if e.trace != nil {
-			e.trace.record(ev)
+			e.trace.record(&ev)
 		}
 		switch ev.kind {
 		case evMessage:
-			p.reactor.Receive(p.ctx, ev.from, ev.body)
+			ev.tgt.reactor.Receive(ev.tgt.ctx, ev.from, ev.body.data)
+			e.releaseBody(ev.body)
 		case evTimer:
-			p.reactor.Timer(p.ctx, ev.tag)
+			ev.tgt.reactor.Timer(ev.tgt.ctx, ev.tag)
 		}
 		return true
 	}
@@ -246,7 +283,7 @@ func (e *Engine) RunUntil(cond func() bool, horizon Time) bool {
 	if cond() {
 		return true
 	}
-	for e.events.Len() > 0 {
+	for len(e.events) > 0 {
 		if e.events[0].at > horizon {
 			return false
 		}
@@ -265,10 +302,90 @@ func (e *Engine) Run(horizon Time) {
 	e.RunUntil(func() bool { return false }, horizon)
 }
 
-func (e *Engine) push(ev *event) {
+// push assigns the FIFO sequence number and sifts the event into the heap.
+// The heap is a plain []event: pushes reuse the slice's capacity, so the
+// steady state allocates nothing.
+func (e *Engine) push(ev event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.events = h
+}
+
+// popEvent removes and returns the earliest event (min on (at, seq)).
+func (e *Engine) popEvent() event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop the body/proc pointers for the GC
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r].before(&h[l]) {
+			m = r
+		}
+		if !h[m].before(&h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	e.events = h
+	return root
+}
+
+// acquireBody returns a buffer holding a copy of payload. Consecutive
+// acquisitions of byte-identical payloads (broadcast fan-out) share one
+// interned buffer via its refcount instead of copying per recipient.
+func (e *Engine) acquireBody(payload []byte) *msgBody {
+	if lb := e.lastBody; lb != nil && bytes.Equal(lb.data, payload) {
+		lb.refs++
+		return lb
+	}
+	var b *msgBody
+	if n := len(e.bodyFree); n > 0 {
+		b = e.bodyFree[n-1]
+		e.bodyFree[n-1] = nil
+		e.bodyFree = e.bodyFree[:n-1]
+	} else {
+		b = &msgBody{}
+	}
+	b.data = append(b.data[:0], payload...)
+	b.refs = 1
+	e.lastBody = b
+	return b
+}
+
+// releaseBody returns a buffer to the free list once its last referencing
+// event has been delivered (or dropped).
+func (e *Engine) releaseBody(b *msgBody) {
+	if b == nil {
+		return
+	}
+	if b.refs--; b.refs > 0 {
+		return
+	}
+	if e.lastBody == b {
+		// The buffer is about to be rewritten by its next user; it must no
+		// longer satisfy intern hits.
+		e.lastBody = nil
+	}
+	e.bodyFree = append(e.bodyFree, b)
 }
 
 // procCtx implements Context for one process.
@@ -290,19 +407,23 @@ func (c *procCtx) Send(to model.ID, payload []byte) {
 	if !ok || tgt.crashed || to == c.proc.id {
 		return
 	}
-	e.metrics.record(payload)
+	m := e.metrics
+	m.Messages++
+	m.Bytes += int64(len(payload))
+	if len(payload) > 0 {
+		m.byKind[payload[0]]++
+	}
 	d := e.net.Delay(c.proc.id, to, e.now, e.rng)
 	if d < 0 {
 		d = 0
 	}
-	body := make([]byte, len(payload))
-	copy(body, payload)
-	e.push(&event{at: e.now + d, kind: evMessage, to: to, from: c.proc.id, body: body})
+	e.push(event{at: e.now + d, kind: evMessage, to: to, from: c.proc.id, tgt: tgt, body: e.acquireBody(payload)})
 }
 
 func (c *procCtx) SetTimer(d Time, tag uint64) {
 	if d < 0 {
 		d = 0
 	}
-	c.engine.push(&event{at: c.engine.now + d, kind: evTimer, to: c.proc.id, tag: tag})
+	e := c.engine
+	e.push(event{at: e.now + d, kind: evTimer, to: c.proc.id, tgt: c.proc, tag: tag})
 }

@@ -43,8 +43,8 @@ func (t *Trace) record(ev *event) {
 	switch ev.kind {
 	case evMessage:
 		b = binary.BigEndian.AppendUint64(b, uint64(ev.from))
-		b = binary.BigEndian.AppendUint64(b, uint64(len(ev.body)))
-		b = append(b, ev.body...)
+		b = binary.BigEndian.AppendUint64(b, uint64(len(ev.body.data)))
+		b = append(b, ev.body.data...)
 	case evTimer:
 		b = binary.BigEndian.AppendUint64(b, ev.tag)
 	}

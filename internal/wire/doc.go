@@ -1,0 +1,13 @@
+// Package wire implements a small deterministic binary codec used for every
+// message on the network and for the canonical byte strings that get signed.
+// Determinism matters twice: signatures must be computed over canonical
+// bytes, and the simulator's metrics (bytes on the wire) must be
+// reproducible.
+//
+// The first byte of every payload is a Kind constant, which lets one reactor
+// multiplex discovery, committee consensus and decided-value serving over a
+// single authenticated channel — and lets the simulator's per-kind metrics
+// attribute traffic. Readers carry sticky errors and hard length bounds
+// (MaxChunk), so adversarial payloads from Byzantine processes fail closed
+// instead of allocating unboundedly; the fuzz corpus exercises exactly this.
+package wire

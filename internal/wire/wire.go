@@ -1,7 +1,3 @@
-// Package wire implements a small deterministic binary codec used for every
-// message on the network and for the canonical byte strings that get signed.
-// Determinism matters twice: signatures must be computed over canonical
-// bytes, and the simulator's metrics (bytes on the wire) must be reproducible.
 package wire
 
 import (

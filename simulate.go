@@ -27,6 +27,7 @@ const (
 
 // Byzantine configures one Byzantine process in a simulation.
 type Byzantine struct {
+	// Behavior selects what the process does.
 	Behavior Behavior
 	// ClaimedPD is the advertised PD for BehaviorFakePD/BehaviorEquivocatePD
 	// (nil: the topology's real out-list).
@@ -52,6 +53,7 @@ const (
 
 // Network describes the simulated communication model.
 type Network struct {
+	// Kind selects the communication model.
 	Kind  NetworkKind
 	Delta time.Duration // default 5ms
 	GST   time.Duration // partial synchrony only
@@ -89,14 +91,21 @@ func (n Network) build() sim.NetworkModel {
 
 // SimOptions describes one deterministic simulation.
 type SimOptions struct {
-	Topology  Topology
-	Protocol  Protocol
-	F         int // ProtocolBFTCUP / ProtocolPermissioned
+	// Topology is the knowledge connectivity graph; each process uses its
+	// out-list as its participant detector.
+	Topology Topology
+	// Protocol selects the committee-identification rule.
+	Protocol Protocol
+	F        int // ProtocolBFTCUP / ProtocolPermissioned
+	// Byzantine assigns faulty behaviors by process.
 	Byzantine map[ID]Byzantine
+	// Proposals maps processes to values (default "v<id>").
 	Proposals map[ID]Value
-	Network   Network
-	Horizon   time.Duration // default 60s of virtual time
-	Seed      int64
+	// Network is the simulated communication model.
+	Network Network
+	Horizon time.Duration // default 60s of virtual time
+	// Seed makes the whole run deterministic.
+	Seed int64
 }
 
 // SimReport grades a simulated run.
@@ -109,10 +118,12 @@ type SimReport struct {
 	Validity        bool
 	// FailureMode names the violated property (empty on success).
 	FailureMode string
-	Decisions   map[ID]Value
-	Committees  map[ID][]ID
-	Messages    int64
-	Bytes       int64
+	// Decisions and Committees record each process's decided value and
+	// adopted committee; Messages and Bytes total the network traffic.
+	Decisions  map[ID]Value
+	Committees map[ID][]ID
+	Messages   int64
+	Bytes      int64
 	// Elapsed is the virtual time of the last correct decision.
 	Elapsed time.Duration
 }

@@ -21,6 +21,7 @@ type SystemConfig struct {
 	// Topology is the knowledge connectivity graph; each started process
 	// uses its out-list as its participant detector.
 	Topology Topology
+	// Protocol selects the committee-identification rule.
 	Protocol Protocol
 	// F is the fault threshold handed to processes (ProtocolBFTCUP and
 	// ProtocolPermissioned only).
@@ -40,15 +41,18 @@ type SystemConfig struct {
 	Latency func(from, to ID) time.Duration
 	// DiscoveryPeriod, ConsensusTimeout and PollPeriod tune the protocol
 	// timers (sane defaults when zero).
-	DiscoveryPeriod  time.Duration
+	DiscoveryPeriod time.Duration
+	// ConsensusTimeout is the committee protocol's base view timeout.
 	ConsensusTimeout time.Duration
-	PollPeriod       time.Duration
+	// PollPeriod is the non-member decided-value polling interval.
+	PollPeriod time.Duration
 	// KeySeed seeds deterministic key generation.
 	KeySeed int64
 }
 
 // Decision is one decided block at one process.
 type Decision struct {
+	// Process decided Value for chained block number Block.
 	Process ID
 	Block   int
 	Value   Value
