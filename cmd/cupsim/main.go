@@ -47,6 +47,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the sweep report as JSON")
 		shardStr  = flag.String("shard", "", "with -seeds: run only shard i/n of the sweep (deterministic partition)")
 		jsonlPath = flag.String("jsonl", "", "with -seeds: stream per-cell outcomes as JSONL to this file ('-' = stdout)")
+		resume    = flag.Bool("resume", false, "with -seeds -jsonl FILE: resume an interrupted stream, running only the cells the file is missing")
 		doMerge   = flag.Bool("merge", false, "merge shard JSONL files (positional arguments) into the aggregate report")
 	)
 	flag.Parse()
@@ -62,7 +63,7 @@ func main() {
 	}
 
 	if *seedsStr != "" {
-		runSweep(params, *seedsStr, *parallel, *jsonOut, *shardStr, *jsonlPath)
+		runSweep(params, *seedsStr, *parallel, *jsonOut, *shardStr, *jsonlPath, *resume)
 		return
 	}
 	params.Seed = *seed
@@ -119,7 +120,7 @@ func buildParams(graphName, modeName string, f int, byzFlag, netName string, gst
 	}, nil
 }
 
-func runSweep(params scenario.Params, seedsStr string, parallel int, jsonOut bool, shardStr, jsonlPath string) {
+func runSweep(params scenario.Params, seedsStr string, parallel int, jsonOut bool, shardStr, jsonlPath string, resume bool) {
 	seeds, err := matrix.ParseSeedRange(seedsStr)
 	if err != nil {
 		fail(err)
@@ -128,24 +129,30 @@ func runSweep(params scenario.Params, seedsStr string, parallel int, jsonOut boo
 	if err != nil {
 		fail(err)
 	}
-	var cells []matrix.Cell
-	for _, s := range seeds {
-		p := params
-		p.Seed = s
-		p.Name = p.ID()
-		cells = append(cells, matrix.Cell{Index: len(cells), Params: p})
+	if resume && (jsonlPath == "" || jsonlPath == "-") {
+		fail(fmt.Errorf("-resume needs -jsonl FILE (a stream on stdout cannot be resumed)"))
+	}
+	// The sweep is the scenario crossed with the seed axis: a lazy source,
+	// so -seeds 1:1000000 costs arithmetic, not memory.
+	src, err := matrix.SeedSweep(params, seeds)
+	if err != nil {
+		fail(err)
 	}
 	name := fmt.Sprintf("%s seeds %s", params.Name, seedsStr)
-	part := shard.Of(cells)
+	part := shard.Source(src)
 
 	if jsonlPath != "" {
-		tr, err := matrix.RunStreamFile(jsonlPath, part, matrix.Options{Parallelism: parallel}, matrix.StreamHeader{
+		tr, skipped, err := matrix.RunOrResumeStreamFile(jsonlPath, resume, part, matrix.Options{Parallelism: parallel}, matrix.StreamHeader{
 			Name:       name,
-			TotalCells: len(cells),
+			TotalCells: src.Len(),
 			Shard:      shard.String(),
 		})
 		if err != nil {
 			fail(err)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "resumed %s: %d cells already complete, %d run now\n",
+				jsonlPath, skipped, tr.CellsRun-skipped)
 		}
 		fmt.Fprintf(os.Stderr, "shard %s: %d cells streamed, %d consensus, %d errors, %.2fs\n",
 			shard, tr.CellsRun, tr.Consensus, tr.Errors, float64(tr.WallNS)/1e9)

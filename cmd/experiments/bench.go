@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -74,8 +75,10 @@ func engineBench(name string, w sim.Workload) EngineBench {
 }
 
 // runBenchJSON measures the hot paths and appends a BenchEntry to the
-// trajectory file (created if absent).
-func runBenchJSON(path, label string) {
+// trajectory file (created if absent). With gate > 0 it then compares the
+// fresh entry against the previous one and exits non-zero on a regression
+// beyond the tolerance.
+func runBenchJSON(path, label string, gate float64) {
 	entry := BenchEntry{
 		Label:    label,
 		Date:     time.Now().UTC().Format(time.RFC3339),
@@ -87,11 +90,11 @@ func runBenchJSON(path, label string) {
 		},
 	}
 
-	cells, err := matrix.StandardSweep(matrix.Seeds(1, 2))
+	src, err := matrix.StandardSweep(matrix.Seeds(1, 2))
 	if err != nil {
 		fail(err)
 	}
-	rep, err := matrix.Run(cells, matrix.Options{})
+	rep, err := matrix.Run(src, matrix.Options{})
 	if err != nil {
 		fail(err)
 	}
@@ -114,6 +117,26 @@ func runBenchJSON(path, label string) {
 	} else if !os.IsNotExist(err) {
 		fail(err)
 	}
+
+	for _, e := range entry.Engine {
+		fmt.Printf("engine %-10s %12.0f events/s  %6.1f ns/event  %6d allocs/op\n",
+			e.Name, e.EventsPerSec, e.NsPerEvent, e.AllocsPerOp)
+	}
+	fmt.Printf("matrix %d cells on %d workers: %.2f cells/s (%.2fs)\n",
+		entry.Matrix.Cells, entry.Matrix.Parallelism, entry.Matrix.CellsPerSec, entry.Matrix.WallSeconds)
+
+	// Gate before persisting: a regressed entry must not become the next
+	// run's baseline (appending first would let a simple re-run ratify the
+	// regression).
+	if gate > 0 && len(trajectory) > 0 {
+		prev := trajectory[len(trajectory)-1]
+		if err := gateEntry(prev, entry, gate); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench gate (tolerance %.0f%%): %v\n", gate*100, err)
+			fmt.Fprintf(os.Stderr, "experiments: regressed entry NOT appended to %s\n", path)
+			os.Exit(1)
+		}
+	}
+
 	trajectory = append(trajectory, entry)
 	out, err := json.MarshalIndent(trajectory, "", "  ")
 	if err != nil {
@@ -122,12 +145,50 @@ func runBenchJSON(path, label string) {
 	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		fail(err)
 	}
-
-	for _, e := range entry.Engine {
-		fmt.Printf("engine %-10s %12.0f events/s  %6.1f ns/event  %6d allocs/op\n",
-			e.Name, e.EventsPerSec, e.NsPerEvent, e.AllocsPerOp)
-	}
-	fmt.Printf("matrix %d cells on %d workers: %.2f cells/s (%.2fs)\n",
-		entry.Matrix.Cells, entry.Matrix.Parallelism, entry.Matrix.CellsPerSec, entry.Matrix.WallSeconds)
 	fmt.Printf("appended to %s (%d entries)\n", path, len(trajectory))
+}
+
+// gateEntry compares a fresh entry against the previous one and reports
+// every throughput metric (per-workload events/sec, matrix cells/sec) that
+// regressed by more than the given fraction. Entries measured in different
+// environments (Go version or GOMAXPROCS) are not comparable — hardware
+// alone moves throughput more than any tolerance — so the gate says so and
+// passes rather than flaking; the signal comes from same-environment pairs
+// (a CI runner vs its previous run, a dev machine vs its last append).
+// Workloads the previous entry did not measure are skipped — the gate
+// compares trajectory, it does not freeze the workload set.
+func gateEntry(prev, cur BenchEntry, tol float64) error {
+	if prev.Go != cur.Go || prev.MaxProcs != cur.MaxProcs {
+		fmt.Printf("bench gate skipped: previous entry is from %s/maxprocs=%d, this run is %s/maxprocs=%d (cross-environment numbers are not comparable)\n",
+			prev.Go, prev.MaxProcs, cur.Go, cur.MaxProcs)
+		return nil
+	}
+	prevEngine := make(map[string]EngineBench, len(prev.Engine))
+	for _, e := range prev.Engine {
+		prevEngine[e.Name] = e
+	}
+	var regressions []string
+	for _, e := range cur.Engine {
+		p, ok := prevEngine[e.Name]
+		if !ok || p.EventsPerSec <= 0 {
+			continue
+		}
+		if e.EventsPerSec < p.EventsPerSec*(1-tol) {
+			regressions = append(regressions, fmt.Sprintf(
+				"engine %s: %.0f events/s, was %.0f (%.1f%% drop)",
+				e.Name, e.EventsPerSec, p.EventsPerSec, (1-e.EventsPerSec/p.EventsPerSec)*100))
+		}
+	}
+	if cur.Matrix != nil && prev.Matrix != nil && prev.Matrix.CellsPerSec > 0 &&
+		cur.Matrix.CellsPerSec < prev.Matrix.CellsPerSec*(1-tol) {
+		regressions = append(regressions, fmt.Sprintf(
+			"matrix: %.2f cells/s, was %.2f (%.1f%% drop)",
+			cur.Matrix.CellsPerSec, prev.Matrix.CellsPerSec,
+			(1-cur.Matrix.CellsPerSec/prev.Matrix.CellsPerSec)*100))
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d regression(s):\n  %s", len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("bench gate passed: no throughput regression beyond %.0f%% vs the previous entry\n", tol*100)
+	return nil
 }

@@ -11,8 +11,11 @@
 //	experiments -matrix [-seeds 1:10] [-parallel N] [-json]      standard sweep (240 cells at 10 seeds)
 //	experiments -matrix -compare                                 serial-vs-parallel: identical reports + speedup
 //	experiments -matrix -shard 2/3 -jsonl part2.jsonl            run one shard, streaming per-cell JSONL
+//	experiments -matrix -shard 2/3 -jsonl part2.jsonl -resume    complete an interrupted shard stream
 //	experiments -merge part1.jsonl part2.jsonl part3.jsonl       reconstruct the aggregate report from shards
+//	experiments -merge -summary part*.jsonl                      constant-memory merge (aggregates only)
 //	experiments -bench-json [-bench-out BENCH_matrix.json]       append engine+matrix numbers to the trajectory
+//	experiments -bench-json -bench-gate 0.15                     …and fail on >15% events/sec regression
 //
 // Flags common to the report-producing modes:
 //
@@ -48,20 +51,23 @@ func main() {
 		compare    = flag.Bool("compare", false, "with -matrix: run serially then in parallel, assert identical reports, print speedup")
 		shardStr   = flag.String("shard", "", "with -matrix: run only shard i/n of the sweep (deterministic partition)")
 		jsonlPath  = flag.String("jsonl", "", "with -matrix: stream per-cell outcomes as JSONL to this file ('-' = stdout) instead of buffering a report")
+		resume     = flag.Bool("resume", false, "with -matrix -jsonl FILE: resume an interrupted stream, running only the cells the file is missing")
 		doMerge    = flag.Bool("merge", false, "merge shard JSONL files (positional arguments) into the aggregate report")
+		summary    = flag.Bool("summary", false, "with -merge: aggregate in constant memory, dropping per-cell outcomes from the report")
 		benchJSON  = flag.Bool("bench-json", false, "run the engine and matrix hot-path benchmarks and append an entry to the trajectory file")
 		benchOut   = flag.String("bench-out", "BENCH_matrix.json", "trajectory file for -bench-json")
 		benchLabel = flag.String("bench-label", "", "label recorded with the -bench-json entry")
+		benchGate  = flag.Float64("bench-gate", 0, "with -bench-json: fail when events/sec or cells/sec regress by more than this fraction vs the previous trajectory entry (0 = off)")
 	)
 	flag.Parse()
 
 	switch {
 	case *doMerge:
-		runMerge(flag.Args(), *jsonOut, *cellRows)
+		runMerge(flag.Args(), *jsonOut, *cellRows, *summary)
 	case *benchJSON:
-		runBenchJSON(*benchOut, *benchLabel)
+		runBenchJSON(*benchOut, *benchLabel, *benchGate)
 	case *doMatrix:
-		runMatrix(*seedsStr, *parallel, *jsonOut, *trace, *cellRows, *compare, *shardStr, *jsonlPath)
+		runMatrix(*seedsStr, *parallel, *jsonOut, *trace, *cellRows, *compare, *shardStr, *jsonlPath, *resume)
 	default:
 		runPaperSuite(*runSel, *parallel, *jsonOut, *trace, *verbose)
 	}
@@ -72,12 +78,14 @@ func fail(err error) {
 	os.Exit(2)
 }
 
-// runMerge reconstructs the aggregate report from shard JSONL files.
-func runMerge(paths []string, jsonOut, cellRows bool) {
+// runMerge reconstructs the aggregate report from shard JSONL files. With
+// summary the merge folds in constant memory and the report carries
+// aggregates only.
+func runMerge(paths []string, jsonOut, cellRows, summary bool) {
 	if len(paths) == 0 {
 		fail(fmt.Errorf("-merge needs shard files as positional arguments"))
 	}
-	rep, err := matrix.MergeFiles(paths...)
+	rep, err := matrix.MergeFilesWith(matrix.MergeOptions{KeepOutcomes: !summary}, paths...)
 	if err != nil {
 		fail(err)
 	}
@@ -90,13 +98,15 @@ func runMerge(paths []string, jsonOut, cellRows bool) {
 }
 
 // runMatrix executes the standard sweep: whole, or one deterministic shard,
-// optionally streaming per-cell JSONL instead of buffering a report.
-func runMatrix(seedsStr string, parallel int, jsonOut, trace, cellRows, compare bool, shardStr, jsonlPath string) {
+// optionally streaming per-cell JSONL (fresh or resumed) instead of
+// buffering a report. The sweep is a lazy cell source end to end — nothing
+// materializes the cell list, so seed ranges in the millions are fine.
+func runMatrix(seedsStr string, parallel int, jsonOut, trace, cellRows, compare bool, shardStr, jsonlPath string, resume bool) {
 	seeds, err := matrix.ParseSeedRange(seedsStr)
 	if err != nil {
 		fail(err)
 	}
-	cells, err := matrix.StandardSweep(seeds)
+	src, err := matrix.StandardSweep(seeds)
 	if err != nil {
 		fail(err)
 	}
@@ -107,21 +117,28 @@ func runMatrix(seedsStr string, parallel int, jsonOut, trace, cellRows, compare 
 	if compare && (!shard.IsAll() || jsonlPath != "") {
 		fail(fmt.Errorf("-compare runs the whole sweep twice; it cannot be combined with -shard or -jsonl"))
 	}
+	if resume && (jsonlPath == "" || jsonlPath == "-") {
+		fail(fmt.Errorf("-resume needs -jsonl FILE (a stream on stdout cannot be resumed)"))
+	}
 	name := fmt.Sprintf("standard sweep, seeds %s", seedsStr)
-	part := shard.Of(cells)
+	part := shard.Source(src)
 	opts := matrix.Options{Parallelism: parallel, Trace: trace}
 	if !jsonOut && jsonlPath != "-" {
-		opts.Progress = progressLine(len(part))
+		opts.Progress = progressLine(part.Len())
 	}
 
 	if jsonlPath != "" {
-		tr, err := matrix.RunStreamFile(jsonlPath, part, opts, matrix.StreamHeader{
+		tr, skipped, err := matrix.RunOrResumeStreamFile(jsonlPath, resume, part, opts, matrix.StreamHeader{
 			Name:       name,
-			TotalCells: len(cells),
+			TotalCells: src.Len(),
 			Shard:      shard.String(),
 		})
 		if err != nil {
 			fail(err)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "resumed %s: %d cells already complete, %d run now\n",
+				jsonlPath, skipped, tr.CellsRun-skipped)
 		}
 		fmt.Fprintf(os.Stderr, "shard %s: %d cells streamed, %d consensus, %d errors, %.2fs\n",
 			shard, tr.CellsRun, tr.Consensus, tr.Errors, float64(tr.WallNS)/1e9)
@@ -135,11 +152,11 @@ func runMatrix(seedsStr string, parallel int, jsonOut, trace, cellRows, compare 
 	if compare {
 		serialOpts := opts
 		serialOpts.Parallelism = 1
-		serial, err := matrix.Run(cells, serialOpts)
+		serial, err := matrix.Run(src, serialOpts)
 		if err != nil {
 			fail(err)
 		}
-		rep, err = matrix.Run(cells, opts)
+		rep, err = matrix.Run(src, opts)
 		if err != nil {
 			fail(err)
 		}

@@ -93,6 +93,38 @@ func (d Def) String() string {
 	}
 }
 
+// Validate applies the structural checks ParseDef enforces to Defs built in
+// code rather than parsed: the figure must exist, sizes must be positive.
+// Lazy sweep sources call it once per axis value instead of materializing
+// every cell; seed-dependent generation failures (a spec the generator
+// cannot satisfy) still surface from Build.
+func (d Def) Validate() error {
+	switch d.Kind {
+	case DefFigure:
+		for _, fig := range AllFigures() {
+			if fig.Name == d.Figure {
+				return nil
+			}
+		}
+		return fmt.Errorf("graph def: unknown figure %q (figures: %s)", d.Figure, strings.Join(FigureNames(), " "))
+	case DefComplete:
+		if d.N < 1 {
+			return fmt.Errorf("graph def %q: need N ≥ 1", d)
+		}
+	case DefKOSR:
+		if d.Sink <= 0 || d.K <= 0 || d.NonSink < 0 {
+			return fmt.Errorf("graph def %q: need sink ≥ 1, k ≥ 1 and nonsink ≥ 0", d)
+		}
+	case DefExtended:
+		if d.Sink < 3 || d.NonSink < 0 {
+			return fmt.Errorf("graph def %q: need core ≥ 3 and noncore ≥ 0", d)
+		}
+	default:
+		return fmt.Errorf("graph def: unknown kind %d", int(d.Kind))
+	}
+	return nil
+}
+
 // NumNodes returns the node count the def will materialize to.
 func (d Def) NumNodes() int {
 	switch d.Kind {
@@ -141,8 +173,8 @@ func ParseDef(s string) (Def, error) {
 		}); err != nil {
 			return Def{}, fmt.Errorf("graph def %q: %w", s, err)
 		}
-		if d.Sink <= 0 || d.K <= 0 {
-			return Def{}, fmt.Errorf("graph def %q: need sink ≥ 1 and k ≥ 1", s)
+		if d.Sink <= 0 || d.K <= 0 || d.NonSink < 0 {
+			return Def{}, fmt.Errorf("graph def %q: need sink ≥ 1, k ≥ 1 and nonsink ≥ 0", s)
 		}
 		return d, nil
 	case "extended":
@@ -154,8 +186,8 @@ func ParseDef(s string) (Def, error) {
 		}); err != nil {
 			return Def{}, fmt.Errorf("graph def %q: %w", s, err)
 		}
-		if d.Sink < 3 {
-			return Def{}, fmt.Errorf("graph def %q: need core ≥ 3", s)
+		if d.Sink < 3 || d.NonSink < 0 {
+			return Def{}, fmt.Errorf("graph def %q: need core ≥ 3 and noncore ≥ 0", s)
 		}
 		return d, nil
 	default:

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math/rand"
 	"testing"
 )
 
@@ -20,6 +21,87 @@ func TestParseDefRoundTrip(t *testing.T) {
 		}
 		if got != want {
 			t.Errorf("ParseDef(%q) = %+v, want %+v", want.String(), got, want)
+		}
+	}
+}
+
+// TestDefRoundTripProperty sweeps the whole Def space — every figure, a
+// range of complete sizes, and the generated k-OSR / extended families over
+// enumerated and seeded-random parameters — asserting the canonical-form
+// property ParseDef(d.String()) == d for every Def that Validate accepts.
+// String and ParseDef are the lingua franca between graphgen, the CLIs and
+// the matrix graph axis, so any value that survives one direction must
+// survive the round trip exactly.
+func TestDefRoundTripProperty(t *testing.T) {
+	var defs []Def
+	for _, name := range FigureNames() {
+		defs = append(defs, Def{Kind: DefFigure, Figure: name})
+	}
+	for n := 1; n <= 16; n++ {
+		defs = append(defs, Def{Kind: DefComplete, N: n})
+	}
+	extras := []float64{0, 0.15, 0.5, 1}
+	for sink := 1; sink <= 8; sink++ {
+		for nonsink := 0; nonsink <= 5; nonsink++ {
+			for k := 1; k <= 4; k++ {
+				for _, p := range extras {
+					defs = append(defs, Def{Kind: DefKOSR, Sink: sink, NonSink: nonsink, K: k, ExtraEdgeP: p})
+				}
+			}
+			for _, p := range extras {
+				defs = append(defs, Def{Kind: DefExtended, Sink: sink, NonSink: nonsink, ExtraEdgeP: p})
+			}
+		}
+	}
+	// Seeded-random extra-edge probabilities: %g renders the shortest exact
+	// form, so even arbitrary float64s must survive the round trip.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		defs = append(defs,
+			Def{Kind: DefKOSR, Sink: 3 + rng.Intn(30), NonSink: rng.Intn(30), K: 1 + rng.Intn(6), ExtraEdgeP: rng.Float64()},
+			Def{Kind: DefExtended, Sink: 3 + rng.Intn(30), NonSink: rng.Intn(30), ExtraEdgeP: rng.Float64()})
+	}
+	checked := 0
+	for _, want := range defs {
+		if want.Validate() != nil {
+			continue
+		}
+		got, err := ParseDef(want.String())
+		if err != nil {
+			t.Fatalf("ParseDef(%q): %v", want.String(), err)
+		}
+		if got != want {
+			t.Errorf("ParseDef(%q) = %+v, want %+v", want.String(), got, want)
+		}
+		checked++
+	}
+	if checked < 500 {
+		t.Fatalf("property only checked %d defs — the enumeration broke", checked)
+	}
+}
+
+// TestValidateMatchesParseDef asserts Validate accepts exactly the Defs
+// whose canonical form ParseDef accepts, on the same enumerated space the
+// round-trip property uses.
+func TestValidateMatchesParseDef(t *testing.T) {
+	cases := []Def{
+		{Kind: DefFigure, Figure: "fig1b"},
+		{Kind: DefFigure, Figure: "nope"},
+		{Kind: DefComplete, N: 0},
+		{Kind: DefComplete, N: 3},
+		{Kind: DefKOSR, Sink: 0, NonSink: 1, K: 1},
+		{Kind: DefKOSR, Sink: 3, NonSink: -2, K: 1},
+		{Kind: DefKOSR, Sink: 2, NonSink: 1, K: 3}, // structurally fine; fails only at Build
+		{Kind: DefExtended, Sink: 2, NonSink: 1},
+		{Kind: DefExtended, Sink: 4, NonSink: -1},
+		{Kind: DefExtended, Sink: 3, NonSink: 0},
+		{Kind: DefKind(99)},
+	}
+	for _, d := range cases {
+		verr := d.Validate()
+		_, perr := ParseDef(d.String())
+		if (verr == nil) != (perr == nil) {
+			t.Errorf("def %+v: Validate err %v, ParseDef(%q) err %v — must agree", d, verr, d.String(), perr)
 		}
 	}
 }
@@ -64,6 +146,7 @@ func TestParseDefErrors(t *testing.T) {
 	for _, bad := range []string{
 		"", "figZZ", "complete:0", "complete:x", "kosr:", "kosr:sink=0,nonsink=1,k=1",
 		"kosr:bogus=3", "extended:core=2,noncore=1", "random:1:2", "kosr:sink",
+		"kosr:sink=3,nonsink=-2,k=1", "extended:core=4,noncore=-1",
 	} {
 		if _, err := ParseDef(bad); err == nil {
 			t.Errorf("ParseDef(%q) unexpectedly succeeded", bad)

@@ -1,12 +1,17 @@
-// Package matrix is the scenario-matrix engine: it expands experiment axes
+// Package matrix is the scenario-matrix engine: it sweeps experiment axes
 // (graph family × protocol mode × network model × Byzantine placement ×
-// fault threshold × seed) into the cross-product of scenario parameters and
-// executes the cells on a worker pool — one deterministic simulation engine
-// per cell, parallelism bounded by GOMAXPROCS. Every cell is graded against
-// the four consensus properties (Agreement, Validity, Integrity,
-// Termination) and aggregated into a Report with per-axis statistics, a
-// deterministic fingerprint (serial and parallel execution provably agree)
-// and JSON / text renderings.
+// fault threshold × seed) as a lazy cross-product of scenario parameters —
+// a CellSource computes cell i of n on demand — and executes the cells on a
+// worker pool, one deterministic simulation engine per cell, parallelism
+// bounded by GOMAXPROCS. Every cell is graded against the four consensus
+// properties (Agreement, Validity, Integrity, Termination) and folded
+// through an incremental Aggregator into a Report with per-axis statistics,
+// a deterministic fingerprint (serial, parallel, sharded-merged and resumed
+// execution provably agree) and JSON / text renderings. Shards stream
+// per-cell JSONL (RunStream), merge back into the monolithic report
+// (Merge), and resume after interruption (ResumeStreamFile); every stage is
+// streaming, so per-shard memory is O(axes + parallelism) regardless of
+// cell count.
 //
 // The paper's tables and figures are fixed points of this engine (see
 // FromExperiments); sweeps beyond the paper — more seeds, bigger random
@@ -84,62 +89,32 @@ func (a Axes) Size() int {
 	return n
 }
 
-// Expand produces the cross-product of the axes in deterministic order
-// (graphs outermost, seeds innermost). Cells that cannot materialize (e.g. a
-// generator spec too small for its connectivity) surface as errors here, not
-// at run time.
+// Expand materializes the whole cross-product eagerly (same cells, same
+// order as Source), additionally rejecting every cell that cannot
+// materialize (e.g. a generator spec too small for its connectivity) with a
+// precise error before anything runs. Use it for small sweeps where eager
+// validation is worth a pass over every cell; the pipeline itself runs on
+// the lazy Source.
 func (a Axes) Expand() ([]Cell, error) {
-	graphs := a.Graphs
-	if len(graphs) == 0 {
-		return nil, fmt.Errorf("matrix %q: no graph axis", a.Name)
+	src, err := a.Source()
+	if err != nil {
+		return nil, err
 	}
-	modes := orDefault(a.Modes, core.ModeUnknownF)
-	nets := orDefault(a.Nets, scenario.NetParams{Kind: scenario.NetSync})
-	byz := orDefault(a.Byz, scenario.AutoByz{})
-	fs := orDefault(a.F, -1)
-	seeds := orDefault(a.Seeds, 1)
-	horizon := a.Horizon
-	if horizon <= 0 {
-		horizon = 60 * sim.Second
-	}
-
-	cells := make([]Cell, 0, a.Size())
-	for _, g := range graphs {
-		for _, mode := range modes {
-			for _, net := range nets {
-				for _, b := range byz {
-					for _, f := range fs {
-						for _, seed := range seeds {
-							p := scenario.Params{
-								Graph:         g,
-								Mode:          mode,
-								F:             f,
-								Auto:          b,
-								Net:           net,
-								Horizon:       horizon,
-								Seed:          seed,
-								SlowDiscovery: net.Kind == scenario.NetAsync,
-							}
-							p.Name = p.ID()
-							// Materialize once to reject impossible cells
-							// early with a precise error.
-							if _, err := p.Spec(); err != nil {
-								return nil, fmt.Errorf("matrix %q cell %d: %w", a.Name, len(cells), err)
-							}
-							cells = append(cells, Cell{Index: len(cells), Params: p})
-						}
-					}
-				}
-			}
+	cells := make([]Cell, src.Len())
+	for i := range cells {
+		c := src.Cell(i)
+		if _, err := c.Params.Spec(); err != nil {
+			return nil, fmt.Errorf("matrix %q cell %d: %w", a.Name, i, err)
 		}
+		cells[i] = c
 	}
 	return cells, nil
 }
 
 // FromExperiments wraps the reproduction suite's experiments as matrix
 // cells, carrying the paper's predictions into the report.
-func FromExperiments(exps []scenario.Experiment) []Cell {
-	cells := make([]Cell, 0, len(exps))
+func FromExperiments(exps []scenario.Experiment) CellList {
+	cells := make(CellList, 0, len(exps))
 	for _, exp := range exps {
 		exp := exp
 		p := exp.Params

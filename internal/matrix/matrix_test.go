@@ -63,15 +63,15 @@ func TestExpandRejectsBadCells(t *testing.T) {
 }
 
 func TestSerialParallelIdentical(t *testing.T) {
-	cells, err := StandardSweep(Seeds(1, 2))
+	src, err := StandardSweep(Seeds(1, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := Run(cells, Options{Parallelism: 1, Trace: true})
+	serial, err := Run(src, Options{Parallelism: 1, Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Run(cells, Options{Parallelism: runtime.GOMAXPROCS(0), Trace: true})
+	parallel, err := Run(src, Options{Parallelism: runtime.GOMAXPROCS(0), Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +94,11 @@ func TestSerialParallelIdentical(t *testing.T) {
 }
 
 func TestStandardSweepAllConsensus(t *testing.T) {
-	cells, err := StandardSweep(Seeds(1, 2))
+	src, err := StandardSweep(Seeds(1, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Run(cells, Options{})
+	rep, err := Run(src, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,11 +136,12 @@ func TestPaperSuiteThroughMatrix(t *testing.T) {
 }
 
 func TestReportJSONRoundTrip(t *testing.T) {
-	cells, err := StandardSweep(Seeds(1, 1))
+	src, err := StandardSweep(Seeds(1, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Run(cells[:4], Options{Parallelism: 2})
+	cells := Materialize(src)
+	rep, err := Run(CellList(cells[:4]), Options{Parallelism: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,14 +163,14 @@ func TestReportJSONRoundTrip(t *testing.T) {
 }
 
 func TestProgressCallback(t *testing.T) {
-	cells, err := StandardSweep(Seeds(1, 1))
+	src, err := StandardSweep(Seeds(1, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cells = cells[:6]
+	cells := Materialize(src)[:6]
 	var calls int
 	var last int
-	_, err = Run(cells, Options{Parallelism: 3, Progress: func(done, total int) {
+	_, err = Run(CellList(cells), Options{Parallelism: 3, Progress: func(done, total int) {
 		calls++
 		if total != len(cells) {
 			t.Errorf("total %d, want %d", total, len(cells))

@@ -1,8 +1,6 @@
 package matrix
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -56,93 +54,45 @@ type Report struct {
 	MaxVirtualNS  sim.Time `json:"max_virtual_ns"`
 
 	// Axes maps axis name (graph, mode, net, byz, seed) to per-value stats,
-	// in first-seen (i.e. expansion) order.
+	// in first-seen (i.e. expansion) order. An axis with more than
+	// maxAxisValues distinct values (a million-seed sweep) collects the rest
+	// under one "(more)" bucket so reports stay bounded.
 	Axes map[string][]AxisStat `json:"axes"`
 
-	// Outcomes holds every cell's graded result in cell-index order.
-	Outcomes []Outcome `json:"outcomes"`
-}
+	// Outcomes holds every cell's graded result in cell-index order. It is
+	// nil for summary-only reports (an Aggregator or merge run without
+	// outcome retention), whose fingerprint was sealed incrementally.
+	Outcomes []Outcome `json:"outcomes,omitempty"`
 
-// aggregate folds outcomes (already in cell-index order) into a report.
-func aggregate(outcomes []Outcome, parallelism int) *Report {
-	rep := &Report{
-		Cells:       len(outcomes),
-		Parallelism: parallelism,
-		Axes:        make(map[string][]AxisStat),
-		Outcomes:    outcomes,
-	}
-	axisOrder := map[string]map[string]int{} // axis → value → index into rep.Axes[axis]
-	bump := func(axis, value string, o *Outcome) {
-		idx, ok := axisOrder[axis]
-		if !ok {
-			idx = make(map[string]int)
-			axisOrder[axis] = idx
-		}
-		i, ok := idx[value]
-		if !ok {
-			i = len(rep.Axes[axis])
-			idx[value] = i
-			rep.Axes[axis] = append(rep.Axes[axis], AxisStat{Value: value})
-		}
-		st := &rep.Axes[axis][i]
-		st.Cells++
-		if o.Consensus {
-			st.Consensus++
-		}
-		if o.Err != "" {
-			st.Errors++
-		}
-	}
-	for i := range outcomes {
-		o := &outcomes[i]
-		if o.Err != "" {
-			rep.Errors++
-		}
-		if o.Consensus {
-			rep.Consensus++
-		}
-		if o.Expect != nil {
-			rep.Expected++
-			if o.Match != nil && !*o.Match {
-				rep.Mismatches++
-			}
-		}
-		rep.TotalMessages += o.Messages
-		rep.TotalBytes += o.Bytes
-		if o.VirtualNS > rep.MaxVirtualNS {
-			rep.MaxVirtualNS = o.VirtualNS
-		}
-		bump("graph", o.Graph, o)
-		bump("mode", o.Mode, o)
-		bump("net", o.Net, o)
-		bump("byz", o.Byz, o)
-		bump("seed", fmt.Sprintf("%d", o.Seed), o)
-	}
-	return rep
+	// fingerprint caches the digest sealed by the Aggregator that built the
+	// report, so summary-only reports stay fingerprintable without their
+	// outcomes.
+	fingerprint string
 }
 
 // Fingerprint hashes every deterministic field of the report — the full
-// outcome list in cell order plus the aggregate counters — and excludes
+// outcome stream in cell order plus the aggregate counters — and excludes
 // wall-clock measurements and parallelism. Two runs of the same cells agree
-// on it no matter how they were scheduled.
+// on it no matter how they were scheduled, sharded, merged or resumed: the
+// digest is folded outcome by outcome (see the fingerprint type), so the
+// incremental Aggregator seals the identical value a monolithic pass over
+// the outcomes computes.
 func (r *Report) Fingerprint() string {
-	h := sha256.New()
-	put := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
-	put("cells=%d consensus=%d errors=%d mismatches=%d expected=%d msgs=%d bytes=%d maxvirt=%d\n",
-		r.Cells, r.Consensus, r.Errors, r.Mismatches, r.Expected,
-		r.TotalMessages, r.TotalBytes, r.MaxVirtualNS)
-	for i := range r.Outcomes {
-		o := &r.Outcomes[i]
-		put("%d|%s|%s|%s|%s|%s|%d|%d|%t%t%t%t%t|%s|%d|%d|%d|%s|%d|%s\n",
-			o.Index, o.ID, o.Graph, o.Mode, o.Net, o.Byz, o.F, o.Seed,
-			o.Consensus, o.Agreement, o.Validity, o.Integrity, o.Termination,
-			o.FailureMode, o.VirtualNS, o.Messages, o.Bytes,
-			o.TraceDigest, o.TraceEvents, o.Err)
-		if o.Expect != nil {
-			put("expect=%t match=%t\n", *o.Expect, *o.Match)
-		}
+	if r.fingerprint != "" {
+		return r.fingerprint
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	if r.Outcomes == nil && r.FingerprintHex != "" {
+		// A summary-only report that lost its sealing Aggregator (e.g. a
+		// JSON round trip): the stamped digest is the only faithful one —
+		// recomputing over zero outcomes would fabricate a plausible but
+		// wrong value.
+		return r.FingerprintHex
+	}
+	fp := newFingerprint()
+	for i := range r.Outcomes {
+		fp.add(&r.Outcomes[i])
+	}
+	return fp.finish(r)
 }
 
 // JSON renders the full report (summary + per-cell outcomes), stamped with
@@ -155,7 +105,8 @@ func (r *Report) JSON() ([]byte, error) {
 // WriteText renders a human-readable summary: per-axis tables, the failure
 // list, totals. When cellRows is true every cell gets its own row (useful
 // for small matrices; sweeps with hundreds of cells usually want the
-// aggregates only).
+// aggregates only). Summary-only reports (nil Outcomes) render the
+// aggregate tables alone.
 func (r *Report) WriteText(w io.Writer, cellRows bool) {
 	name := r.Name
 	if name == "" {
@@ -181,6 +132,10 @@ func (r *Report) WriteText(w io.Writer, cellRows bool) {
 			fmt.Fprintf(w, "| %s | %d | %d | %d |\n", st.Value, st.Cells, st.Consensus, st.Errors)
 		}
 		fmt.Fprintln(w)
+	}
+
+	if r.Outcomes == nil {
+		return
 	}
 
 	if cellRows {

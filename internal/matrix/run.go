@@ -115,21 +115,24 @@ func runCell(c Cell, trace bool) Outcome {
 	return out
 }
 
-// runPool executes cells on a worker pool and feeds every finished outcome to
-// sink in completion order. Sink calls are serialized; pos is the cell's
-// position within the cells slice (not its global Index). A sink error stops
-// workers from claiming further cells and is returned. The effective
-// parallelism is returned alongside.
-func runPool(cells []Cell, opts Options, sink func(pos int, o Outcome) error) (int, error) {
-	if len(cells) == 0 {
+// runPool executes the source's cells on a worker pool and feeds every
+// finished outcome to sink in completion order. Workers claim positions
+// sequentially and materialize each cell on demand — nothing holds a cell
+// slice. Sink calls are serialized; pos is the cell's position within the
+// source (not its global Index). A sink error stops workers from claiming
+// further cells and is returned. The effective parallelism is returned
+// alongside.
+func runPool(src CellSource, opts Options, sink func(pos int, o Outcome) error) (int, error) {
+	n := src.Len()
+	if n == 0 {
 		return 0, fmt.Errorf("matrix: no cells to run")
 	}
 	par := opts.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	if par > len(cells) {
-		par = len(cells)
+	if par > n {
+		par = n
 	}
 
 	var next atomic.Int64
@@ -148,10 +151,10 @@ func runPool(cells []Cell, opts Options, sink func(pos int, o Outcome) error) (i
 					return
 				}
 				i := int(next.Add(1))
-				if i >= len(cells) {
+				if i >= n {
 					return
 				}
-				o := runCell(cells[i], opts.Trace)
+				o := runCell(src.Cell(i), opts.Trace)
 				sinkMu.Lock()
 				if sinkErr == nil {
 					if err := sink(i, o); err != nil {
@@ -161,7 +164,7 @@ func runPool(cells []Cell, opts Options, sink func(pos int, o Outcome) error) (i
 				}
 				done++
 				if opts.Progress != nil {
-					opts.Progress(done, len(cells))
+					opts.Progress(done, n)
 				}
 				sinkMu.Unlock()
 			}
@@ -171,31 +174,35 @@ func runPool(cells []Cell, opts Options, sink func(pos int, o Outcome) error) (i
 	return par, sinkErr
 }
 
-// Run executes the cells on a worker pool and aggregates the outcomes in
-// cell-index order, so the report (minus wall-clock fields) is independent
-// of parallelism and scheduling.
-func Run(cells []Cell, opts Options) (*Report, error) {
-	outcomes := make([]Outcome, len(cells))
+// Run executes the source's cells on a worker pool, folding outcomes through
+// an incremental Aggregator in cell-position order, so the report (minus
+// wall-clock fields) is independent of parallelism and scheduling. The
+// report retains every outcome; stream a shard (RunStream) when a sweep is
+// too large to hold its outcomes.
+func Run(src CellSource, opts Options) (*Report, error) {
+	agg := NewAggregator(true)
 	start := time.Now()
-	par, err := runPool(cells, opts, func(pos int, o Outcome) error {
-		outcomes[pos] = o
-		return nil
-	})
+	par, err := runPool(src, opts, agg.Add)
 	if err != nil {
 		return nil, err
 	}
-	rep := aggregate(outcomes, par)
+	rep, err := agg.Report(par)
+	if err != nil {
+		return nil, err
+	}
 	rep.WallNS = time.Since(start).Nanoseconds()
 	return rep, nil
 }
 
-// RunAxes expands and runs in one step.
+// RunAxes builds the lazy source and runs in one step. Cells that cannot
+// materialize surface as per-cell Err outcomes in the report (use
+// Axes.Expand to pre-validate a small sweep eagerly).
 func RunAxes(a Axes, opts Options) (*Report, error) {
-	cells, err := a.Expand()
+	src, err := a.Source()
 	if err != nil {
 		return nil, err
 	}
-	rep, err := Run(cells, opts)
+	rep, err := Run(src, opts)
 	if err != nil {
 		return nil, err
 	}

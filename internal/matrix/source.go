@@ -1,0 +1,253 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/bftcup/bftcup/internal/core"
+	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/scenario"
+	"github.com/bftcup/bftcup/internal/sim"
+)
+
+// CellSource is a lazy, indexable view of a sweep: position i of Len() can be
+// materialized on demand, in any order, from any goroutine. Sources replace
+// the materialize-everything []Cell fan-out — a 10^6-cell sweep is a Len()
+// and some cross-product arithmetic, not a gigabyte of Params — and every
+// consumer (the worker pool, shards, streams, resume) is built on them.
+//
+// Index(i) returns the global cell index at position i without materializing
+// the cell; for whole-sweep sources it is the identity, for a shard it is the
+// round-robin global index. The invariant Cell(i).Index == Index(i) holds for
+// every source.
+type CellSource interface {
+	// Len is the number of cells this source yields.
+	Len() int
+	// Index is the global cell index of position i (0 ≤ i < Len).
+	Index(i int) int
+	// Cell materializes position i. It must be cheap, deterministic and safe
+	// for concurrent use; scenario-level errors surface when the cell runs,
+	// not here.
+	Cell(i int) Cell
+}
+
+// CellList adapts an in-memory cell slice to CellSource. It is the bridge
+// for callers that genuinely hold explicit cells (the paper suite, cupsim's
+// per-seed sweeps, tests).
+type CellList []Cell
+
+// Len implements CellSource.
+func (l CellList) Len() int { return len(l) }
+
+// Index implements CellSource.
+func (l CellList) Index(i int) int { return l[i].Index }
+
+// Cell implements CellSource.
+func (l CellList) Cell(i int) Cell { return l[i] }
+
+// Materialize expands a source into a cell slice (tests and small sweeps;
+// the pipeline itself never does this).
+func Materialize(src CellSource) []Cell {
+	cells := make([]Cell, src.Len())
+	for i := range cells {
+		cells[i] = src.Cell(i)
+	}
+	return cells
+}
+
+// axesSource computes cell i of the axes cross-product by mixed-radix
+// arithmetic — graphs outermost, seeds innermost, exactly the nested-loop
+// order Expand historically produced, so fingerprints are byte-identical to
+// eager expansion.
+type axesSource struct {
+	graphs  []graph.Def
+	modes   []core.Mode
+	nets    []scenario.NetParams
+	byz     []scenario.AutoByz
+	fs      []int
+	seeds   []int64
+	horizon sim.Time
+	n       int
+}
+
+// Source builds the lazy cross-product source for the axes. Malformed graph
+// defs fail here, once per def — seed-dependent generation errors (a spec
+// the generator cannot satisfy for some seed) surface as per-cell Err
+// outcomes at run time instead; use Expand to pre-validate every cell of a
+// small sweep.
+func (a Axes) Source() (CellSource, error) {
+	if len(a.Graphs) == 0 {
+		return nil, fmt.Errorf("matrix %q: no graph axis", a.Name)
+	}
+	horizon := a.Horizon
+	if horizon <= 0 {
+		horizon = 60 * sim.Second
+	}
+	s := &axesSource{
+		graphs:  a.Graphs,
+		modes:   orDefault(a.Modes, core.ModeUnknownF),
+		nets:    orDefault(a.Nets, scenario.NetParams{Kind: scenario.NetSync}),
+		byz:     orDefault(a.Byz, scenario.AutoByz{}),
+		fs:      orDefault(a.F, -1),
+		seeds:   orDefault(a.Seeds, 1),
+		horizon: horizon,
+	}
+	s.n = len(s.graphs) * len(s.modes) * len(s.nets) * len(s.byz) * len(s.fs) * len(s.seeds)
+	// Probe one cell per value of every axis (the other axes pinned to
+	// their first value): O(Σ axis lengths) validations, not O(cells), and
+	// every malformed axis value fails here instead of surfacing as a
+	// stream of per-cell Err outcomes.
+	probe := func(axis string, i int, g graph.Def, mode core.Mode, net scenario.NetParams, b scenario.AutoByz, f int) error {
+		if err := s.cellParams(g, mode, net, b, f, s.seeds[0]).Validate(); err != nil {
+			return fmt.Errorf("matrix %q %s axis value %d: %w", a.Name, axis, i, err)
+		}
+		return nil
+	}
+	for i, g := range s.graphs {
+		if err := probe("graph", i, g, s.modes[0], s.nets[0], s.byz[0], s.fs[0]); err != nil {
+			return nil, err
+		}
+	}
+	for i, mode := range s.modes[1:] {
+		if err := probe("mode", i+1, s.graphs[0], mode, s.nets[0], s.byz[0], s.fs[0]); err != nil {
+			return nil, err
+		}
+	}
+	for i, net := range s.nets[1:] {
+		if err := probe("net", i+1, s.graphs[0], s.modes[0], net, s.byz[0], s.fs[0]); err != nil {
+			return nil, err
+		}
+	}
+	for i, b := range s.byz[1:] {
+		if err := probe("byz", i+1, s.graphs[0], s.modes[0], s.nets[0], b, s.fs[0]); err != nil {
+			return nil, err
+		}
+	}
+	for i, f := range s.fs[1:] {
+		if err := probe("f", i+1, s.graphs[0], s.modes[0], s.nets[0], s.byz[0], f); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Len implements CellSource.
+func (s *axesSource) Len() int { return s.n }
+
+// Index implements CellSource.
+func (s *axesSource) Index(i int) int { return i }
+
+// Cell implements CellSource.
+func (s *axesSource) Cell(i int) Cell {
+	rem := i
+	seed := s.seeds[rem%len(s.seeds)]
+	rem /= len(s.seeds)
+	f := s.fs[rem%len(s.fs)]
+	rem /= len(s.fs)
+	b := s.byz[rem%len(s.byz)]
+	rem /= len(s.byz)
+	net := s.nets[rem%len(s.nets)]
+	rem /= len(s.nets)
+	mode := s.modes[rem%len(s.modes)]
+	rem /= len(s.modes)
+	g := s.graphs[rem]
+	return Cell{Index: i, Params: s.cellParams(g, mode, net, b, f, seed)}
+}
+
+// cellParams builds one cell's scenario parameters; shared by Cell and the
+// Source-time validation probe so they cannot diverge.
+func (s *axesSource) cellParams(g graph.Def, mode core.Mode, net scenario.NetParams, b scenario.AutoByz, f int, seed int64) scenario.Params {
+	p := scenario.Params{
+		Graph:         g,
+		Mode:          mode,
+		F:             f,
+		Auto:          b,
+		Net:           net,
+		Horizon:       s.horizon,
+		Seed:          seed,
+		SlowDiscovery: net.Kind == scenario.NetAsync,
+	}
+	p.Name = p.ID()
+	return p
+}
+
+// seedSweepSource lazily runs one scenario once per seed.
+type seedSweepSource struct {
+	base  scenario.Params
+	seeds []int64
+}
+
+// SeedSweep is a lazy source running one scenario once per seed — cupsim's
+// sweep mode. Unlike an Axes source it preserves every field of the base
+// params verbatim (explicit Byzantine assignments, custom values, discovery
+// pacing), varying only the seed.
+func SeedSweep(base scenario.Params, seeds []int64) (CellSource, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	return &seedSweepSource{base: base, seeds: seeds}, nil
+}
+
+// Len implements CellSource.
+func (s *seedSweepSource) Len() int { return len(s.seeds) }
+
+// Index implements CellSource.
+func (s *seedSweepSource) Index(i int) int { return i }
+
+// Cell implements CellSource.
+func (s *seedSweepSource) Cell(i int) Cell {
+	p := s.base
+	p.Seed = s.seeds[i]
+	p.Name = p.ID()
+	return Cell{Index: i, Params: p}
+}
+
+// concatSource chains sources into one sweep, reindexing cells globally in
+// concatenation order (the lazy counterpart of the old Concat helper).
+type concatSource struct {
+	srcs []CellSource
+	off  []int // off[j] is the global index of srcs[j]'s first cell
+	n    int
+}
+
+// ConcatSources chains sources into one sweep. Cells are reindexed so the
+// concatenation's global indices are 0..Len()-1 in order.
+func ConcatSources(srcs ...CellSource) CellSource {
+	c := &concatSource{srcs: srcs, off: make([]int, len(srcs))}
+	for j, s := range srcs {
+		c.off[j] = c.n
+		c.n += s.Len()
+	}
+	return c
+}
+
+// Len implements CellSource.
+func (c *concatSource) Len() int { return c.n }
+
+// Index implements CellSource.
+func (c *concatSource) Index(i int) int { return i }
+
+// Cell implements CellSource.
+func (c *concatSource) Cell(i int) Cell {
+	j := sort.Search(len(c.off), func(j int) bool { return c.off[j] > i }) - 1
+	cell := c.srcs[j].Cell(i - c.off[j])
+	cell.Index = i
+	return cell
+}
+
+// subsetSource restricts a source to the given positions (resume uses it to
+// run only the cells a partial stream is missing). Global indices are
+// preserved.
+type subsetSource struct {
+	base CellSource
+	pos  []int
+}
+
+// Len implements CellSource.
+func (s *subsetSource) Len() int { return len(s.pos) }
+
+// Index implements CellSource.
+func (s *subsetSource) Index(i int) int { return s.base.Index(s.pos[i]) }
+
+// Cell implements CellSource.
+func (s *subsetSource) Cell(i int) Cell { return s.base.Cell(s.pos[i]) }

@@ -36,7 +36,7 @@ func TestParallelSpeedup(t *testing.T) {
 	}
 	speedup := float64(serial.WallNS) / float64(parallel.WallNS)
 	t.Logf("%d cells: serial %.2fs, parallel %.2fs on %d workers → %.2fx",
-		len(cells), float64(serial.WallNS)/1e9, float64(parallel.WallNS)/1e9,
+		cells.Len(), float64(serial.WallNS)/1e9, float64(parallel.WallNS)/1e9,
 		parallel.Parallelism, speedup)
 	if speedup < 1.5 {
 		t.Errorf("parallel speedup %.2fx below 1.5x on %d workers", speedup, parallel.Parallelism)

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"time"
 )
 
@@ -22,7 +21,11 @@ import (
 // Merge reconstructs the aggregate Report from a complete set of shard
 // streams; its Fingerprint provably equals the monolithic run's because the
 // fingerprint is a pure function of the outcomes in cell-index order and
-// every cell runs on its own deterministic engine either way.
+// every cell runs on its own deterministic engine either way. Both ends are
+// streaming: RunStream folds its trailer counts through an incremental
+// Aggregator as cells complete, and Merge interleaves the shard files
+// through per-stream cursors into another Aggregator, so neither side ever
+// holds the sweep's cells or outcomes in memory.
 
 // StreamHeader opens a stream and identifies the slice of the sweep it
 // carries.
@@ -59,12 +62,48 @@ type streamRecord struct {
 	Trailer *StreamTrailer `json:"trailer,omitempty"`
 }
 
-// RunStream executes the cells and writes every outcome to w as a JSONL line
-// the moment it completes (completion order, not index order — Merge sorts).
-// The returned trailer summarizes the shard. Unlike Run, nothing beyond the
-// running summary is buffered.
-func RunStream(cells []Cell, opts Options, w io.Writer, hdr StreamHeader) (*StreamTrailer, error) {
-	hdr.ShardCells = len(cells)
+// streamCells runs the source's cells and appends one outcome record per
+// completed cell (completion order), folding the shard summary into tr
+// through an incremental Aggregator. Memory is O(axes + parallelism)
+// regardless of the source's size.
+func streamCells(src CellSource, opts Options, enc *json.Encoder, bw *bufio.Writer, tr *StreamTrailer) error {
+	if src.Len() == 0 {
+		// An empty shard (more shards than cells) is legitimate: it
+		// contributes a valid header+trailer stream with zero outcomes.
+		return nil
+	}
+	agg := NewAggregator(false)
+	_, err := runPool(src, opts, func(pos int, o Outcome) error {
+		if err := agg.Add(pos, o); err != nil {
+			return err
+		}
+		// Flushed per line so a concurrent tail (or a crash post-mortem)
+		// sees every completed cell.
+		if err := enc.Encode(streamRecord{Type: "outcome", Outcome: &o}); err != nil {
+			return err
+		}
+		return bw.Flush()
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := agg.Report(0)
+	if err != nil {
+		return err
+	}
+	tr.CellsRun += rep.Cells
+	tr.Errors += rep.Errors
+	tr.Consensus += rep.Consensus
+	return nil
+}
+
+// RunStream executes the source's cells and writes every outcome to w as a
+// JSONL line the moment it completes (completion order, not index order —
+// Merge reorders). The returned trailer summarizes the shard. Nothing beyond
+// the running summary is buffered: a million-cell shard streams in constant
+// memory.
+func RunStream(src CellSource, opts Options, w io.Writer, hdr StreamHeader) (*StreamTrailer, error) {
+	hdr.ShardCells = src.Len()
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	if err := enc.Encode(streamRecord{Type: "header", Header: &hdr}); err != nil {
@@ -72,27 +111,8 @@ func RunStream(cells []Cell, opts Options, w io.Writer, hdr StreamHeader) (*Stre
 	}
 	var tr StreamTrailer
 	start := time.Now()
-	// An empty shard (more shards than cells) is legitimate: it emits a
-	// valid header+trailer stream with zero outcomes, which Merge accepts.
-	if len(cells) > 0 {
-		_, err := runPool(cells, opts, func(_ int, o Outcome) error {
-			tr.CellsRun++
-			if o.Err != "" {
-				tr.Errors++
-			}
-			if o.Consensus {
-				tr.Consensus++
-			}
-			// Flushed per line so a concurrent tail (or a crash post-mortem)
-			// sees every completed cell.
-			if err := enc.Encode(streamRecord{Type: "outcome", Outcome: &o}); err != nil {
-				return err
-			}
-			return bw.Flush()
-		})
-		if err != nil {
-			return nil, err
-		}
+	if err := streamCells(src, opts, enc, bw, &tr); err != nil {
+		return nil, err
 	}
 	tr.WallNS = time.Since(start).Nanoseconds()
 	if err := enc.Encode(streamRecord{Type: "trailer", Trailer: &tr}); err != nil {
@@ -106,15 +126,15 @@ func RunStream(cells []Cell, opts Options, w io.Writer, hdr StreamHeader) (*Stre
 
 // RunStreamFile is RunStream writing to a file path; "-" streams to stdout.
 // The shared helper keeps cupsim's and experiments' shard modes identical.
-func RunStreamFile(path string, cells []Cell, opts Options, hdr StreamHeader) (*StreamTrailer, error) {
+func RunStreamFile(path string, src CellSource, opts Options, hdr StreamHeader) (*StreamTrailer, error) {
 	if path == "-" {
-		return RunStream(cells, opts, os.Stdout, hdr)
+		return RunStream(src, opts, os.Stdout, hdr)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
-	tr, err := RunStream(cells, opts, f, hdr)
+	tr, err := RunStream(src, opts, f, hdr)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -124,103 +144,257 @@ func RunStreamFile(path string, cells []Cell, opts Options, hdr StreamHeader) (*
 	return tr, nil
 }
 
-// readStream parses one shard stream, validating its framing.
-func readStream(r io.Reader) (*StreamHeader, []Outcome, *StreamTrailer, error) {
-	dec := json.NewDecoder(r)
-	var hdr *StreamHeader
-	var tr *StreamTrailer
-	var outs []Outcome
-	for {
-		var rec streamRecord
-		if err := dec.Decode(&rec); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, nil, nil, fmt.Errorf("stream: %w", err)
-		}
-		switch rec.Type {
-		case "header":
-			if hdr != nil {
-				return nil, nil, nil, fmt.Errorf("stream: duplicate header")
-			}
-			hdr = rec.Header
-		case "outcome":
-			if hdr == nil {
-				return nil, nil, nil, fmt.Errorf("stream: outcome before header")
-			}
-			if tr != nil {
-				return nil, nil, nil, fmt.Errorf("stream: outcome after trailer")
-			}
-			if rec.Outcome == nil {
-				return nil, nil, nil, fmt.Errorf("stream: empty outcome record")
-			}
-			outs = append(outs, *rec.Outcome)
-		case "trailer":
-			if tr != nil {
-				return nil, nil, nil, fmt.Errorf("stream: duplicate trailer")
-			}
-			tr = rec.Trailer
-		default:
-			return nil, nil, nil, fmt.Errorf("stream: unknown record type %q", rec.Type)
-		}
-	}
-	if hdr == nil {
-		return nil, nil, nil, fmt.Errorf("stream: missing header")
-	}
-	if tr == nil {
-		return nil, nil, nil, fmt.Errorf("stream: missing trailer (truncated shard file?)")
-	}
-	if tr.CellsRun != len(outs) || (hdr.ShardCells != 0 && hdr.ShardCells != len(outs)) {
-		return nil, nil, nil, fmt.Errorf("stream: header/trailer claim %d/%d cells, found %d",
-			hdr.ShardCells, tr.CellsRun, len(outs))
-	}
-	return hdr, outs, tr, nil
+// streamCursor reads one shard stream incrementally for the merge: records
+// are consumed on demand and out-of-order outcomes wait in a small pending
+// buffer until the merge asks for their index. For streams written by
+// RunStream the buffer stays O(that shard's parallelism) — the pool claims
+// cells in order, so completion order can only run that far ahead.
+type streamCursor struct {
+	dec     *json.Decoder
+	hdr     *StreamHeader
+	tr      *StreamTrailer
+	pending map[int]*Outcome
+	outs    int
+	eof     bool
 }
 
-// MergeStreams reconstructs the aggregate Report from a complete set of shard
+// newStreamCursor opens a stream and reads its header record.
+func newStreamCursor(r io.Reader) (*streamCursor, error) {
+	c := &streamCursor{dec: json.NewDecoder(r), pending: make(map[int]*Outcome)}
+	var rec streamRecord
+	if err := c.dec.Decode(&rec); err == io.EOF {
+		return nil, fmt.Errorf("stream: missing header")
+	} else if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	if rec.Type != "header" || rec.Header == nil {
+		return nil, fmt.Errorf("stream: first record is %q, want header", rec.Type)
+	}
+	c.hdr = rec.Header
+	return c, nil
+}
+
+// advance consumes one record, parking outcomes in the pending buffer.
+// It returns false once the stream is exhausted.
+func (c *streamCursor) advance() (bool, error) {
+	if c.eof {
+		return false, nil
+	}
+	var rec streamRecord
+	if err := c.dec.Decode(&rec); err == io.EOF {
+		c.eof = true
+		return false, nil
+	} else if err != nil {
+		return false, fmt.Errorf("stream: %w", err)
+	}
+	switch rec.Type {
+	case "header":
+		return false, fmt.Errorf("stream: duplicate header")
+	case "outcome":
+		if c.tr != nil {
+			return false, fmt.Errorf("stream: outcome after trailer")
+		}
+		if rec.Outcome == nil {
+			return false, fmt.Errorf("stream: empty outcome record")
+		}
+		if _, dup := c.pending[rec.Outcome.Index]; dup {
+			return false, fmt.Errorf("stream: duplicate outcome for cell index %d", rec.Outcome.Index)
+		}
+		c.pending[rec.Outcome.Index] = rec.Outcome
+		c.outs++
+	case "trailer":
+		if c.tr != nil {
+			return false, fmt.Errorf("stream: duplicate trailer")
+		}
+		c.tr = rec.Trailer
+	default:
+		return false, fmt.Errorf("stream: unknown record type %q", rec.Type)
+	}
+	return true, nil
+}
+
+// take pops the outcome for global cell index i if this cursor has buffered
+// it.
+func (c *streamCursor) take(i int) (*Outcome, bool) {
+	o, ok := c.pending[i]
+	if ok {
+		delete(c.pending, i)
+	}
+	return o, ok
+}
+
+// finish drains the rest of the stream and validates its framing: a trailer
+// must be present and agree with the header and the consumed outcome count,
+// and no unconsumed outcomes may remain (those are duplicates of cells
+// another stream — or this one — already supplied).
+func (c *streamCursor) finish() error {
+	for {
+		more, err := c.advance()
+		if err != nil {
+			return err
+		}
+		if !more {
+			break
+		}
+	}
+	if c.tr == nil {
+		return fmt.Errorf("stream: missing trailer (truncated shard file?)")
+	}
+	if len(c.pending) > 0 {
+		return fmt.Errorf("stream: %d outcome(s) duplicate cells another stream supplied", len(c.pending))
+	}
+	if c.tr.CellsRun != c.outs || (c.hdr.ShardCells != 0 && c.hdr.ShardCells != c.outs) {
+		return fmt.Errorf("stream: header/trailer claim %d/%d cells, found %d",
+			c.hdr.ShardCells, c.tr.CellsRun, c.outs)
+	}
+	return nil
+}
+
+// shardOwners maps cell-index residues to the cursors whose shard spec owns
+// them: with consistent "i/n" headers, global index g lives in the stream(s)
+// claiming shard g%n+1, so the merge only reads from those when it stalls.
+// It returns nil — meaning "probe every stream" — when any header carries an
+// unparseable or inconsistent spec, degrading to correctness-preserving
+// round-robin reads.
+func shardOwners(cursors []*streamCursor) [][]*streamCursor {
+	n := 0
+	for _, c := range cursors {
+		sh, err := ParseShard(c.hdr.Shard)
+		if err != nil {
+			return nil
+		}
+		if n == 0 {
+			n = sh.Count
+		} else if sh.Count != n {
+			return nil
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	owners := make([][]*streamCursor, n)
+	for _, c := range cursors {
+		sh, _ := ParseShard(c.hdr.Shard)
+		owners[sh.Index-1] = append(owners[sh.Index-1], c)
+	}
+	return owners
+}
+
+// cursorPos recovers a cursor's stream number for error messages.
+func cursorPos(cursors []*streamCursor, c *streamCursor) int {
+	for i, cand := range cursors {
+		if cand == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// MergeOptions tunes stream merging.
+type MergeOptions struct {
+	// KeepOutcomes retains every cell outcome in the merged report (per-cell
+	// renderings need them). Without it the merge runs in O(axes) memory and
+	// the report is the aggregate summary plus the sealed fingerprint — the
+	// mode million-cell sweeps want.
+	KeepOutcomes bool
+}
+
+// Merge reconstructs the aggregate Report from a complete set of shard
 // streams of one sweep. Every cell index 0..TotalCells-1 must appear exactly
 // once across the streams. The resulting report's Fingerprint equals the
 // monolithic run's (wall-clock fields are excluded from the fingerprint;
 // WallNS is the sum of the shards' wall times).
-func MergeStreams(readers ...io.Reader) (*Report, error) {
+//
+// The merge is incremental: cells are folded into an Aggregator in global
+// index order while the streams are read interleaved, so beyond the merged
+// report itself only each stream's out-of-order window is buffered. When
+// the headers carry consistent "i/n" shard specs (everything RunStream
+// writes), a stalled index only reads from the stream that owns it, so the
+// window is O(streams × per-shard parallelism) for uninterrupted shards —
+// not O(cells); a resumed shard can additionally buffer up to its own
+// appended-tail window. Headers without parseable specs degrade to
+// round-robin reads, which stay correct but may buffer more.
+func Merge(opts MergeOptions, readers ...io.Reader) (*Report, error) {
 	if len(readers) == 0 {
 		return nil, fmt.Errorf("merge: no streams")
 	}
-	var name string
-	total := -1
-	var outcomes []Outcome
-	var wallNS int64
+	cursors := make([]*streamCursor, len(readers))
 	for i, r := range readers {
-		hdr, outs, tr, err := readStream(r)
+		c, err := newStreamCursor(r)
 		if err != nil {
 			return nil, fmt.Errorf("merge: stream %d: %w", i, err)
 		}
-		if i == 0 {
-			name, total = hdr.Name, hdr.TotalCells
-		} else if hdr.Name != name || hdr.TotalCells != total {
+		cursors[i] = c
+	}
+	name, total := cursors[0].hdr.Name, cursors[0].hdr.TotalCells
+	for i, c := range cursors[1:] {
+		if c.hdr.Name != name || c.hdr.TotalCells != total {
 			return nil, fmt.Errorf("merge: stream %d is from a different sweep (%q, %d cells; want %q, %d)",
-				i, hdr.Name, hdr.TotalCells, name, total)
-		}
-		outcomes = append(outcomes, outs...)
-		wallNS += tr.WallNS
-	}
-	if len(outcomes) != total {
-		return nil, fmt.Errorf("merge: %d outcomes for a %d-cell sweep (missing or extra shards?)", len(outcomes), total)
-	}
-	sort.Slice(outcomes, func(i, j int) bool { return outcomes[i].Index < outcomes[j].Index })
-	for i := range outcomes {
-		if outcomes[i].Index != i {
-			return nil, fmt.Errorf("merge: cell index %d missing or duplicated (saw %d at position %d)",
-				i, outcomes[i].Index, i)
+				i+1, c.hdr.Name, c.hdr.TotalCells, name, total)
 		}
 	}
-	rep := aggregate(outcomes, 0)
+	owners := shardOwners(cursors)
+
+	agg := NewAggregator(opts.KeepOutcomes)
+	for next := 0; next < total; next++ {
+		var o *Outcome
+		for o == nil {
+			for _, c := range cursors {
+				if got, ok := c.take(next); ok {
+					o = got
+					break
+				}
+			}
+			if o != nil {
+				break
+			}
+			// Read more records — only from the stream whose shard owns
+			// next when the headers identify one, so a stalled index never
+			// forces unrelated streams to buffer their whole contents.
+			probe := cursors
+			if owners != nil {
+				probe = owners[next%len(owners)]
+			}
+			progress := false
+			for _, c := range probe {
+				more, err := c.advance()
+				if err != nil {
+					return nil, fmt.Errorf("merge: stream %d: %w", cursorPos(cursors, c), err)
+				}
+				progress = progress || more
+			}
+			if !progress {
+				return nil, fmt.Errorf("merge: cell index %d missing across %d stream(s) (missing shards?)", next, len(cursors))
+			}
+		}
+		if err := agg.Add(next, *o); err != nil {
+			return nil, fmt.Errorf("merge: %w", err)
+		}
+	}
+
+	var wallNS int64
+	for i, c := range cursors {
+		if err := c.finish(); err != nil {
+			return nil, fmt.Errorf("merge: stream %d: %w", i, err)
+		}
+		wallNS += c.tr.WallNS
+	}
+	rep, err := agg.Report(0)
+	if err != nil {
+		return nil, fmt.Errorf("merge: %w", err)
+	}
 	rep.Name = name
 	rep.WallNS = wallNS
 	return rep, nil
 }
 
-// MergeFiles is MergeStreams over shard files on disk.
-func MergeFiles(paths ...string) (*Report, error) {
+// MergeStreams is Merge retaining every outcome (the historical default).
+func MergeStreams(readers ...io.Reader) (*Report, error) {
+	return Merge(MergeOptions{KeepOutcomes: true}, readers...)
+}
+
+// MergeFilesWith is Merge over shard files on disk.
+func MergeFilesWith(opts MergeOptions, paths ...string) (*Report, error) {
 	readers := make([]io.Reader, 0, len(paths))
 	files := make([]*os.File, 0, len(paths))
 	defer func() {
@@ -234,7 +408,12 @@ func MergeFiles(paths ...string) (*Report, error) {
 			return nil, fmt.Errorf("merge: %w", err)
 		}
 		files = append(files, f)
-		readers = append(readers, f)
+		readers = append(readers, bufio.NewReaderSize(f, 1<<16))
 	}
-	return MergeStreams(readers...)
+	return Merge(opts, readers...)
+}
+
+// MergeFiles is MergeStreams over shard files on disk.
+func MergeFiles(paths ...string) (*Report, error) {
+	return MergeFilesWith(MergeOptions{KeepOutcomes: true}, paths...)
 }

@@ -23,7 +23,7 @@ func testCells(t *testing.T) []Cell {
 	t.Helper()
 	a := Axes{
 		Name:   "stream-test",
-		Graphs: []graph.Def{mustParseDef("fig1b"), mustParseDef("complete:4")},
+		Graphs: []graph.Def{def(t, "fig1b"), def(t, "complete:4")},
 		Modes:  []core.Mode{core.ModeKnownF, core.ModePermissioned},
 		Nets:   []scenario.NetParams{{Kind: scenario.NetSync}},
 		Seeds:  []int64{1, 2},
@@ -43,7 +43,7 @@ func shardStreams(t *testing.T, cells []Cell, n int) []*bytes.Buffer {
 		sh := Shard{Index: i, Count: n}
 		buf := &bytes.Buffer{}
 		part := sh.Of(cells)
-		tr, err := RunStream(part, Options{Parallelism: 2}, buf, StreamHeader{
+		tr, err := RunStream(CellList(part), Options{Parallelism: 2}, buf, StreamHeader{
 			Name:       "stream-test",
 			TotalCells: len(cells),
 			Shard:      sh.String(),
@@ -78,7 +78,7 @@ func mergeBufs(t *testing.T, bufs []*bytes.Buffer) *Report {
 // aggregate counters).
 func TestShardMergeFingerprint(t *testing.T) {
 	cells := testCells(t)
-	mono, err := Run(cells, Options{Parallelism: 1})
+	mono, err := Run(CellList(cells), Options{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestShardMergeFingerprint(t *testing.T) {
 // the populated shards reproduces the monolithic fingerprint.
 func TestEmptyShardStreams(t *testing.T) {
 	cells := testCells(t) // 8 cells; 9 shards guarantee an empty one
-	mono, err := Run(cells, Options{Parallelism: 1})
+	mono, err := Run(CellList(cells), Options{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,18 +11,6 @@ import (
 	"github.com/bftcup/bftcup/internal/sim"
 )
 
-// Concat merges cell lists into one matrix, reindexing in order.
-func Concat(lists ...[]Cell) []Cell {
-	var out []Cell
-	for _, l := range lists {
-		for _, c := range l {
-			c.Index = len(out)
-			out = append(out, c)
-		}
-	}
-	return out
-}
-
 // ParseSeedRange parses a seed-sweep flag: "FROM:TO", or a bare count "N"
 // meaning 1:N. The shared parser keeps every CLI's sweep syntax identical.
 func ParseSeedRange(s string) ([]int64, error) {
@@ -53,12 +41,18 @@ func Seeds(from, to int64) []int64 {
 	return out
 }
 
-func mustParseDef(s string) graph.Def {
-	d, err := graph.ParseDef(s)
-	if err != nil {
-		panic(fmt.Sprintf("matrix: bad built-in graph def %q: %v", s, err))
+// parseDefs parses graph-def strings, failing loudly on the first malformed
+// one instead of panicking deep inside a sweep definition.
+func parseDefs(specs ...string) ([]graph.Def, error) {
+	defs := make([]graph.Def, 0, len(specs))
+	for _, s := range specs {
+		d, err := graph.ParseDef(s)
+		if err != nil {
+			return nil, fmt.Errorf("sweep graph def: %w", err)
+		}
+		defs = append(defs, d)
 	}
-	return d
+	return defs, nil
 }
 
 // StandardSweep is the default scenario matrix of cmd/experiments -matrix:
@@ -68,9 +62,25 @@ func mustParseDef(s string) graph.Def {
 // expands to 240 cells. Every axis combination included here solves
 // consensus per the paper's theorems, so the sweep doubles as a wide
 // regression net: any cell without consensus is a finding.
-func StandardSweep(seeds []int64) ([]Cell, error) {
+//
+// The returned source is lazy: cells are materialized on demand by the
+// worker pool, so the sweep scales to arbitrary seed ranges without an
+// up-front expansion. A malformed graph def is an error, not a panic.
+func StandardSweep(seeds []int64) (CellSource, error) {
 	if len(seeds) == 0 {
 		seeds = Seeds(1, 10)
+	}
+	cupGraphs, err := parseDefs("fig1b", "kosr:sink=5,nonsink=3,k=2,extra=0.15")
+	if err != nil {
+		return nil, err
+	}
+	cupftGraphs, err := parseDefs("fig4a", "fig4b", "extended:core=5,noncore=3,extra=0.15")
+	if err != nil {
+		return nil, err
+	}
+	permGraphs, err := parseDefs("complete:7")
+	if err != nil {
+		return nil, err
 	}
 	none := scenario.AutoByz{}
 	tailSilent := scenario.AutoByz{Kind: scenario.ByzSilent, Count: 1, Place: scenario.PlaceTail}
@@ -81,7 +91,7 @@ func StandardSweep(seeds []int64) ([]Cell, error) {
 	groups := []Axes{
 		{
 			Name:   "bft-cup",
-			Graphs: []graph.Def{mustParseDef("fig1b"), mustParseDef("kosr:sink=5,nonsink=3,k=2,extra=0.15")},
+			Graphs: cupGraphs,
 			Modes:  []core.Mode{core.ModeKnownF},
 			Nets:   nets,
 			Byz:    []scenario.AutoByz{none, tailSilent},
@@ -89,7 +99,7 @@ func StandardSweep(seeds []int64) ([]Cell, error) {
 		},
 		{
 			Name:   "bft-cupft",
-			Graphs: []graph.Def{mustParseDef("fig4a"), mustParseDef("fig4b"), mustParseDef("extended:core=5,noncore=3,extra=0.15")},
+			Graphs: cupftGraphs,
 			Modes:  []core.Mode{core.ModeUnknownF},
 			Nets:   nets,
 			Byz:    []scenario.AutoByz{none, tailSilent},
@@ -97,20 +107,20 @@ func StandardSweep(seeds []int64) ([]Cell, error) {
 		},
 		{
 			Name:   "permissioned",
-			Graphs: []graph.Def{mustParseDef("complete:7")},
+			Graphs: permGraphs,
 			Modes:  []core.Mode{core.ModePermissioned},
 			Nets:   nets,
 			Byz:    []scenario.AutoByz{none, tailSilent},
 			Seeds:  seeds,
 		},
 	}
-	var lists [][]Cell
+	srcs := make([]CellSource, 0, len(groups))
 	for _, g := range groups {
-		cells, err := g.Expand()
+		src, err := g.Source()
 		if err != nil {
 			return nil, err
 		}
-		lists = append(lists, cells)
+		srcs = append(srcs, src)
 	}
-	return Concat(lists...), nil
+	return ConcatSources(srcs...), nil
 }

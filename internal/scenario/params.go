@@ -301,6 +301,28 @@ func (p Params) ByzLabel() string {
 	return strings.Join(parts, ",")
 }
 
+// Validate applies the structural checks that need no materialization: the
+// graph def is well-formed and the scalar knobs are in range. The matrix
+// engine's lazy cell sources validate one probe cell per axis value through
+// it instead of building every cell's graph up front; errors Validate cannot
+// see (a generator spec unsatisfiable for some seed) still surface from
+// Spec when the cell runs.
+func (p Params) Validate() error {
+	if err := p.Graph.Validate(); err != nil {
+		return fmt.Errorf("params %q: %w", p.Name, err)
+	}
+	if p.F < -1 {
+		return fmt.Errorf("params %q: fault threshold %d (want -1 for the family default, or ≥ 0)", p.Name, p.F)
+	}
+	if p.Horizon < 0 {
+		return fmt.Errorf("params %q: negative horizon %v", p.Name, p.Horizon)
+	}
+	if p.Auto.Count < 0 {
+		return fmt.Errorf("params %q: negative byzantine count %d", p.Name, p.Auto.Count)
+	}
+	return nil
+}
+
 // Spec materializes the parameters into a runnable Spec.
 func (p Params) Spec() (Spec, error) {
 	gseed := p.GraphSeed
