@@ -125,6 +125,41 @@ func BenchmarkMatrix(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepCells measures seed-sweep throughput (cells/sec) on a
+// 1-graph × 1000-seed sweep — the compile-once, run-many regime: every cell
+// shares one graph def, mode, network model and Byzantine placement, varying
+// only the simulation seed. This is the workload the scenario compilation
+// cache and the cryptox fast path exist for, and the number CI gates via
+// `experiments -bench-json -bench-gate`.
+func BenchmarkSweepCells(b *testing.B) {
+	d, err := graph.ParseDef("fig1b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := scenario.Params{
+		Graph: d,
+		Mode:  core.ModeKnownF,
+		F:     -1,
+		Net:   scenario.NetParams{Kind: scenario.NetSync},
+	}
+	src, err := matrix.SeedSweep(base, matrix.Seeds(1, 1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cellsPerSec float64
+	for i := 0; i < b.N; i++ {
+		rep, err := matrix.Run(src, matrix.Options{Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors > 0 {
+			b.Fatalf("%d cells errored", rep.Errors)
+		}
+		cellsPerSec = float64(rep.Cells) / (float64(rep.WallNS) / 1e9)
+	}
+	b.ReportMetric(cellsPerSec, "cells/s")
+}
+
 // BenchmarkSinkSearch measures the Algorithm 2 decision procedure on full
 // knowledge views.
 func BenchmarkSinkSearch(b *testing.B) {
@@ -416,22 +451,43 @@ func BenchmarkDeltaGossip(b *testing.B) {
 }
 
 // BenchmarkSigners compares Ed25519 against the insecure benchmark suite.
+// The repeated-message sub-benchmarks measure the memoized fast path (what
+// the simulator's broadcast fan-out sees); the fresh-message variants defeat
+// the memo and measure the underlying curve operations.
 func BenchmarkSigners(b *testing.B) {
 	msg := []byte("knowledge connectivity requirements for solving BFT consensus")
 	ed, reg, err := cryptox.GenerateKeys(1, []model.ID{1})
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.Run("ed25519-sign", func(b *testing.B) {
+	b.Run("ed25519-sign-memohit", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = ed[1].Sign(msg)
 		}
 	})
+	b.Run("ed25519-sign-fresh", func(b *testing.B) {
+		buf := append([]byte(nil), msg...)
+		for i := 0; i < b.N; i++ {
+			buf = fmt.Appendf(buf[:len(msg)], "%d", i)
+			_ = ed[1].Sign(buf)
+		}
+	})
 	sig := ed[1].Sign(msg)
-	b.Run("ed25519-verify", func(b *testing.B) {
+	b.Run("ed25519-verify-memohit", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if !reg.Verify(1, msg, sig) {
 				b.Fatal("verify failed")
+			}
+		}
+	})
+	b.Run("ed25519-verify-fresh", func(b *testing.B) {
+		buf := append([]byte(nil), msg...)
+		for i := 0; i < b.N; i++ {
+			buf = fmt.Appendf(buf[:len(msg)], "%d", i)
+			// A fresh message never hits the memo; the failed verification
+			// costs the same curve operations as a successful one.
+			if reg.Verify(1, buf, sig) {
+				b.Fatal("forged verify succeeded")
 			}
 		}
 	})

@@ -9,7 +9,10 @@ import (
 	"testing"
 	"time"
 
+	"github.com/bftcup/bftcup/internal/core"
+	"github.com/bftcup/bftcup/internal/graph"
 	"github.com/bftcup/bftcup/internal/matrix"
+	"github.com/bftcup/bftcup/internal/scenario"
 	"github.com/bftcup/bftcup/internal/sim"
 )
 
@@ -27,6 +30,10 @@ type BenchEntry struct {
 	// Matrix is nil for entries that predate the matrix timing (the pre-PR-2
 	// baseline was measured on the engine benchmarks alone).
 	Matrix *MatrixBench `json:"matrix,omitempty"`
+	// Sweep is the compile-once-run-many measurement: one graph × many
+	// seeds, serial — the workload the scenario compilation cache and the
+	// cryptox fast path target. Nil for entries that predate it.
+	Sweep *MatrixBench `json:"sweep,omitempty"`
 }
 
 // EngineBench is one sim.Workload measured via testing.Benchmark.
@@ -74,6 +81,30 @@ func engineBench(name string, w sim.Workload) EngineBench {
 	}
 }
 
+// runSweepBench times the 1-graph × 1000-seed serial sweep, the canonical
+// compile-once-run-many workload (BenchmarkSweepCells measures the same
+// sweep through the testing harness).
+func runSweepBench() (*matrix.Report, error) {
+	base := scenario.Params{
+		Graph: graph.Def{Kind: graph.DefFigure, Figure: "fig1b"},
+		Mode:  core.ModeKnownF,
+		F:     -1,
+		Net:   scenario.NetParams{Kind: scenario.NetSync},
+	}
+	src, err := matrix.SeedSweep(base, matrix.Seeds(1, 1000))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := matrix.Run(src, matrix.Options{Parallelism: 1})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Errors > 0 {
+		return nil, fmt.Errorf("sweep bench had %d errored cells", rep.Errors)
+	}
+	return rep, nil
+}
+
 // runBenchJSON measures the hot paths and appends a BenchEntry to the
 // trajectory file (created if absent). With gate > 0 it then compares the
 // fresh entry against the previous one and exits non-zero on a regression
@@ -109,6 +140,18 @@ func runBenchJSON(path, label string, gate float64) {
 		Fingerprint: rep.Fingerprint(),
 	}
 
+	sweepRep, err := runSweepBench()
+	if err != nil {
+		fail(err)
+	}
+	entry.Sweep = &MatrixBench{
+		Cells:       sweepRep.Cells,
+		Parallelism: sweepRep.Parallelism,
+		WallSeconds: float64(sweepRep.WallNS) / 1e9,
+		CellsPerSec: float64(sweepRep.Cells) / (float64(sweepRep.WallNS) / 1e9),
+		Fingerprint: sweepRep.Fingerprint(),
+	}
+
 	var trajectory []BenchEntry
 	if raw, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(raw, &trajectory); err != nil {
@@ -124,6 +167,8 @@ func runBenchJSON(path, label string, gate float64) {
 	}
 	fmt.Printf("matrix %d cells on %d workers: %.2f cells/s (%.2fs)\n",
 		entry.Matrix.Cells, entry.Matrix.Parallelism, entry.Matrix.CellsPerSec, entry.Matrix.WallSeconds)
+	fmt.Printf("sweep  %d cells on %d workers: %.2f cells/s (%.2fs)\n",
+		entry.Sweep.Cells, entry.Sweep.Parallelism, entry.Sweep.CellsPerSec, entry.Sweep.WallSeconds)
 
 	// Gate before persisting: a regressed entry must not become the next
 	// run's baseline (appending first would let a simple re-run ratify the
@@ -185,6 +230,13 @@ func gateEntry(prev, cur BenchEntry, tol float64) error {
 			"matrix: %.2f cells/s, was %.2f (%.1f%% drop)",
 			cur.Matrix.CellsPerSec, prev.Matrix.CellsPerSec,
 			(1-cur.Matrix.CellsPerSec/prev.Matrix.CellsPerSec)*100))
+	}
+	if cur.Sweep != nil && prev.Sweep != nil && prev.Sweep.CellsPerSec > 0 &&
+		cur.Sweep.CellsPerSec < prev.Sweep.CellsPerSec*(1-tol) {
+		regressions = append(regressions, fmt.Sprintf(
+			"sweep: %.2f cells/s, was %.2f (%.1f%% drop)",
+			cur.Sweep.CellsPerSec, prev.Sweep.CellsPerSec,
+			(1-cur.Sweep.CellsPerSec/prev.Sweep.CellsPerSec)*100))
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d regression(s):\n  %s", len(regressions), strings.Join(regressions, "\n  "))

@@ -23,12 +23,14 @@
 //	-json         emit the full matrix report as JSON on stdout
 //	-trace        record per-cell event-trace digests in the report
 //	-cells        text output lists every cell, not just aggregates
+//	-cpuprofile F write a pprof CPU profile of the run to F
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -58,8 +60,29 @@ func main() {
 		benchOut   = flag.String("bench-out", "BENCH_matrix.json", "trajectory file for -bench-json")
 		benchLabel = flag.String("bench-label", "", "label recorded with the -bench-json entry")
 		benchGate  = flag.Float64("bench-gate", 0, "with -bench-json: fail when events/sec or cells/sec regress by more than this fraction vs the previous trajectory entry (0 = off)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected mode to this file (hot-path work starts from a profile artifact)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		// The report-producing paths exit through os.Exit on failure; the
+		// profile is flushed only on the success path, which is the one a
+		// profiling session cares about.
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *cpuProfile)
+		}()
+	}
 
 	switch {
 	case *doMerge:

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/bftcup/bftcup/internal/model"
 )
@@ -29,9 +30,17 @@ type Verifier interface {
 // assumption that IDs are unforgeable and Sybil attacks are infeasible
 // (Section II-A): knowing a process's ID suffices to authenticate it.
 //
-// A Registry is immutable after construction and safe for concurrent use.
+// The key set is immutable after construction and a Registry is safe for
+// concurrent use. Verify memoizes its verdicts in a bounded cache: Ed25519
+// verification is pure, and the simulator's broadcast fan-out asks the same
+// (signer, msg, sig) question once per receiver per gossip round — the memo
+// answers every repeat with one hash instead of a curve operation, which is
+// what makes sweep throughput protocol-bound rather than signature-bound.
 type Registry struct {
 	pubs map[model.ID]ed25519.PublicKey
+
+	mu   sync.Mutex
+	memo *memoCache[[sha256.Size]byte, bool]
 }
 
 // Verify implements Verifier.
@@ -40,7 +49,23 @@ func (r *Registry) Verify(signer model.ID, msg, sig []byte) bool {
 	if !ok {
 		return false
 	}
-	return ed25519.Verify(pub, msg, sig)
+	if r.memo == nil {
+		return ed25519.Verify(pub, msg, sig)
+	}
+	k := verifyKey(signer, msg, sig)
+	r.mu.Lock()
+	v, hit := r.memo.get(k)
+	r.mu.Unlock()
+	if hit {
+		return v
+	}
+	// Verify outside the lock: duplicated work under contention is cheaper
+	// than serializing every curve operation.
+	v = ed25519.Verify(pub, msg, sig)
+	r.mu.Lock()
+	r.memo.put(k, v)
+	r.mu.Unlock()
+	return v
 }
 
 // Has reports whether the registry knows signer's key.
@@ -49,14 +74,38 @@ func (r *Registry) Has(signer model.ID) bool {
 	return ok
 }
 
-// edSigner is the Ed25519 Signer.
+// edSigner is the Ed25519 Signer. Sign memoizes by message: Ed25519 is
+// deterministic (RFC 8032 — identical bytes sign to identical signatures),
+// and a process re-signs the same canonical record every time it rebuilds a
+// gossip or protocol message, so the memo turns all but the first signing of
+// each distinct message into a map hit. Signers may be shared across
+// concurrently running simulations (the Keyring cache hands out one map per
+// (seed, ids)), hence the lock.
 type edSigner struct {
 	id   model.ID
 	priv ed25519.PrivateKey
+
+	mu   sync.Mutex
+	memo *memoCache[string, []byte]
 }
 
-func (s *edSigner) ID() model.ID           { return s.id }
-func (s *edSigner) Sign(msg []byte) []byte { return ed25519.Sign(s.priv, msg) }
+func (s *edSigner) ID() model.ID { return s.id }
+
+func (s *edSigner) Sign(msg []byte) []byte {
+	s.mu.Lock()
+	if sig, ok := s.memo.get(string(msg)); ok {
+		s.mu.Unlock()
+		// Copied: callers own their signature slice (some embed it in
+		// long-lived records) and must not alias each other.
+		return append([]byte(nil), sig...)
+	}
+	s.mu.Unlock()
+	sig := ed25519.Sign(s.priv, msg)
+	s.mu.Lock()
+	s.memo.put(string(msg), sig)
+	s.mu.Unlock()
+	return append([]byte(nil), sig...)
+}
 
 // GenerateKeys deterministically creates one Ed25519 keypair per ID from the
 // given seed and returns the signers plus the shared registry. Determinism
@@ -64,7 +113,10 @@ func (s *edSigner) Sign(msg []byte) []byte { return ed25519.Sign(s.priv, msg) }
 func GenerateKeys(seed int64, ids []model.ID) (map[model.ID]Signer, *Registry, error) {
 	rng := rand.New(rand.NewSource(seed))
 	signers := make(map[model.ID]Signer, len(ids))
-	reg := &Registry{pubs: make(map[model.ID]ed25519.PublicKey, len(ids))}
+	reg := &Registry{
+		pubs: make(map[model.ID]ed25519.PublicKey, len(ids)),
+		memo: newMemoCache[[sha256.Size]byte, bool](verifyMemoCap),
+	}
 	for _, id := range ids {
 		if id == model.NilID {
 			return nil, nil, errors.New("cryptox: NilID cannot own a key")
@@ -77,7 +129,7 @@ func GenerateKeys(seed int64, ids []model.ID) (map[model.ID]Signer, *Registry, e
 			return nil, nil, fmt.Errorf("cryptox: seeding key for %v: %w", id, err)
 		}
 		priv := ed25519.NewKeyFromSeed(seedBytes)
-		signers[id] = &edSigner{id: id, priv: priv}
+		signers[id] = &edSigner{id: id, priv: priv, memo: newMemoCache[string, []byte](signMemoCap)}
 		reg.pubs[id] = priv.Public().(ed25519.PublicKey)
 	}
 	return signers, reg, nil

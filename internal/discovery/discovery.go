@@ -2,6 +2,7 @@ package discovery
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/bftcup/bftcup/internal/cryptox"
 	"github.com/bftcup/bftcup/internal/kosr"
@@ -52,10 +53,6 @@ func (r SignedPD) marshal(w *wire.Writer) {
 	w.BytesField(r.Sig)
 }
 
-func unmarshalSignedPD(rd *wire.Reader) SignedPD {
-	return SignedPD{Owner: rd.ID(), PD: rd.IDSet(), Sig: rd.BytesField()}
-}
-
 // Config tunes the discovery task.
 type Config struct {
 	// Period between GETPDS rounds (Algorithm 1, line 2).
@@ -73,6 +70,14 @@ func DefaultConfig() Config {
 
 // Module is the per-process discovery state: S_PD, S_known and S_received,
 // maintained exactly as Algorithm 1 prescribes.
+//
+// The periodic task dominates the simulator's hot path — every process
+// re-requests and re-sends records every Period — so the module caches what
+// the steady state re-derives: the sorted record-owner list, the encoded
+// full-set SETPDS payload and the sorted gossip recipient list are computed
+// when the underlying state changes, not per message. The wire format and
+// message sequence are untouched (trace digests are byte-identical to the
+// uncached implementation).
 type Module struct {
 	self     model.ID
 	verifier cryptox.Verifier
@@ -82,6 +87,14 @@ type Module struct {
 	sentTo   map[model.ID]model.IDSet // delta mode: record owners already sent per peer
 	onUpdate func()
 	started  bool
+
+	// owners is records' key set, kept sorted; encoded is the cached
+	// full-set SETPDS payload (nil after a record arrives); recipients is
+	// the cached sorted view of S_known for the gossip round (nil after
+	// S_known grows).
+	owners     []model.ID
+	encoded    []byte
+	recipients []model.ID
 }
 
 // New creates a discovery module. ownRecord is this process's signed PD
@@ -104,6 +117,7 @@ func New(ownRecord SignedPD, verifier cryptox.Verifier, cfg Config, onUpdate fun
 		records:  map[model.ID]SignedPD{ownRecord.Owner: ownRecord},
 		sentTo:   make(map[model.ID]model.IDSet),
 		onUpdate: onUpdate,
+		owners:   []model.ID{ownRecord.Owner},
 	}
 	return m
 }
@@ -135,11 +149,16 @@ func (m *Module) HandleTimer(ctx sim.Context, tag uint64) bool {
 	return true
 }
 
+// getPDsPayload is the constant one-byte GETPDS request (Send copies it).
+var getPDsPayload = []byte{wire.KindGetPDs}
+
 func (m *Module) round(ctx sim.Context) {
-	payload := []byte{wire.KindGetPDs}
-	for _, id := range m.view.Known.Sorted() {
+	if m.recipients == nil {
+		m.recipients = m.view.Known.Sorted()
+	}
+	for _, id := range m.recipients {
 		if id != m.self {
-			ctx.Send(id, payload)
+			ctx.Send(id, getPDsPayload)
 		}
 	}
 	ctx.SetTimer(m.cfg.Period, TimerTag)
@@ -164,25 +183,35 @@ func (m *Module) Handle(ctx sim.Context, from model.ID, payload []byte) bool {
 }
 
 // sendRecords answers a GETPDS request (line 3): send S_PD to the requester.
+// In full-set mode the encoded payload is identical for every requester
+// until a new record arrives, so it is built once and reused (the engine
+// copies on Send).
 func (m *Module) sendRecords(ctx sim.Context, to model.ID) {
-	var owners []model.ID
-	if m.cfg.Delta {
-		sent := m.sentTo[to]
-		if sent == nil {
-			sent = model.NewIDSet()
-			m.sentTo[to] = sent
-		}
-		for _, owner := range m.receivedSorted() {
-			if !sent.Has(owner) {
-				owners = append(owners, owner)
-				sent.Add(owner)
+	if !m.cfg.Delta {
+		if m.encoded == nil {
+			recs := make([]SignedPD, 0, len(m.owners))
+			for _, owner := range m.owners {
+				recs = append(recs, m.records[owner])
 			}
+			m.encoded = EncodeSetPDs(recs)
 		}
-		if len(owners) == 0 {
-			return
+		ctx.Send(to, m.encoded)
+		return
+	}
+	sent := m.sentTo[to]
+	if sent == nil {
+		sent = model.NewIDSet()
+		m.sentTo[to] = sent
+	}
+	var owners []model.ID
+	for _, owner := range m.owners {
+		if !sent.Has(owner) {
+			owners = append(owners, owner)
+			sent.Add(owner)
 		}
-	} else {
-		owners = m.receivedSorted()
+	}
+	if len(owners) == 0 {
+		return
 	}
 	recs := make([]SignedPD, 0, len(owners))
 	for _, owner := range owners {
@@ -203,18 +232,21 @@ func EncodeSetPDs(recs []SignedPD) []byte {
 	return w.Bytes()
 }
 
-func (m *Module) receivedSorted() []model.ID {
-	ids := make([]model.ID, 0, len(m.records))
-	for id := range m.records {
-		ids = append(ids, id)
-	}
-	s := model.NewIDSet(ids...)
-	return s.Sorted()
+// insertOwner adds a new record owner to the sorted owner list and drops the
+// caches the record set invalidates.
+func (m *Module) insertOwner(owner model.ID) {
+	i := sort.Search(len(m.owners), func(i int) bool { return m.owners[i] >= owner })
+	m.owners = append(m.owners, 0)
+	copy(m.owners[i+1:], m.owners[i:])
+	m.owners[i] = owner
+	m.encoded = nil
 }
 
 // receiveRecords merges a SETPDS message (lines 4-6). Records that fail
 // signature verification are dropped; for equivocating owners the first
-// verified record wins (correct processes only ever sign one).
+// verified record wins (correct processes only ever sign one). Records whose
+// owner is already in S_PD — the overwhelming majority once gossip converges
+// — are skipped in place, without materializing their set or signature.
 func (m *Module) receiveRecords(from model.ID, payload []byte) {
 	rd := wire.NewReader(payload[1:])
 	n := rd.Uvarint()
@@ -223,24 +255,36 @@ func (m *Module) receiveRecords(from model.ID, payload []byte) {
 	}
 	changed := false
 	for i := uint64(0); i < n; i++ {
-		rec := unmarshalSignedPD(rd)
+		owner := rd.ID()
 		if rd.Err() != nil {
 			return
 		}
-		if _, have := m.records[rec.Owner]; have {
+		if _, have := m.records[owner]; have {
+			rd.SkipIDSet()
+			rd.SkipBytesField()
+			if rd.Err() != nil {
+				return
+			}
 			continue
+		}
+		rec := SignedPD{Owner: owner, PD: rd.IDSet(), Sig: rd.BytesField()}
+		if rd.Err() != nil {
+			return
 		}
 		if !rec.Verify(m.verifier) {
 			continue
 		}
 		m.records[rec.Owner] = rec
+		m.insertOwner(rec.Owner)
 		m.view.PD[rec.Owner] = rec.PD.Clone() // S_received gains rec.Owner
 		changed = true
 		if m.view.Known.Add(rec.Owner) {
-			// Known includes every owner whose PD we hold.
+			m.recipients = nil // Known includes every owner whose PD we hold.
 		}
 		for id := range rec.PD { // line 5: S_known ∪= PD contents
-			m.view.Known.Add(id)
+			if m.view.Known.Add(id) {
+				m.recipients = nil
+			}
 		}
 	}
 	_ = from

@@ -125,6 +125,25 @@ func (d Def) Validate() error {
 	return nil
 }
 
+// UsesSeed reports whether Build's output depends on the seed. Figures and
+// complete graphs are fixed constructions; only the random families draw
+// from the generator RNG.
+func (d Def) UsesSeed() bool {
+	return d.Kind == DefKOSR || d.Kind == DefExtended
+}
+
+// BuildKey returns the canonical cache key identifying Build(seed)'s output:
+// the canonical def string plus the effective seed, normalized to 0 for
+// seed-insensitive families so every seed maps to the one cache entry it
+// shares. Two defs with equal BuildKeys build identical graphs; the scenario
+// compilation cache keys on it.
+func (d Def) BuildKey(seed int64) string {
+	if !d.UsesSeed() {
+		seed = 0
+	}
+	return fmt.Sprintf("%s@%d", d.String(), seed)
+}
+
 // NumNodes returns the node count the def will materialize to.
 func (d Def) NumNodes() int {
 	switch d.Kind {

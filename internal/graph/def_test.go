@@ -180,3 +180,43 @@ func TestDefBuildDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildKey pins the cache-key contract the scenario compile cache keys
+// on: seed-insensitive families (figures, complete graphs) normalize every
+// seed to one key, random families key by their build seed, and distinct
+// defs never collide.
+func TestBuildKey(t *testing.T) {
+	fig := Def{Kind: DefFigure, Figure: "fig1b"}
+	if fig.UsesSeed() {
+		t.Error("figure def claims to use the seed")
+	}
+	if fig.BuildKey(1) != fig.BuildKey(2) {
+		t.Error("figure def splits the cache by seed despite ignoring it")
+	}
+	complete := Def{Kind: DefComplete, N: 7}
+	if complete.UsesSeed() || complete.BuildKey(1) != complete.BuildKey(99) {
+		t.Error("complete def splits the cache by seed despite ignoring it")
+	}
+	kosr := Def{Kind: DefKOSR, Sink: 5, NonSink: 3, K: 2, ExtraEdgeP: 0.15}
+	if !kosr.UsesSeed() {
+		t.Error("kosr def claims to ignore the seed")
+	}
+	if kosr.BuildKey(1) == kosr.BuildKey(2) {
+		t.Error("kosr builds differ by seed but share a key (stale graph reuse)")
+	}
+	if kosr.BuildKey(1) != kosr.BuildKey(1) {
+		t.Error("kosr key is not deterministic")
+	}
+	ext := Def{Kind: DefExtended, Sink: 5, NonSink: 3, ExtraEdgeP: 0.15}
+	if !ext.UsesSeed() {
+		t.Error("extended def claims to ignore the seed")
+	}
+	keys := map[string]Def{}
+	for _, d := range []Def{fig, complete, kosr, ext} {
+		k := d.BuildKey(1)
+		if prev, dup := keys[k]; dup {
+			t.Errorf("defs %s and %s share key %q", prev, d, k)
+		}
+		keys[k] = d
+	}
+}

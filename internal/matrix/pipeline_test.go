@@ -78,7 +78,11 @@ func TestSourceValidatesEveryAxisValue(t *testing.T) {
 		t.Fatalf("valid axes rejected: %v", err)
 	}
 	bad := []Axes{
-		func() Axes { a := base; a.Graphs = append([]graph.Def{a.Graphs[0]}, graph.Def{Kind: graph.DefKOSR}); return a }(),
+		func() Axes {
+			a := base
+			a.Graphs = append([]graph.Def{a.Graphs[0]}, graph.Def{Kind: graph.DefKOSR})
+			return a
+		}(),
 		func() Axes { a := base; a.F = []int{-1, -7}; return a }(),
 		func() Axes {
 			a := base

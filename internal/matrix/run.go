@@ -3,6 +3,7 @@ package matrix
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,28 +71,81 @@ type Outcome struct {
 	Err string `json:"err,omitempty"`
 }
 
-// runCell executes one cell on its own deterministic simulation engine.
-func runCell(c Cell, trace bool) Outcome {
-	p := c.Params
-	p.Trace = trace
-	out := Outcome{
-		Index: c.Index,
-		ID:    p.ID(),
-		Graph: p.Graph.String(),
-		Mode:  p.Mode.String(),
-		Net:   p.Net.Label(),
-		Byz:   p.ByzLabel(),
-		F:     p.F,
-		Seed:  p.Seed,
+// compileCacheCap bounds each worker's compile cache. A seed sweep needs one
+// entry; the standard sweep needs one per (graph, mode, net, byz, f)
+// combination its shard touches. Eviction is FIFO — sources expand seeds
+// innermost, so a sweep revisits compile keys in long runs, not randomly.
+const compileCacheCap = 64
+
+// compiledEntry is one cached compilation: the seed-independent Compiled
+// scenario plus its precomputed ID prefix, so per-cell identity is one
+// string concatenation instead of re-rendering every axis label.
+type compiledEntry struct {
+	c        *scenario.Compiled
+	idPrefix string
+}
+
+// cellRunner is one worker's execution state: a bounded compile cache keyed
+// by the cell's seed-independent identity (scenario.Params.CompileKey) and
+// the reusable simulation scratch (engine, bookkeeping maps). A SeedSweep
+// compiles once per worker and runs N times; caching is observably
+// transparent — the fingerprint-identity tests pin cached and per-cell
+// uncached execution to byte-identical reports.
+type cellRunner struct {
+	trace  bool
+	runner scenario.Runner
+	cache  map[string]compiledEntry
+	order  []string // insertion order, for FIFO eviction
+}
+
+func newCellRunner(trace bool) *cellRunner {
+	return &cellRunner{trace: trace, cache: make(map[string]compiledEntry, compileCacheCap)}
+}
+
+// compiled resolves the cell's compilation, from cache when possible.
+// Failures are not cached: their messages carry the per-cell name, and a
+// failing compile is never the hot path.
+func (w *cellRunner) compiled(p scenario.Params) (compiledEntry, error) {
+	key := p.CompileKey()
+	if e, ok := w.cache[key]; ok {
+		return e, nil
 	}
+	c, err := p.Compile()
+	if err != nil {
+		return compiledEntry{}, err
+	}
+	e := compiledEntry{c: c, idPrefix: c.Labels.IDPrefix()}
+	if len(w.cache) >= compileCacheCap {
+		delete(w.cache, w.order[0])
+		copy(w.order, w.order[1:])
+		w.order = w.order[:len(w.order)-1]
+	}
+	w.cache[key] = e
+	w.order = append(w.order, key)
+	return e, nil
+}
+
+// runCell executes one cell on the worker's deterministic simulation
+// scratch. Axis labels come from the compiled entry (or, on a compile error,
+// are rendered once after the error is known), so the hot loop never renders
+// a label twice.
+func (w *cellRunner) runCell(c Cell) Outcome {
+	p := c.Params
+	out := Outcome{Index: c.Index, F: p.F, Seed: p.Seed}
 	start := time.Now()
 	defer func() { out.WallNS = time.Since(start).Nanoseconds() }()
-	spec, err := p.Spec()
+	ent, err := w.compiled(p)
 	if err != nil {
+		labels := p.Labels()
+		out.ID = labels.IDFor(p.Seed)
+		out.Graph, out.Mode, out.Net, out.Byz = labels.Graph, labels.Mode, labels.Net, labels.Byz
 		out.Err = err.Error()
 		return out
 	}
-	res, err := scenario.Run(spec)
+	labels := ent.c.Labels
+	out.ID = ent.idPrefix + "/seed=" + strconv.FormatInt(p.Seed, 10)
+	out.Graph, out.Mode, out.Net, out.Byz = labels.Graph, labels.Mode, labels.Net, labels.Byz
+	res, err := w.runner.Run(ent.c, p.Seed, w.trace)
 	if err != nil {
 		out.Err = err.Error()
 		return out
@@ -146,6 +200,7 @@ func runPool(src CellSource, opts Options, sink func(pos int, o Outcome) error) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			cr := newCellRunner(opts.Trace)
 			for {
 				if stop.Load() {
 					return
@@ -154,7 +209,7 @@ func runPool(src CellSource, opts Options, sink func(pos int, o Outcome) error) 
 				if i >= n {
 					return
 				}
-				o := runCell(src.Cell(i), opts.Trace)
+				o := cr.runCell(src.Cell(i))
 				sinkMu.Lock()
 				if sinkErr == nil {
 					if err := sink(i, o); err != nil {

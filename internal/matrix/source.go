@@ -155,9 +155,12 @@ func (s *axesSource) Cell(i int) Cell {
 }
 
 // cellParams builds one cell's scenario parameters; shared by Cell and the
-// Source-time validation probe so they cannot diverge.
+// Source-time validation probe so they cannot diverge. Name is left empty —
+// the scenario layer derives the per-seed cell ID on demand (a stamped
+// seed-specific name would defeat the compile cache's key sharing and
+// freeze the first seed's name into cached runs).
 func (s *axesSource) cellParams(g graph.Def, mode core.Mode, net scenario.NetParams, b scenario.AutoByz, f int, seed int64) scenario.Params {
-	p := scenario.Params{
+	return scenario.Params{
 		Graph:         g,
 		Mode:          mode,
 		F:             f,
@@ -167,8 +170,6 @@ func (s *axesSource) cellParams(g graph.Def, mode core.Mode, net scenario.NetPar
 		Seed:          seed,
 		SlowDiscovery: net.Kind == scenario.NetAsync,
 	}
-	p.Name = p.ID()
-	return p
 }
 
 // seedSweepSource lazily runs one scenario once per seed.
@@ -198,7 +199,6 @@ func (s *seedSweepSource) Index(i int) int { return i }
 func (s *seedSweepSource) Cell(i int) Cell {
 	p := s.base
 	p.Seed = s.seeds[i]
-	p.Name = p.ID()
 	return Cell{Index: i, Params: p}
 }
 

@@ -156,6 +156,10 @@ type streamCursor struct {
 	pending map[int]*Outcome
 	outs    int
 	eof     bool
+	// shard is the parsed header spec when it identifies a proper slice of
+	// the sweep; nil means ownership is unknown and the merge scheduler
+	// falls back to its buffer-aware heuristic for this stream.
+	shard *Shard
 }
 
 // newStreamCursor opens a stream and reads its header record.
@@ -172,6 +176,24 @@ func newStreamCursor(r io.Reader) (*streamCursor, error) {
 	}
 	c.hdr = rec.Header
 	return c, nil
+}
+
+// owns reports whether this cursor's shard spec claims the global cell
+// index. Unknown specs own nothing (the scheduler handles them separately).
+func (c *streamCursor) owns(i int) bool {
+	return c.shard != nil && i%c.shard.Count == c.shard.Index-1
+}
+
+// minPending returns the smallest buffered cell index, or ok=false when the
+// buffer is empty.
+func (c *streamCursor) minPending() (int, bool) {
+	min, ok := 0, false
+	for i := range c.pending {
+		if !ok || i < min {
+			min, ok = i, true
+		}
+	}
+	return min, ok
 }
 
 // advance consumes one record, parking outcomes in the pending buffer.
@@ -250,34 +272,18 @@ func (c *streamCursor) finish() error {
 	return nil
 }
 
-// shardOwners maps cell-index residues to the cursors whose shard spec owns
-// them: with consistent "i/n" headers, global index g lives in the stream(s)
-// claiming shard g%n+1, so the merge only reads from those when it stalls.
-// It returns nil — meaning "probe every stream" — when any header carries an
-// unparseable or inconsistent spec, degrading to correctness-preserving
-// round-robin reads.
-func shardOwners(cursors []*streamCursor) [][]*streamCursor {
-	n := 0
+// assignShards parses each cursor's shard spec independently. A spec that
+// claims the whole sweep ("1/1", or an empty header) is only meaningful when
+// the stream is alone — alongside other streams it cannot be literally true,
+// so it is demoted to unknown and scheduled by the heuristic instead.
+func assignShards(cursors []*streamCursor) {
 	for _, c := range cursors {
 		sh, err := ParseShard(c.hdr.Shard)
-		if err != nil {
-			return nil
+		if err != nil || (sh.IsAll() && len(cursors) > 1) {
+			continue
 		}
-		if n == 0 {
-			n = sh.Count
-		} else if sh.Count != n {
-			return nil
-		}
+		c.shard = &sh
 	}
-	if n == 0 {
-		return nil
-	}
-	owners := make([][]*streamCursor, n)
-	for _, c := range cursors {
-		sh, _ := ParseShard(c.hdr.Shard)
-		owners[sh.Index-1] = append(owners[sh.Index-1], c)
-	}
-	return owners
 }
 
 // cursorPos recovers a cursor's stream number for error messages.
@@ -299,6 +305,13 @@ type MergeOptions struct {
 	KeepOutcomes bool
 }
 
+// mergeStats records scheduler behavior for the constant-memory tests.
+type mergeStats struct {
+	// maxPending is the largest total out-of-order buffer (outcomes parked
+	// across all cursors) the merge ever held.
+	maxPending int
+}
+
 // Merge reconstructs the aggregate Report from a complete set of shard
 // streams of one sweep. Every cell index 0..TotalCells-1 must appear exactly
 // once across the streams. The resulting report's Fingerprint equals the
@@ -307,33 +320,139 @@ type MergeOptions struct {
 //
 // The merge is incremental: cells are folded into an Aggregator in global
 // index order while the streams are read interleaved, so beyond the merged
-// report itself only each stream's out-of-order window is buffered. When
-// the headers carry consistent "i/n" shard specs (everything RunStream
-// writes), a stalled index only reads from the stream that owns it, so the
-// window is O(streams × per-shard parallelism) for uninterrupted shards —
-// not O(cells); a resumed shard can additionally buffer up to its own
-// appended-tail window. Headers without parseable specs degrade to
-// round-robin reads, which stay correct but may buffer more.
+// report itself only each stream's out-of-order window is buffered. Each
+// stream's next-owned index is routed through its own shard spec: a stalled
+// index reads only from the streams whose "i/n" header claims it, so for
+// everything RunStream writes the window is O(streams × per-shard
+// parallelism) — not O(cells); a resumed shard can additionally buffer up to
+// its own appended-tail window. Streams without usable specs (hand-split or
+// relabeled shards) are scheduled by buffer pressure instead — drained
+// streams are read first, then the stream lagging furthest behind — which
+// keeps pathological non-round-robin splits (e.g. contiguous blocks) at
+// O(streams) buffered outcomes rather than O(cells).
 func Merge(opts MergeOptions, readers ...io.Reader) (*Report, error) {
+	rep, _, err := merge(opts, readers...)
+	return rep, err
+}
+
+func merge(opts MergeOptions, readers ...io.Reader) (*Report, mergeStats, error) {
+	var stats mergeStats
 	if len(readers) == 0 {
-		return nil, fmt.Errorf("merge: no streams")
+		return nil, stats, fmt.Errorf("merge: no streams")
 	}
 	cursors := make([]*streamCursor, len(readers))
 	for i, r := range readers {
 		c, err := newStreamCursor(r)
 		if err != nil {
-			return nil, fmt.Errorf("merge: stream %d: %w", i, err)
+			return nil, stats, fmt.Errorf("merge: stream %d: %w", i, err)
 		}
 		cursors[i] = c
 	}
 	name, total := cursors[0].hdr.Name, cursors[0].hdr.TotalCells
 	for i, c := range cursors[1:] {
 		if c.hdr.Name != name || c.hdr.TotalCells != total {
-			return nil, fmt.Errorf("merge: stream %d is from a different sweep (%q, %d cells; want %q, %d)",
+			return nil, stats, fmt.Errorf("merge: stream %d is from a different sweep (%q, %d cells; want %q, %d)",
 				i+1, c.hdr.Name, c.hdr.TotalCells, name, total)
 		}
 	}
-	owners := shardOwners(cursors)
+	assignShards(cursors)
+
+	// advance wraps cursor reads with error attribution and the pending-size
+	// statistic.
+	advance := func(c *streamCursor) (bool, error) {
+		more, err := c.advance()
+		if err != nil {
+			return false, fmt.Errorf("merge: stream %d: %w", cursorPos(cursors, c), err)
+		}
+		pending := 0
+		for _, cc := range cursors {
+			pending += len(cc.pending)
+		}
+		if pending > stats.maxPending {
+			stats.maxPending = pending
+		}
+		return more, nil
+	}
+
+	hasUnknown := false
+	for _, c := range cursors {
+		if c.shard == nil {
+			hasUnknown = true
+		}
+	}
+
+	// fill reads records until some cursor can supply cell index next,
+	// choosing which stream to read by ownership first and buffer pressure
+	// second. It reports false when the cell cannot appear anymore: every
+	// stream that could hold it is exhausted.
+	fill := func(next int) (bool, error) {
+		// 1. Streams whose shard spec owns next.
+		progress := false
+		for _, c := range cursors {
+			if c.owns(next) {
+				more, err := advance(c)
+				if err != nil {
+					return false, err
+				}
+				progress = progress || more
+			}
+		}
+		if progress {
+			return true, nil
+		}
+		// 2. Unknown-spec streams with nothing buffered: reading them costs
+		// no memory and reveals where they are.
+		for _, c := range cursors {
+			if c.shard == nil && len(c.pending) == 0 {
+				more, err := advance(c)
+				if err != nil {
+					return false, err
+				}
+				progress = progress || more
+			}
+		}
+		if progress {
+			return true, nil
+		}
+		// 3. The unknown-spec stream lagging furthest behind (smallest
+		// buffered index) — the most plausible holder of next.
+		var best *streamCursor
+		bestMin := 0
+		for _, c := range cursors {
+			if c.shard != nil || c.eof {
+				continue
+			}
+			if m, ok := c.minPending(); ok && (best == nil || m < bestMin) {
+				best, bestMin = c, m
+			}
+		}
+		if best != nil {
+			more, err := advance(best)
+			if err != nil {
+				return false, err
+			}
+			if more {
+				return true, nil
+			}
+		}
+		// 4. Last resort, only when spec-less streams are in the merge — the
+		// cell could still be hiding anywhere, so read whatever is open
+		// rather than failing early. When every stream carries a spec,
+		// ownership is total: an exhausted owner means the cell is missing,
+		// and reading (and buffering) the other streams to prove it would
+		// cost O(cells) of memory for the same error.
+		if !hasUnknown {
+			return false, nil
+		}
+		for _, c := range cursors {
+			more, err := advance(c)
+			if err != nil {
+				return false, err
+			}
+			progress = progress || more
+		}
+		return progress, nil
+	}
 
 	agg := NewAggregator(opts.KeepOutcomes)
 	for next := 0; next < total; next++ {
@@ -348,44 +467,33 @@ func Merge(opts MergeOptions, readers ...io.Reader) (*Report, error) {
 			if o != nil {
 				break
 			}
-			// Read more records — only from the stream whose shard owns
-			// next when the headers identify one, so a stalled index never
-			// forces unrelated streams to buffer their whole contents.
-			probe := cursors
-			if owners != nil {
-				probe = owners[next%len(owners)]
-			}
-			progress := false
-			for _, c := range probe {
-				more, err := c.advance()
-				if err != nil {
-					return nil, fmt.Errorf("merge: stream %d: %w", cursorPos(cursors, c), err)
-				}
-				progress = progress || more
+			progress, err := fill(next)
+			if err != nil {
+				return nil, stats, err
 			}
 			if !progress {
-				return nil, fmt.Errorf("merge: cell index %d missing across %d stream(s) (missing shards?)", next, len(cursors))
+				return nil, stats, fmt.Errorf("merge: cell index %d missing across %d stream(s) (missing shards?)", next, len(cursors))
 			}
 		}
 		if err := agg.Add(next, *o); err != nil {
-			return nil, fmt.Errorf("merge: %w", err)
+			return nil, stats, fmt.Errorf("merge: %w", err)
 		}
 	}
 
 	var wallNS int64
 	for i, c := range cursors {
 		if err := c.finish(); err != nil {
-			return nil, fmt.Errorf("merge: stream %d: %w", i, err)
+			return nil, stats, fmt.Errorf("merge: stream %d: %w", i, err)
 		}
 		wallNS += c.tr.WallNS
 	}
 	rep, err := agg.Report(0)
 	if err != nil {
-		return nil, fmt.Errorf("merge: %w", err)
+		return nil, stats, fmt.Errorf("merge: %w", err)
 	}
 	rep.Name = name
 	rep.WallNS = wallNS
-	return rep, nil
+	return rep, stats, nil
 }
 
 // MergeStreams is Merge retaining every outcome (the historical default).

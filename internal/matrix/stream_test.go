@@ -1,8 +1,10 @@
 package matrix
 
 import (
+	"bufio"
 	"bytes"
 	"flag"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -14,6 +16,102 @@ import (
 	"github.com/bftcup/bftcup/internal/graph"
 	"github.com/bftcup/bftcup/internal/scenario"
 )
+
+// mergeFilesWithStats opens shard files and runs the internal merge,
+// returning its scheduler statistics alongside the report.
+func mergeFilesWithStats(t *testing.T, paths ...string) (*Report, mergeStats) {
+	t.Helper()
+	readers := make([]io.Reader, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		readers = append(readers, bufio.NewReaderSize(f, 1<<16))
+	}
+	rep, stats, err := merge(MergeOptions{}, readers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, stats
+}
+
+// TestMergeAdversarialSplitConstantMemory pins the buffer-pressure scheduler
+// on the pathological split the shard-spec routing cannot help with: two
+// streams carrying contiguous index blocks (first half / second half) with
+// headers that claim no usable shard spec. A round-robin reader would buffer
+// the entire second stream (O(cells)) while draining the first; the
+// scheduler must keep the total out-of-order buffer at O(streams).
+func TestMergeAdversarialSplitConstantMemory(t *testing.T) {
+	const n = 2000
+	src := errorSweep(t, n)
+	mono, err := Run(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono.Name = "adversarial-split"
+	want := mono.Fingerprint()
+
+	dir := t.TempDir()
+	var paths []string
+	for half := 0; half < 2; half++ {
+		pos := make([]int, 0, n/2)
+		for i := half * (n / 2); i < (half+1)*(n/2); i++ {
+			pos = append(pos, i)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("block%d.jsonl", half))
+		if _, err := RunStreamFile(path, &subsetSource{base: src, pos: pos}, Options{Parallelism: 1}, StreamHeader{
+			Name: "adversarial-split", TotalCells: n, // Shard left empty: no routing hint
+		}); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+
+	rep, stats := mergeFilesWithStats(t, paths...)
+	if got := rep.Fingerprint(); got != want {
+		t.Fatalf("adversarial merge fingerprint %s, want monolithic %s", got[:16], want[:16])
+	}
+	if rep.Cells != n {
+		t.Fatalf("merged %d cells, want %d", rep.Cells, n)
+	}
+	const maxBuffered = 8 // O(streams), with slack; a round-robin reader needs ~n/2
+	if stats.maxPending > maxBuffered {
+		t.Fatalf("adversarial split buffered %d outcomes (want ≤ %d): merge memory grows with cell count", stats.maxPending, maxBuffered)
+	}
+}
+
+// TestMergeShardRoutingBoundedBuffer pins the routed path: properly
+// round-robin-sharded streams merge with an out-of-order buffer bounded by
+// the stream count, never by cell count. The shards stream serially so their
+// files are strictly position-ordered and the bound is deterministic (a
+// parallel shard's window additionally depends on worker skew — how far one
+// goroutine ran ahead of another — which the merge cannot undo).
+func TestMergeShardRoutingBoundedBuffer(t *testing.T) {
+	const n = 3000
+	src := errorSweep(t, n)
+	dir := t.TempDir()
+	var paths []string
+	for i := 1; i <= 3; i++ {
+		sh := Shard{Index: i, Count: 3}
+		path := filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", i))
+		if _, err := RunStreamFile(path, sh.Source(src), Options{Parallelism: 1}, StreamHeader{
+			Name: "routed", TotalCells: n, Shard: sh.String(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	rep, stats := mergeFilesWithStats(t, paths...)
+	if rep.Cells != n {
+		t.Fatalf("merged %d cells, want %d", rep.Cells, n)
+	}
+	const maxBuffered = 9 // O(streams) with slack
+	if stats.maxPending > maxBuffered {
+		t.Fatalf("routed merge buffered %d outcomes (want ≤ %d)", stats.maxPending, maxBuffered)
+	}
+}
 
 var update = flag.Bool("update", false, "rewrite golden files")
 

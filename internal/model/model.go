@@ -2,7 +2,7 @@ package model
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -97,13 +97,16 @@ func (s IDSet) Clone() IDSet {
 }
 
 // Sorted returns the members in ascending order. This is the only sanctioned
-// way to iterate a set where ordering is observable.
+// way to iterate a set where ordering is observable. slices.Sort, not
+// sort.Slice: Sorted is the single hottest allocation site of a sweep (every
+// canonical encoding and search pass sorts), and the interface-based sorter
+// allocates a closure and a reflect swapper per call.
 func (s IDSet) Sorted() []ID {
 	out := make([]ID, 0, len(s))
 	for id := range s {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -1,0 +1,429 @@
+package scenario
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+
+	"github.com/bftcup/bftcup/internal/byz"
+	"github.com/bftcup/bftcup/internal/core"
+	"github.com/bftcup/bftcup/internal/cryptox"
+	"github.com/bftcup/bftcup/internal/discovery"
+	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/sim"
+)
+
+// Scenario execution is split into an explicit Compile → Run pipeline.
+// Compile does everything that does not depend on the simulation seed —
+// building the graph from its def, resolving the fault threshold and the
+// automatic Byzantine placement, materializing the network model, filling
+// defaults — and Run does only the seed-dependent work: key material (via
+// the cryptox keyring cache), engine setup and the simulation itself. A
+// sweep that runs one scenario across a thousand seeds compiles once and
+// runs a thousand times; the matrix layer caches Compiled values per worker
+// keyed by Params.CompileKey. Spec/Run remain as thin shims over this
+// pipeline, so the split is invisible to existing callers — and provably so:
+// the matrix fingerprint tests pin cached and uncached execution to
+// byte-identical reports.
+
+// applyDefaults fills the shared execution defaults — the synchronous
+// network model and the 60-second horizon — in one place for every entry
+// point (Compile, compiled Specs, hand-written Specs handed to Run).
+func applyDefaults(net sim.NetworkModel, horizon sim.Time) (sim.NetworkModel, sim.Time) {
+	if net == nil {
+		net = sim.Synchronous{Delta: 5 * sim.Millisecond}
+	}
+	if horizon <= 0 {
+		horizon = 60 * sim.Second
+	}
+	return net, horizon
+}
+
+// Compiled is the seed-independent materialization of a scenario: the built
+// knowledge connectivity graph, the resolved fault threshold and Byzantine
+// assignment, the network model and the filled-in defaults. It is produced
+// once by Params.Compile (or Spec.Compile) and then Run any number of times
+// with different seeds; the per-run cost is key material, engine setup and
+// the simulation itself. A Compiled value is immutable after construction
+// and safe to share between goroutines (Run never mutates it).
+type Compiled struct {
+	// Name labels results and errors; empty derives the per-seed cell ID
+	// from Labels at run time (matching Params.Spec's naming).
+	Name string
+	// Labels are the seed-independent axis labels (zero-valued when the
+	// Compiled came from a hand-written Spec rather than Params).
+	Labels CellLabels
+	// Graph is the built knowledge connectivity graph.
+	Graph *graph.Digraph
+	// Mode / F / Byz / Values / Net / Horizon are the resolved counterparts
+	// of the Spec fields of the same names.
+	Mode    core.Mode
+	F       int
+	Byz     map[model.ID]ByzSpec
+	Values  map[model.ID]model.Value
+	Net     sim.NetworkModel
+	Horizon sim.Time
+	// Discovery / PBFTTimeout / PollPeriod tune the protocol stack (zero
+	// keeps the module defaults).
+	Discovery   discovery.Config
+	PBFTTimeout sim.Time
+	PollPeriod  sim.Time
+
+	// deriveName records that Name was empty in the source Params, so each
+	// run names its result after its own seed.
+	deriveName bool
+	// ids is the sorted node list, computed once.
+	ids []model.ID
+}
+
+// Compile materializes the seed-independent part of the parameters. The
+// effective graph seed (GraphSeed, falling back to Seed) participates: for
+// random graph families a Compiled is specific to the graph its seed built,
+// which is exactly what CompileKey captures.
+func (p Params) Compile() (*Compiled, error) {
+	gseed := p.GraphSeed
+	if gseed == 0 {
+		gseed = p.Seed
+	}
+	built, err := p.Graph.Build(gseed)
+	if err != nil {
+		return nil, fmt.Errorf("params %q: %w", p.nameOrID(), err)
+	}
+	f := p.F
+	if f < 0 {
+		f = built.F
+	}
+	byzMap := make(map[model.ID]ByzSpec)
+	for _, id := range p.autoByzIDs(built) {
+		byzMap[id] = p.autoByzSpec(built, id)
+	}
+	for id, bp := range p.Byz {
+		spec := ByzSpec{Kind: bp.Kind}
+		if len(bp.ClaimedPD) > 0 {
+			spec.ClaimedPD = model.NewIDSet(bp.ClaimedPD...)
+		}
+		if len(bp.AltPD) > 0 {
+			spec.AltPD = model.NewIDSet(bp.AltPD...)
+		}
+		if len(bp.AltRecipients) > 0 {
+			alt := model.NewIDSet(bp.AltRecipients...)
+			spec.ChooseAlt = func(id model.ID) bool { return alt.Has(id) }
+		}
+		byzMap[id] = spec
+	}
+	net, horizon := applyDefaults(p.Net.Model(), p.Horizon)
+	c := &Compiled{
+		Name:       p.Name,
+		Labels:     p.Labels(),
+		Graph:      built.G,
+		Mode:       p.Mode,
+		F:          f,
+		Byz:        byzMap,
+		Values:     p.Values,
+		Net:        net,
+		Horizon:    horizon,
+		deriveName: p.Name == "",
+		ids:        built.G.Nodes(),
+	}
+	if p.SlowDiscovery {
+		c.Discovery.Period = 500 * sim.Millisecond
+		c.PollPeriod = 2 * sim.Second
+	}
+	return c, nil
+}
+
+// Compile wraps a hand-written Spec in the Compile → Run pipeline. The
+// Spec's graph, threshold and Byzantine assignment are taken as already
+// resolved; only the execution defaults are filled.
+func (s Spec) Compile() (*Compiled, error) {
+	if s.Graph == nil || s.Graph.NumNodes() == 0 {
+		return nil, fmt.Errorf("scenario %q: empty graph", s.Name)
+	}
+	net, horizon := applyDefaults(s.Net, s.Horizon)
+	return &Compiled{
+		Name:        s.Name,
+		Graph:       s.Graph,
+		Mode:        s.Mode,
+		F:           s.F,
+		Byz:         s.Byz,
+		Values:      s.Values,
+		Net:         net,
+		Horizon:     horizon,
+		Discovery:   s.Discovery,
+		PBFTTimeout: s.PBFTTimeout,
+		PollPeriod:  s.PollPeriod,
+		ids:         s.Graph.Nodes(),
+	}, nil
+}
+
+// CompileKey is the canonical identity of the seed-independent parts of the
+// parameters: two Params with equal CompileKeys compile to interchangeable
+// Compiled values, which is the cache-key contract the matrix layer's
+// per-worker compile cache relies on. For random graph families the key
+// includes the effective graph seed (a sweep that varies Seed with GraphSeed
+// unset builds a different graph per cell, and the key says so); for figures
+// and complete graphs the seed is normalized away and a whole seed sweep
+// shares one entry.
+func (p Params) CompileKey() string {
+	gseed := p.GraphSeed
+	if gseed == 0 {
+		gseed = p.Seed
+	}
+	_, horizon := applyDefaults(nil, p.Horizon)
+	var sb strings.Builder
+	sb.WriteString(p.Graph.BuildKey(gseed))
+	fmt.Fprintf(&sb, "|mode=%d|f=%d|net=%s|h=%d|slow=%t|auto=%d,%d,%d",
+		int(p.Mode), p.F, p.Net.Label(), int64(horizon), p.SlowDiscovery,
+		int(p.Auto.Kind), p.Auto.Count, int(p.Auto.Place))
+	if p.Name != "" {
+		// A fixed name is part of the compiled identity (it labels results
+		// and error messages); an empty one derives the per-seed cell ID at
+		// run time, so every seed of a sweep shares the cache entry. Quoted:
+		// a free-form name must not be able to mimic other key sections.
+		fmt.Fprintf(&sb, "|name=%q", p.Name)
+	}
+	for _, id := range sortedIDs(p.Byz) {
+		bp := p.Byz[id]
+		fmt.Fprintf(&sb, "|byz%d=%d;%v;%v;%v", uint64(id), int(bp.Kind),
+			canonIDs(bp.ClaimedPD), canonIDs(bp.AltPD), canonIDs(bp.AltRecipients))
+	}
+	for _, id := range sortedIDs(p.Values) {
+		fmt.Fprintf(&sb, "|val%d=%q", uint64(id), string(p.Values[id]))
+	}
+	return sb.String()
+}
+
+// sortedIDs returns a map's keys in ascending order (slices.Sort: this runs
+// per cell on the compile-key path).
+func sortedIDs[V any](m map[model.ID]V) []model.ID {
+	ids := make([]model.ID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+// canonIDs renders an ID slice order-independently (the slices parameterize
+// sets, so order must not split cache entries).
+func canonIDs(ids []model.ID) []model.ID {
+	if len(ids) < 2 {
+		return ids
+	}
+	out := slices.Clone(ids)
+	slices.Sort(out)
+	return out
+}
+
+// Run executes the compiled scenario under one seed. It is shorthand for a
+// fresh Runner's Run; sweep workers keep a Runner per goroutine to also
+// reuse the simulation scratch across cells.
+func (c *Compiled) Run(seed int64, trace bool) (*Result, error) {
+	var r Runner
+	return r.Run(c, seed, trace)
+}
+
+// Runner owns the per-worker scratch of the Run side of the pipeline: the
+// simulation engine (event heap, payload pool) and the bookkeeping maps,
+// reset and reused across runs instead of reallocated per cell. A Runner is
+// for one goroutine; the *Result it returns (and the maps inside it) are
+// owned by the Runner and valid only until its next Run — callers that
+// retain results across cells must copy what they keep.
+type Runner struct {
+	engine        *sim.Engine
+	proposals     map[model.ID]model.Value
+	nodes         map[model.ID]*core.Node
+	correct       model.IDSet
+	decisions     map[model.ID]model.Value
+	decidedAt     map[model.ID]sim.Time
+	doubleDecided model.IDSet
+	perProcess    map[model.ID]ProcessResult
+	res           Result
+}
+
+// reset prepares the scratch for one run.
+func (r *Runner) reset(net sim.NetworkModel, seed int64) {
+	if r.engine == nil {
+		r.engine = sim.NewEngine(net, seed)
+		r.proposals = make(map[model.ID]model.Value)
+		r.nodes = make(map[model.ID]*core.Node)
+		r.correct = model.NewIDSet()
+		r.decisions = make(map[model.ID]model.Value)
+		r.decidedAt = make(map[model.ID]sim.Time)
+		r.doubleDecided = model.NewIDSet()
+		r.perProcess = make(map[model.ID]ProcessResult)
+		return
+	}
+	r.engine.Reset(net, seed)
+	clear(r.proposals)
+	clear(r.nodes)
+	clear(r.correct)
+	clear(r.decisions)
+	clear(r.decidedAt)
+	clear(r.doubleDecided)
+	clear(r.perProcess)
+}
+
+// Run executes the compiled scenario under one seed: generate (or fetch from
+// the keyring cache) the key material, wire up the reactors, drive the
+// engine to decision or horizon, and grade the outcome — exactly the
+// execution scenario.Run has always performed, minus everything Compile
+// already did.
+func (r *Runner) Run(c *Compiled, seed int64, trace bool) (*Result, error) {
+	name := c.Name
+	if c.deriveName {
+		name = c.Labels.IDFor(seed)
+	}
+	r.reset(c.Net, seed)
+	engine := r.engine
+
+	signers, reg, err := cryptox.Keyring(seed+1, c.ids)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", name, err)
+	}
+
+	var tr *sim.Trace
+	if trace {
+		tr = sim.NewTrace()
+		engine.SetTrace(tr)
+	}
+	r.res = Result{Name: name, PerProcess: r.perProcess}
+	res := &r.res
+	proposals, nodes, correct := r.proposals, r.nodes, r.correct
+	decisions, decidedAt, doubleDecided := r.decisions, r.decidedAt, r.doubleDecided
+	// decidedCorrect counts first decisions by correct processes, so the
+	// per-event termination check is one comparison instead of a set scan.
+	decidedCorrect := 0
+
+	for _, id := range c.ids {
+		id := id
+		value := model.Value(fmt.Sprintf("v%d", id))
+		if v, ok := c.Values[id]; ok {
+			value = v
+		}
+		proposals[id] = value
+
+		bspec, isByz := c.Byz[id]
+		if !isByz || bspec.Kind == ByzAsCorrect {
+			cfg := core.Config{
+				Mode:        c.Mode,
+				F:           c.F,
+				PD:          c.Graph.OutSet(id).Clone(),
+				Proposal:    value,
+				Discovery:   c.Discovery,
+				PBFTTimeout: c.PBFTTimeout,
+				PollPeriod:  c.PollPeriod,
+			}
+			n := core.NewNode(signers[id], reg, cfg, func(v model.Value) {
+				if _, dup := decisions[id]; dup {
+					doubleDecided.Add(id)
+					return
+				}
+				decisions[id] = v
+				decidedAt[id] = engine.Now()
+				if correct.Has(id) {
+					decidedCorrect++
+				}
+				if tr != nil {
+					tr.RecordDecision(id, engine.Now(), []byte(v))
+				}
+			})
+			nodes[id] = n
+			if err := engine.AddProcess(id, n); err != nil {
+				return nil, err
+			}
+			if !isByz {
+				correct.Add(id)
+			}
+			continue
+		}
+		var reactor sim.Reactor
+		claimed := bspec.ClaimedPD
+		if claimed == nil {
+			claimed = c.Graph.OutSet(id).Clone()
+		}
+		switch bspec.Kind {
+		case ByzSilent:
+			reactor = byz.Silent{}
+		case ByzFakePD:
+			reactor = byz.NewFakePD(signers[id], reg, claimed, c.Discovery)
+		case ByzEquivPD:
+			alt := bspec.AltPD
+			if alt == nil {
+				alt = model.NewIDSet()
+			}
+			reactor = byz.NewPDEquivocator(signers[id], reg, claimed, alt, bspec.ChooseAlt, c.Discovery)
+		default:
+			return nil, fmt.Errorf("scenario %q: unknown byz kind %v", name, bspec.Kind)
+		}
+		if err := engine.AddProcess(id, reactor); err != nil {
+			return nil, err
+		}
+	}
+
+	allCorrectDecided := func() bool { return decidedCorrect == correct.Len() }
+	res.Termination = engine.RunUntil(allCorrectDecided, c.Horizon)
+	// Let in-flight decisions propagate a little further for reporting, but
+	// never past the horizon.
+	if res.Termination {
+		engine.RunUntil(func() bool { return false }, minTime(engine.Now()+sim.Second, c.Horizon))
+	}
+
+	res.Agreement, res.Validity, res.Integrity = true, true, true
+	for id := range doubleDecided {
+		if correct.Has(id) {
+			res.Integrity = false
+		}
+	}
+	var last sim.Time
+	var agreed model.Value
+	first := true
+	for _, id := range c.ids {
+		pr := ProcessResult{Byzantine: hasByz(c.Byz, id)}
+		if n, ok := nodes[id]; ok {
+			if cand, ok := n.Committee(); ok {
+				pr.Committee = cand.Members()
+				pr.G = cand.G
+			}
+		}
+		if v, ok := decisions[id]; ok {
+			pr.Decided, pr.Value, pr.DecidedAt = true, v, decidedAt[id]
+		}
+		res.PerProcess[id] = pr
+
+		if !correct.Has(id) || !pr.Decided {
+			continue
+		}
+		if pr.DecidedAt > last {
+			last = pr.DecidedAt
+		}
+		if first {
+			agreed, first = pr.Value, false
+		} else if !agreed.Equal(pr.Value) {
+			res.Agreement = false
+		}
+		proposed := false
+		for _, p := range proposals {
+			if p.Equal(pr.Value) {
+				proposed = true
+				break
+			}
+		}
+		if !proposed {
+			res.Validity = false
+		}
+	}
+	if res.Termination {
+		res.Elapsed = last
+	} else {
+		res.Elapsed = c.Horizon
+	}
+	if tr != nil {
+		res.TraceDigest, res.TraceEvents = tr.Digest(), tr.Events()
+	}
+	m := engine.Metrics()
+	res.Messages, res.Bytes = m.Messages, m.Bytes
+	res.ByKind = m.ByKind()
+	return res, nil
+}

@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"testing"
+
+	"github.com/bftcup/bftcup/internal/core"
+	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/sim"
+)
+
+// compileTestParams is a representative compiled-path scenario: fig1b with
+// the worked example's Byzantine process.
+func compileTestParams() Params {
+	return Params{
+		Graph: graph.Def{Kind: graph.DefFigure, Figure: "fig1b"},
+		Mode:  core.ModeKnownF,
+		F:     -1,
+		Byz: map[model.ID]ByzParams{
+			4: {Kind: ByzFakePD, ClaimedPD: []model.ID{1, 2, 3}},
+		},
+		Net:  NetParams{Kind: NetSync},
+		Seed: 31,
+	}
+}
+
+// TestCompiledRunMatchesSpecRun pins the Compile → Run pipeline to the
+// classic Spec path: same graded outcome, traffic counters and trace digest,
+// whether the Compiled is run once or re-run by one Runner across seeds.
+func TestCompiledRunMatchesSpecRun(t *testing.T) {
+	p := compileTestParams()
+	p.Trace = true
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Runner
+	for _, seed := range []int64{31, 32, 33} {
+		q := p
+		q.Seed = seed
+		spec, err := q.Spec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Run(c, seed, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TraceDigest != want.TraceDigest || got.TraceEvents != want.TraceEvents {
+			t.Fatalf("seed %d: compiled run diverges from spec run: %s/%d vs %s/%d",
+				seed, got.TraceDigest[:16], got.TraceEvents, want.TraceDigest[:16], want.TraceEvents)
+		}
+		if got.Consensus() != want.Consensus() || got.Messages != want.Messages ||
+			got.Bytes != want.Bytes || got.Elapsed != want.Elapsed {
+			t.Fatalf("seed %d: compiled run graded differently", seed)
+		}
+		if got.Name != want.Name {
+			t.Fatalf("seed %d: compiled run named %q, spec run %q", seed, got.Name, want.Name)
+		}
+	}
+}
+
+// TestCompiledIsReusableAcrossRunners asserts a single Compiled may be run
+// by independent Runners (the per-worker sharing pattern) without one run
+// contaminating another: interleaved runs under different seeds reproduce
+// the digests of isolated runs.
+func TestCompiledIsReusableAcrossRunners(t *testing.T) {
+	p := compileTestParams()
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := func(r *Runner, seed int64) string {
+		res, err := r.Run(c, seed, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TraceDigest
+	}
+	var solo Runner
+	wantA, wantB := digest(&solo, 1), digest(&solo, 2)
+	var r1, r2 Runner
+	if d := digest(&r1, 1); d != wantA {
+		t.Fatalf("runner 1 seed 1 diverged: %s vs %s", d[:16], wantA[:16])
+	}
+	if d := digest(&r2, 2); d != wantB {
+		t.Fatalf("runner 2 seed 2 diverged: %s vs %s", d[:16], wantB[:16])
+	}
+	if d := digest(&r1, 2); d != wantB {
+		t.Fatalf("runner 1 re-used for seed 2 diverged: %s vs %s", d[:16], wantB[:16])
+	}
+}
+
+// TestSpecDefaultsApplied pins applyDefaults through both entry points: a
+// Spec with no net and no horizon runs under sync/5ms with a 60s horizon
+// (the historical Run defaults), and Params.Spec fills the same values.
+func TestSpecDefaultsApplied(t *testing.T) {
+	fig := graph.Fig1b()
+	res, err := Run(Spec{Name: "defaults", Graph: fig.G, Mode: core.ModeKnownF, F: fig.F, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus() {
+		t.Fatalf("defaulted run failed: %s", res.FailureMode())
+	}
+	spec, err := (Params{Graph: graph.Def{Kind: graph.DefFigure, Figure: "fig1b"}, Mode: core.ModeKnownF, F: -1, Seed: 3}).Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Horizon != 60*sim.Second {
+		t.Fatalf("Params.Spec horizon %v, want 60s", spec.Horizon)
+	}
+	if spec.Net == nil {
+		t.Fatal("Params.Spec left the net model nil")
+	}
+}
+
+// cellAllocBudget gates the per-cell steady-state allocation count of the
+// compiled fast path (the per-cell analogue of the engine's
+// TestEventPathAllocsSteadyState). Before the Compile → Run split and the
+// discovery/crypto hot-path work this cell allocated ~75,000 objects per run
+// (measured at the PR-3 tree: per-request SETPDS re-encoding, per-record
+// unmarshalling, per-cell keygen, fresh engine and maps); the compiled path
+// runs it in ~6,000. The budget sits 5× under the old number with ~2×
+// headroom over the current one, so it trips on any wholesale regression of
+// the mechanism without flaking on allocator noise.
+const cellAllocBudget = 15_000
+
+// TestCompiledRunAllocsSteadyState gates the fast path's allocation win from
+// both sides: under the absolute budget above, and never worse than the
+// uncached Spec-then-Run path for the same cell.
+func TestCompiledRunAllocsSteadyState(t *testing.T) {
+	p := compileTestParams()
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Runner
+	if _, err := r.Run(c, p.Seed, false); err != nil {
+		t.Fatal(err)
+	}
+	cached := testing.AllocsPerRun(5, func() {
+		if _, err := r.Run(c, p.Seed, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	uncached := testing.AllocsPerRun(5, func() {
+		spec, err := p.Spec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(spec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/run: cached %.0f, uncached %.0f (budget %d)", cached, uncached, cellAllocBudget)
+	if cached > cellAllocBudget {
+		t.Fatalf("steady-state compiled run allocates %.0f objects (budget %d) — the per-cell fast path regressed", cached, cellAllocBudget)
+	}
+	if cached > uncached {
+		t.Fatalf("compiled run allocates more (%.0f) than the uncached path (%.0f)", cached, uncached)
+	}
+}

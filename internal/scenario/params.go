@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"github.com/bftcup/bftcup/internal/core"
@@ -263,20 +264,57 @@ type Params struct {
 	Trace bool
 }
 
+// CellLabels are the seed-independent axis labels of one Params — what a
+// matrix outcome echoes as its Graph/Mode/Net/Byz/F columns, and the prefix
+// of the cell identifier. Computing them once per compiled scenario (instead
+// of once per cell) is part of the compile-once fast path.
+type CellLabels struct {
+	// Graph / Mode / Net / Byz are the rendered axis labels.
+	Graph, Mode, Net, Byz string
+	// F is the unresolved fault-threshold knob (-1 = family default, and
+	// then omitted from the ID).
+	F int
+}
+
+// Labels renders the seed-independent axis labels.
+func (p Params) Labels() CellLabels {
+	return CellLabels{
+		Graph: p.Graph.String(),
+		Mode:  p.Mode.String(),
+		Net:   p.Net.Label(),
+		Byz:   p.ByzLabel(),
+		F:     p.F,
+	}
+}
+
+// IDPrefix renders the seed-independent prefix of the cell identifier:
+// graph/mode/net/byz[/f=…].
+func (l CellLabels) IDPrefix() string {
+	parts := []string{l.Graph, l.Mode, l.Net, "byz=" + l.Byz}
+	if l.F >= 0 {
+		parts = append(parts, fmt.Sprintf("f=%d", l.F))
+	}
+	return strings.Join(parts, "/")
+}
+
+// IDFor completes the cell identifier for one seed.
+func (l CellLabels) IDFor(seed int64) string {
+	return l.IDPrefix() + "/seed=" + strconv.FormatInt(seed, 10)
+}
+
 // ID renders a stable, human-readable cell identifier:
 // graph/mode/net/byz/f=…/seed=….
 func (p Params) ID() string {
-	parts := []string{
-		p.Graph.String(),
-		p.Mode.String(),
-		p.Net.Label(),
-		"byz=" + p.ByzLabel(),
+	return p.Labels().IDFor(p.Seed)
+}
+
+// nameOrID attributes errors: the fixed name when one was given, the
+// derived cell ID otherwise. Only error paths pay the ID rendering.
+func (p Params) nameOrID() string {
+	if p.Name != "" {
+		return p.Name
 	}
-	if p.F >= 0 {
-		parts = append(parts, fmt.Sprintf("f=%d", p.F))
-	}
-	parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
-	return strings.Join(parts, "/")
+	return p.ID()
 }
 
 // ByzLabel renders the Byzantine assignment as a stable axis label.
@@ -309,77 +347,48 @@ func (p Params) ByzLabel() string {
 // Spec when the cell runs.
 func (p Params) Validate() error {
 	if err := p.Graph.Validate(); err != nil {
-		return fmt.Errorf("params %q: %w", p.Name, err)
+		return fmt.Errorf("params %q: %w", p.nameOrID(), err)
 	}
 	if p.F < -1 {
-		return fmt.Errorf("params %q: fault threshold %d (want -1 for the family default, or ≥ 0)", p.Name, p.F)
+		return fmt.Errorf("params %q: fault threshold %d (want -1 for the family default, or ≥ 0)", p.nameOrID(), p.F)
 	}
 	if p.Horizon < 0 {
-		return fmt.Errorf("params %q: negative horizon %v", p.Name, p.Horizon)
+		return fmt.Errorf("params %q: negative horizon %v", p.nameOrID(), p.Horizon)
 	}
 	if p.Auto.Count < 0 {
-		return fmt.Errorf("params %q: negative byzantine count %d", p.Name, p.Auto.Count)
+		return fmt.Errorf("params %q: negative byzantine count %d", p.nameOrID(), p.Auto.Count)
 	}
 	return nil
 }
 
-// Spec materializes the parameters into a runnable Spec.
+// Spec materializes the parameters into a runnable Spec. It is a thin shim
+// over Compile (the default-filling and Byzantine-resolution logic lives
+// there, once); sweep workers skip the Spec detour entirely and run the
+// Compiled directly.
 func (p Params) Spec() (Spec, error) {
-	gseed := p.GraphSeed
-	if gseed == 0 {
-		gseed = p.Seed
-	}
-	built, err := p.Graph.Build(gseed)
+	c, err := p.Compile()
 	if err != nil {
-		return Spec{}, fmt.Errorf("params %q: %w", p.Name, err)
-	}
-	f := p.F
-	if f < 0 {
-		f = built.F
-	}
-	byz := make(map[model.ID]ByzSpec)
-	for _, id := range p.autoByzIDs(built) {
-		byz[id] = p.autoByzSpec(built, id)
-	}
-	for id, bp := range p.Byz {
-		spec := ByzSpec{Kind: bp.Kind}
-		if len(bp.ClaimedPD) > 0 {
-			spec.ClaimedPD = model.NewIDSet(bp.ClaimedPD...)
-		}
-		if len(bp.AltPD) > 0 {
-			spec.AltPD = model.NewIDSet(bp.AltPD...)
-		}
-		if len(bp.AltRecipients) > 0 {
-			alt := model.NewIDSet(bp.AltRecipients...)
-			spec.ChooseAlt = func(id model.ID) bool { return alt.Has(id) }
-		}
-		byz[id] = spec
-	}
-	horizon := p.Horizon
-	if horizon <= 0 {
-		horizon = 60 * sim.Second
+		return Spec{}, err
 	}
 	name := p.Name
 	if name == "" {
-		name = p.ID()
+		name = c.Labels.IDFor(p.Seed)
 	}
-	out := Spec{
-		Name:    name,
-		Graph:   built.G,
-		Mode:    p.Mode,
-		F:       f,
-		Byz:     byz,
-		Values:  p.Values,
-		Net:     p.Net.Model(),
-		Horizon: horizon,
-		Seed:    p.Seed,
-		Trace:   p.Trace,
-	}
-	if p.SlowDiscovery {
-		out.Discovery.Period = 500 * sim.Millisecond
-		out.PollPeriod = 2 * sim.Second
-	}
-	return out, nil
+	return Spec{
+		Name:        name,
+		Graph:       c.Graph,
+		Mode:        c.Mode,
+		F:           c.F,
+		Byz:         c.Byz,
+		Values:      c.Values,
+		Net:         c.Net,
+		Horizon:     c.Horizon,
+		Seed:        p.Seed,
+		Discovery:   c.Discovery,
+		PBFTTimeout: c.PBFTTimeout,
+		PollPeriod:  c.PollPeriod,
+		Trace:       p.Trace,
+	}, nil
 }
 
 // autoByzIDs resolves the automatic placement to concrete process IDs.

@@ -8,9 +8,7 @@ package scenario
 import (
 	"fmt"
 
-	"github.com/bftcup/bftcup/internal/byz"
 	"github.com/bftcup/bftcup/internal/core"
-	"github.com/bftcup/bftcup/internal/cryptox"
 	"github.com/bftcup/bftcup/internal/discovery"
 	"github.com/bftcup/bftcup/internal/graph"
 	"github.com/bftcup/bftcup/internal/model"
@@ -160,171 +158,17 @@ func (r *Result) FailureMode() string {
 	}
 }
 
-// Run executes a spec.
+// Run executes a spec. It is a thin shim over the Compile → Run pipeline
+// (see compile.go): the Spec's defaults are filled, the seed-independent
+// parts wrapped in a Compiled, and a fresh Runner executes it — so one-shot
+// callers and the compile-once-run-many sweep path cannot diverge. The
+// returned Result is independently owned (safe to retain).
 func Run(spec Spec) (*Result, error) {
-	if spec.Graph == nil || spec.Graph.NumNodes() == 0 {
-		return nil, fmt.Errorf("scenario %q: empty graph", spec.Name)
-	}
-	if spec.Net == nil {
-		spec.Net = sim.Synchronous{Delta: 5 * sim.Millisecond}
-	}
-	if spec.Horizon <= 0 {
-		spec.Horizon = 60 * sim.Second
-	}
-	ids := spec.Graph.Nodes()
-	signers, reg, err := cryptox.GenerateKeys(spec.Seed+1, ids)
+	c, err := spec.Compile()
 	if err != nil {
-		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+		return nil, err
 	}
-
-	engine := sim.NewEngine(spec.Net, spec.Seed)
-	var trace *sim.Trace
-	if spec.Trace {
-		trace = sim.NewTrace()
-		engine.SetTrace(trace)
-	}
-	res := &Result{Name: spec.Name, PerProcess: make(map[model.ID]ProcessResult)}
-	proposals := make(map[model.ID]model.Value, len(ids))
-	nodes := make(map[model.ID]*core.Node)
-	correct := model.NewIDSet()
-	decisions := make(map[model.ID]model.Value)
-	decidedAt := make(map[model.ID]sim.Time)
-	doubleDecided := model.NewIDSet()
-
-	for _, id := range ids {
-		id := id
-		value := model.Value(fmt.Sprintf("v%d", id))
-		if v, ok := spec.Values[id]; ok {
-			value = v
-		}
-		proposals[id] = value
-
-		bspec, isByz := spec.Byz[id]
-		if !isByz || bspec.Kind == ByzAsCorrect {
-			cfg := core.Config{
-				Mode:        spec.Mode,
-				F:           spec.F,
-				PD:          spec.Graph.OutSet(id).Clone(),
-				Proposal:    value,
-				Discovery:   spec.Discovery,
-				PBFTTimeout: spec.PBFTTimeout,
-				PollPeriod:  spec.PollPeriod,
-			}
-			n := core.NewNode(signers[id], reg, cfg, func(v model.Value) {
-				if _, dup := decisions[id]; dup {
-					doubleDecided.Add(id)
-					return
-				}
-				decisions[id] = v
-				decidedAt[id] = engine.Now()
-				if trace != nil {
-					trace.RecordDecision(id, engine.Now(), []byte(v))
-				}
-			})
-			nodes[id] = n
-			if err := engine.AddProcess(id, n); err != nil {
-				return nil, err
-			}
-			if !isByz {
-				correct.Add(id)
-			}
-			continue
-		}
-		var r sim.Reactor
-		claimed := bspec.ClaimedPD
-		if claimed == nil {
-			claimed = spec.Graph.OutSet(id).Clone()
-		}
-		switch bspec.Kind {
-		case ByzSilent:
-			r = byz.Silent{}
-		case ByzFakePD:
-			r = byz.NewFakePD(signers[id], reg, claimed, spec.Discovery)
-		case ByzEquivPD:
-			alt := bspec.AltPD
-			if alt == nil {
-				alt = model.NewIDSet()
-			}
-			r = byz.NewPDEquivocator(signers[id], reg, claimed, alt, bspec.ChooseAlt, spec.Discovery)
-		default:
-			return nil, fmt.Errorf("scenario %q: unknown byz kind %v", spec.Name, bspec.Kind)
-		}
-		if err := engine.AddProcess(id, r); err != nil {
-			return nil, err
-		}
-	}
-
-	allCorrectDecided := func() bool {
-		for id := range correct {
-			if _, ok := decisions[id]; !ok {
-				return false
-			}
-		}
-		return true
-	}
-	res.Termination = engine.RunUntil(allCorrectDecided, spec.Horizon)
-	// Let in-flight decisions propagate a little further for reporting, but
-	// never past the horizon.
-	if res.Termination {
-		engine.RunUntil(func() bool { return false }, minTime(engine.Now()+sim.Second, spec.Horizon))
-	}
-
-	res.Agreement, res.Validity, res.Integrity = true, true, true
-	for id := range doubleDecided {
-		if correct.Has(id) {
-			res.Integrity = false
-		}
-	}
-	var last sim.Time
-	var agreed model.Value
-	first := true
-	for _, id := range ids {
-		pr := ProcessResult{Byzantine: spec.Byz != nil && hasByz(spec.Byz, id)}
-		if n, ok := nodes[id]; ok {
-			if cand, ok := n.Committee(); ok {
-				pr.Committee = cand.Members()
-				pr.G = cand.G
-			}
-		}
-		if v, ok := decisions[id]; ok {
-			pr.Decided, pr.Value, pr.DecidedAt = true, v, decidedAt[id]
-		}
-		res.PerProcess[id] = pr
-
-		if !correct.Has(id) || !pr.Decided {
-			continue
-		}
-		if pr.DecidedAt > last {
-			last = pr.DecidedAt
-		}
-		if first {
-			agreed, first = pr.Value, false
-		} else if !agreed.Equal(pr.Value) {
-			res.Agreement = false
-		}
-		proposed := false
-		for _, p := range proposals {
-			if p.Equal(pr.Value) {
-				proposed = true
-				break
-			}
-		}
-		if !proposed {
-			res.Validity = false
-		}
-	}
-	if res.Termination {
-		res.Elapsed = last
-	} else {
-		res.Elapsed = spec.Horizon
-	}
-	if trace != nil {
-		res.TraceDigest, res.TraceEvents = trace.Digest(), trace.Events()
-	}
-	m := engine.Metrics()
-	res.Messages, res.Bytes = m.Messages, m.Bytes
-	res.ByKind = m.ByKind()
-	return res, nil
+	return c.Run(spec.Seed, spec.Trace)
 }
 
 func hasByz(m map[model.ID]ByzSpec, id model.ID) bool {

@@ -199,6 +199,34 @@ func NewEngine(net NetworkModel, seed int64) *Engine {
 	}
 }
 
+// Reset returns the engine to its just-constructed state under a new network
+// model and seed, retaining the capacity of the event heap, the payload
+// buffer pool and the process map — the allocations a fresh NewEngine would
+// repeat. A sweep worker running thousands of cells resets one engine
+// instead of constructing one per cell; a reset engine is indistinguishable
+// from a new one (pinned by the scenario-level cached-vs-uncached
+// fingerprint tests).
+func (e *Engine) Reset(net NetworkModel, seed int64) {
+	for i := range e.events {
+		if e.events[i].kind == evMessage {
+			e.releaseBody(e.events[i].body)
+		}
+		e.events[i] = event{}
+	}
+	e.events = e.events[:0]
+	clear(e.procs)
+	e.order = e.order[:0]
+	e.now = 0
+	e.seq = 0
+	e.net = net
+	e.rng = newRand(seed)
+	*e.metrics = Metrics{}
+	e.trace = nil
+	e.started = false
+	e.lastBody = nil
+	e.preCrashed = nil
+}
+
 // Metrics returns the accumulated network counters.
 func (e *Engine) Metrics() *Metrics { return e.metrics }
 

@@ -164,6 +164,44 @@ func (r *Reader) IDSet() model.IDSet {
 	return s
 }
 
+// SkipIDSet advances past a set written by Writer.IDSet without
+// materializing it — the receive hot path uses it to step over records it
+// already holds instead of allocating a set per duplicate.
+func (r *Reader) SkipIDSet() {
+	n := r.Uvarint()
+	if r.err != nil {
+		return
+	}
+	if n > MaxChunk {
+		r.fail(ErrTooLarge)
+		return
+	}
+	for i := uint64(0); i < n; i++ {
+		r.Uvarint()
+		if r.err != nil {
+			return
+		}
+	}
+}
+
+// SkipBytesField advances past a length-prefixed byte string without copying
+// it.
+func (r *Reader) SkipBytesField() {
+	n := r.Uvarint()
+	if r.err != nil {
+		return
+	}
+	if n > MaxChunk {
+		r.fail(ErrTooLarge)
+		return
+	}
+	if r.Remaining() < int(n) {
+		r.fail(ErrTruncated)
+		return
+	}
+	r.off += int(n)
+}
+
 // IDSlice reads a list written by Writer.IDSlice.
 func (r *Reader) IDSlice() []model.ID {
 	n := r.Uvarint()
