@@ -160,8 +160,27 @@ func BenchmarkSweepCells(b *testing.B) {
 	b.ReportMetric(cellsPerSec, "cells/s")
 }
 
-// BenchmarkSinkSearch measures the Algorithm 2 decision procedure on full
-// knowledge views.
+// searchReplay measures kosr.SearchReplay's discovery schedule (one search
+// per record insertion; `experiments -bench-json` measures the same
+// workload through the same type). From-scratch variants ignore the
+// searcher argument.
+func searchReplay(b *testing.B, g *graph.Digraph, search func(se *kosr.Searcher, v *kosr.View) bool) {
+	b.Helper()
+	r := kosr.NewSearchReplay(g)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !r.Run(search) {
+			b.Fatal("full view found nothing")
+		}
+	}
+}
+
+// BenchmarkSinkSearch measures the Algorithm 2 decision procedure: the
+// single-shot from-scratch search on full knowledge views, and the
+// discovery replay (a search per record insertion) through the from-scratch
+// View methods vs the incremental Searcher the protocol stack uses. The
+// replay pair is the engine's headline number: same schedule, same results,
+// less work per invocation.
 func BenchmarkSinkSearch(b *testing.B) {
 	fig := graph.Fig1b()
 	v := kosr.FullView(fig.G)
@@ -185,6 +204,18 @@ func BenchmarkSinkSearch(b *testing.B) {
 					b.Fatal("sink not found")
 				}
 			}
+		})
+		b.Run(fmt.Sprintf("replay-scratch-%d", size), func(b *testing.B) {
+			searchReplay(b, g, func(_ *kosr.Searcher, v *kosr.View) bool {
+				_, ok := v.FindSinkKnownF(2)
+				return ok
+			})
+		})
+		b.Run(fmt.Sprintf("replay-incremental-%d", size), func(b *testing.B) {
+			searchReplay(b, g, func(se *kosr.Searcher, v *kosr.View) bool {
+				_, ok := se.FindSinkKnownF(v, 2)
+				return ok
+			})
 		})
 	}
 }
@@ -216,6 +247,12 @@ func BenchmarkCoreSearch(b *testing.B) {
 					b.Fatal("core not found")
 				}
 			}
+		})
+		b.Run(fmt.Sprintf("replay-incremental-%d", size), func(b *testing.B) {
+			searchReplay(b, g, func(se *kosr.Searcher, v *kosr.View) bool {
+				_, ok := se.FindCore(v)
+				return ok
+			})
 		})
 	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"strings"
@@ -11,6 +12,7 @@ import (
 
 	"github.com/bftcup/bftcup/internal/core"
 	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/kosr"
 	"github.com/bftcup/bftcup/internal/matrix"
 	"github.com/bftcup/bftcup/internal/scenario"
 	"github.com/bftcup/bftcup/internal/sim"
@@ -34,6 +36,26 @@ type BenchEntry struct {
 	// seeds, serial — the workload the scenario compilation cache and the
 	// cryptox fast path target. Nil for entries that predate it.
 	Sweep *MatrixBench `json:"sweep,omitempty"`
+	// SweepExt is the extended-KOSR seed sweep: every cell builds its own
+	// random extended graph and runs the Core search (Algorithm 4), the
+	// knowledge-layer-bound workload the incremental sink/core search engine
+	// targets. Nil for entries that predate it.
+	SweepExt *MatrixBench `json:"sweep_ext,omitempty"`
+	// Search is the knowledge-layer search replay (BenchmarkSinkSearch's
+	// workload measured through the harness): PD records inserted one at a
+	// time with a search after every insertion — the per-event schedule the
+	// protocol stack runs during discovery. Nil for entries that predate it.
+	Search []SearchBench `json:"search,omitempty"`
+}
+
+// SearchBench is one sink/core search replay measured via testing.Benchmark.
+// One op is a full replay (every record of the view inserted in ID order, a
+// search after each insertion), so ops/sec is comparable across runs.
+type SearchBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
 // EngineBench is one sim.Workload measured via testing.Benchmark.
@@ -105,6 +127,87 @@ func runSweepBench() (*matrix.Report, error) {
 	return rep, nil
 }
 
+// runSweepExtBench times the extended-KOSR seed sweep: each cell builds its
+// own random extended graph (a compile-cache miss by design) and runs
+// Algorithm 4's Core search on every knowledge update — the cell cost is
+// dominated by the kosr search layer, which is exactly what this number
+// tracks.
+func runSweepExtBench() (*matrix.Report, error) {
+	base := scenario.Params{
+		Graph: graph.Def{Kind: graph.DefExtended, Sink: 4, NonSink: 2, ExtraEdgeP: 0.2},
+		Mode:  core.ModeUnknownF,
+		F:     -1,
+		Net:   scenario.NetParams{Kind: scenario.NetSync},
+	}
+	src, err := matrix.SeedSweep(base, matrix.Seeds(1, 60))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := matrix.Run(src, matrix.Options{Parallelism: 1})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Errors > 0 {
+		return nil, fmt.Errorf("extended sweep bench had %d errored cells", rep.Errors)
+	}
+	return rep, nil
+}
+
+// searchReplays builds the search workloads: a view's records inserted one at
+// a time (sorted owner order — the schedule is part of the workload), a
+// search after every insertion, mirroring the per-event search schedule the
+// protocol runs during discovery. The searches go through the incremental
+// kosr.Searcher — the engine core.Node uses; earlier trajectory entries for
+// these names measured the from-scratch View methods the stack used then.
+func searchReplays() ([]SearchBench, error) {
+	type replay struct {
+		name   string
+		g      *graph.Digraph
+		search func(se *kosr.Searcher, v *kosr.View) bool
+	}
+	fig := graph.Fig1b()
+	sinkG, _, err := graph.GenKOSR(rand.New(rand.NewSource(9)), graph.GenSpec{SinkSize: 11, NonSinkSize: 5, K: 3, ExtraEdgeP: 0.2})
+	if err != nil {
+		return nil, err
+	}
+	fig4b := graph.Fig4b()
+	replays := []replay{
+		{"sink-replay-fig1b", fig.G, func(se *kosr.Searcher, v *kosr.View) bool {
+			_, ok := se.FindSinkKnownF(v, fig.F)
+			return ok
+		}},
+		{"sink-replay-random-11", sinkG, func(se *kosr.Searcher, v *kosr.View) bool {
+			_, ok := se.FindSinkKnownF(v, 2)
+			return ok
+		}},
+		{"core-replay-fig4b", fig4b.G, func(se *kosr.Searcher, v *kosr.View) bool {
+			_, ok := se.FindCore(v)
+			return ok
+		}},
+	}
+	out := make([]SearchBench, 0, len(replays))
+	for _, r := range replays {
+		r := r
+		workload := kosr.NewSearchReplay(r.g)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !workload.Run(r.search) {
+					fail(fmt.Errorf("search replay %s: full view found nothing", r.name))
+				}
+			}
+		})
+		ns := float64(res.NsPerOp())
+		out = append(out, SearchBench{
+			Name:        r.name,
+			NsPerOp:     ns,
+			OpsPerSec:   1e9 / ns,
+			AllocsPerOp: res.AllocsPerOp(),
+		})
+	}
+	return out, nil
+}
+
 // runBenchJSON measures the hot paths and appends a BenchEntry to the
 // trajectory file (created if absent). With gate > 0 it then compares the
 // fresh entry against the previous one and exits non-zero on a regression
@@ -152,6 +255,22 @@ func runBenchJSON(path, label string, gate float64) {
 		Fingerprint: sweepRep.Fingerprint(),
 	}
 
+	extRep, err := runSweepExtBench()
+	if err != nil {
+		fail(err)
+	}
+	entry.SweepExt = &MatrixBench{
+		Cells:       extRep.Cells,
+		Parallelism: extRep.Parallelism,
+		WallSeconds: float64(extRep.WallNS) / 1e9,
+		CellsPerSec: float64(extRep.Cells) / (float64(extRep.WallNS) / 1e9),
+		Fingerprint: extRep.Fingerprint(),
+	}
+
+	if entry.Search, err = searchReplays(); err != nil {
+		fail(err)
+	}
+
 	var trajectory []BenchEntry
 	if raw, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(raw, &trajectory); err != nil {
@@ -169,6 +288,12 @@ func runBenchJSON(path, label string, gate float64) {
 		entry.Matrix.Cells, entry.Matrix.Parallelism, entry.Matrix.CellsPerSec, entry.Matrix.WallSeconds)
 	fmt.Printf("sweep  %d cells on %d workers: %.2f cells/s (%.2fs)\n",
 		entry.Sweep.Cells, entry.Sweep.Parallelism, entry.Sweep.CellsPerSec, entry.Sweep.WallSeconds)
+	fmt.Printf("sweep-ext %d cells on %d workers: %.2f cells/s (%.2fs)\n",
+		entry.SweepExt.Cells, entry.SweepExt.Parallelism, entry.SweepExt.CellsPerSec, entry.SweepExt.WallSeconds)
+	for _, s := range entry.Search {
+		fmt.Printf("search %-22s %10.0f ns/op  %8.0f ops/s  %6d allocs/op\n",
+			s.Name, s.NsPerOp, s.OpsPerSec, s.AllocsPerOp)
+	}
 
 	// Gate before persisting: a regressed entry must not become the next
 	// run's baseline (appending first would let a simple re-run ratify the
@@ -224,19 +349,30 @@ func gateEntry(prev, cur BenchEntry, tol float64) error {
 				e.Name, e.EventsPerSec, p.EventsPerSec, (1-e.EventsPerSec/p.EventsPerSec)*100))
 		}
 	}
-	if cur.Matrix != nil && prev.Matrix != nil && prev.Matrix.CellsPerSec > 0 &&
-		cur.Matrix.CellsPerSec < prev.Matrix.CellsPerSec*(1-tol) {
-		regressions = append(regressions, fmt.Sprintf(
-			"matrix: %.2f cells/s, was %.2f (%.1f%% drop)",
-			cur.Matrix.CellsPerSec, prev.Matrix.CellsPerSec,
-			(1-cur.Matrix.CellsPerSec/prev.Matrix.CellsPerSec)*100))
+	gateSweep := func(name string, c, p *MatrixBench) {
+		if c != nil && p != nil && p.CellsPerSec > 0 && c.CellsPerSec < p.CellsPerSec*(1-tol) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.2f cells/s, was %.2f (%.1f%% drop)",
+				name, c.CellsPerSec, p.CellsPerSec, (1-c.CellsPerSec/p.CellsPerSec)*100))
+		}
 	}
-	if cur.Sweep != nil && prev.Sweep != nil && prev.Sweep.CellsPerSec > 0 &&
-		cur.Sweep.CellsPerSec < prev.Sweep.CellsPerSec*(1-tol) {
-		regressions = append(regressions, fmt.Sprintf(
-			"sweep: %.2f cells/s, was %.2f (%.1f%% drop)",
-			cur.Sweep.CellsPerSec, prev.Sweep.CellsPerSec,
-			(1-cur.Sweep.CellsPerSec/prev.Sweep.CellsPerSec)*100))
+	gateSweep("matrix", cur.Matrix, prev.Matrix)
+	gateSweep("sweep", cur.Sweep, prev.Sweep)
+	gateSweep("sweep-ext", cur.SweepExt, prev.SweepExt)
+	prevSearch := make(map[string]SearchBench, len(prev.Search))
+	for _, s := range prev.Search {
+		prevSearch[s.Name] = s
+	}
+	for _, s := range cur.Search {
+		p, ok := prevSearch[s.Name]
+		if !ok || p.OpsPerSec <= 0 {
+			continue
+		}
+		if s.OpsPerSec < p.OpsPerSec*(1-tol) {
+			regressions = append(regressions, fmt.Sprintf(
+				"search %s: %.0f ops/s, was %.0f (%.1f%% drop)",
+				s.Name, s.OpsPerSec, p.OpsPerSec, (1-s.OpsPerSec/p.OpsPerSec)*100))
+		}
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d regression(s):\n  %s", len(regressions), strings.Join(regressions, "\n  "))

@@ -59,6 +59,14 @@ type Config struct {
 	Proposal model.Value
 	// Discovery tunes Algorithm 1.
 	Discovery discovery.Config
+	// Searcher, when non-nil, is the sink/core search engine the node runs
+	// its committee-identification rule on. Sweep workers inject a per-node
+	// incremental kosr.Searcher from their reusable scratch; nil makes the
+	// node own a fresh one. A search engine only changes how much work each
+	// search does — results, and therefore the per-event search schedule
+	// visible in traces, are identical to the from-scratch View methods
+	// (tests inject kosr.FromScratch here to prove it).
+	Searcher kosr.Search
 	// PBFTTimeout is the committee protocol's base view timeout.
 	PBFTTimeout sim.Time
 	// PollPeriod is the non-member decided-value polling interval.
@@ -95,6 +103,7 @@ type Node struct {
 	cfg      Config
 
 	disc      *discovery.Module
+	searcher  kosr.Search
 	committee *kosr.Candidate
 	insts     map[uint64]*pbft.Instance
 
@@ -135,6 +144,10 @@ func NewNode(signer cryptox.Signer, verifier cryptox.Verifier, cfg Config, onDec
 	if cfg.Mode != ModePermissioned {
 		rec := discovery.NewSignedPD(signer, cfg.PD)
 		n.disc = discovery.New(rec, verifier, cfg.Discovery, n.onKnowledge)
+		n.searcher = cfg.Searcher
+		if n.searcher == nil {
+			n.searcher = kosr.NewSearcher()
+		}
 	}
 	return n
 }
@@ -269,11 +282,11 @@ func (n *Node) search(ctx sim.Context) {
 	var ok bool
 	switch n.cfg.Mode {
 	case ModeKnownF:
-		cand, ok = view.FindSinkKnownF(n.cfg.F)
+		cand, ok = n.searcher.FindSinkKnownF(view, n.cfg.F)
 	case ModeUnknownF:
-		cand, ok = view.FindCore()
+		cand, ok = n.searcher.FindCore(view)
 	case ModeNaive:
-		cand, ok = view.FindNaive()
+		cand, ok = n.searcher.FindNaive(view)
 	default:
 		return
 	}

@@ -105,10 +105,17 @@ func New(ownRecord SignedPD, verifier cryptox.Verifier, cfg Config, onUpdate fun
 	if cfg.Period <= 0 {
 		cfg.Period = DefaultConfig().Period
 	}
+	// The view is maintained exclusively through the mutator API so its
+	// revision counter tracks every change — that is what lets the node's
+	// incremental Searcher trust its memos.
 	v := kosr.NewView()
-	v.Known.Add(ownRecord.Owner)
-	v.Known.AddAll(ownRecord.PD)
-	v.PD[ownRecord.Owner] = ownRecord.PD.Clone()
+	v.AddKnown(ownRecord.Owner)
+	for id := range ownRecord.PD {
+		// Insertion order is unobservable (rev and Known end identical);
+		// no need to sort on the per-node construction path.
+		v.AddKnown(id)
+	}
+	v.SetPD(ownRecord.Owner, ownRecord.PD)
 	m := &Module{
 		self:     ownRecord.Owner,
 		verifier: verifier,
@@ -276,13 +283,13 @@ func (m *Module) receiveRecords(from model.ID, payload []byte) {
 		}
 		m.records[rec.Owner] = rec
 		m.insertOwner(rec.Owner)
-		m.view.PD[rec.Owner] = rec.PD.Clone() // S_received gains rec.Owner
+		m.view.SetPD(rec.Owner, rec.PD) // S_received gains rec.Owner
 		changed = true
-		if m.view.Known.Add(rec.Owner) {
+		if m.view.AddKnown(rec.Owner) {
 			m.recipients = nil // Known includes every owner whose PD we hold.
 		}
 		for id := range rec.PD { // line 5: S_known ∪= PD contents
-			if m.view.Known.Add(id) {
+			if m.view.AddKnown(id) {
 				m.recipients = nil
 			}
 		}

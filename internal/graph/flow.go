@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math"
+	"slices"
 
 	"github.com/bftcup/bftcup/internal/model"
 )
@@ -11,66 +12,98 @@ import (
 // of isSink* where a lone process with no outgoing knowledge is a sink.
 const InfiniteConnectivity = math.MaxInt32
 
-// MaxNodeDisjointPaths returns the maximum number of internally-node-disjoint
-// directed paths from s to t in g, computed as max-flow on the vertex-split
-// graph (every node other than s and t has capacity 1). limit > 0 caps the
-// search: the function returns early once limit paths are found, which is all
-// the k-OSR checks ever need. limit ≤ 0 means unlimited.
-//
-// A direct edge s→t counts as one path, per the paper's path-counting in
-// Definition 1.
-func (g *Digraph) MaxNodeDisjointPaths(s, t model.ID, limit int) int {
-	if s == t || !g.HasNode(s) || !g.HasNode(t) {
-		return 0
+// FlowScratch owns the reusable state of the max-flow computations: the
+// residual capacity matrix of the vertex-split graph, the BFS predecessor
+// and queue arrays, and the node-index mapping. A zero FlowScratch is ready
+// to use; buffers grow to the largest graph seen and are reused afterwards,
+// so repeated connectivity checks (the sink search probes κ for every
+// candidate subset) stop allocating once warm. A FlowScratch is for one
+// goroutine; it holds no graph state between calls.
+type FlowScratch struct {
+	cap   [][]int8
+	prev  []int
+	queue []int
+	nodes []model.ID
+	idx   map[model.ID]int
+}
+
+// load indexes g's nodes into the scratch and sizes the buffers for the
+// vertex-split graph. Returns the split-graph size (2·|nodes|).
+func (sc *FlowScratch) load(g *Digraph) int {
+	sc.nodes = sc.nodes[:0]
+	for id := range g.nodes {
+		sc.nodes = append(sc.nodes, id)
 	}
-	// Index nodes: each node u maps to u_in = 2i and u_out = 2i+1.
-	nodes := g.Nodes()
-	idx := make(map[model.ID]int, len(nodes))
-	for i, u := range nodes {
-		idx[u] = i
+	// Index assignment must not depend on map order; sort like Nodes does.
+	slices.Sort(sc.nodes)
+	if sc.idx == nil {
+		sc.idx = make(map[model.ID]int, len(sc.nodes))
+	} else {
+		clear(sc.idx)
 	}
-	n := len(nodes)
-	size := 2 * n
-	// Residual adjacency as capacity matrix in a map: small graphs, fine.
-	cap := make([][]int8, size)
-	for i := range cap {
-		cap[i] = make([]int8, size)
+	for i, u := range sc.nodes {
+		sc.idx[u] = i
 	}
-	in := func(u model.ID) int { return 2 * idx[u] }
-	out := func(u model.ID) int { return 2*idx[u] + 1 }
-	big := int8(batchCap(limit, n))
-	for _, u := range nodes {
-		if u == s || u == t {
-			cap[in(u)][out(u)] = big
-		} else {
-			cap[in(u)][out(u)] = 1
+	size := 2 * len(sc.nodes)
+	for len(sc.cap) < size {
+		sc.cap = append(sc.cap, nil)
+	}
+	for i := 0; i < size; i++ {
+		if len(sc.cap[i]) < size {
+			sc.cap[i] = make([]int8, size)
 		}
 	}
-	for _, u := range nodes {
+	if len(sc.prev) < size {
+		sc.prev = make([]int, size)
+		sc.queue = make([]int, 0, size)
+	}
+	return size
+}
+
+// flowPair runs the bounded Edmonds-Karp max-flow between s and t on the
+// loaded graph. The scratch must have been loaded with g; the residual
+// matrix is rebuilt from g's adjacency on every call.
+func (g *Digraph) flowPair(sc *FlowScratch, s, t model.ID, limit, size int) int {
+	for i := 0; i < size; i++ {
+		row := sc.cap[i]
+		for j := 0; j < size; j++ {
+			row[j] = 0
+		}
+	}
+	in := func(u model.ID) int { return 2 * sc.idx[u] }
+	out := func(u model.ID) int { return 2*sc.idx[u] + 1 }
+	big := int8(batchCap(limit, len(sc.nodes)))
+	for _, u := range sc.nodes {
+		if u == s || u == t {
+			sc.cap[in(u)][out(u)] = big
+		} else {
+			sc.cap[in(u)][out(u)] = 1
+		}
+	}
+	for _, u := range sc.nodes {
 		for v := range g.adj[u] {
-			cap[out(u)][in(v)] = 1
+			sc.cap[out(u)][in(v)] = 1
 		}
 	}
 	source, sink := out(s), in(t)
 	flow := 0
-	prev := make([]int, size)
 	for {
 		if limit > 0 && flow >= limit {
 			return flow
 		}
 		// BFS for an augmenting path.
-		for i := range prev {
-			prev[i] = -1
+		for i := 0; i < size; i++ {
+			sc.prev[i] = -1
 		}
-		prev[source] = source
-		queue := []int{source}
+		sc.prev[source] = source
+		queue := append(sc.queue[:0], source)
 		found := false
 		for len(queue) > 0 && !found {
 			x := queue[0]
 			queue = queue[1:]
 			for y := 0; y < size; y++ {
-				if prev[y] == -1 && cap[x][y] > 0 {
-					prev[y] = x
+				if sc.prev[y] == -1 && sc.cap[x][y] > 0 {
+					sc.prev[y] = x
 					if y == sink {
 						found = true
 						break
@@ -83,13 +116,36 @@ func (g *Digraph) MaxNodeDisjointPaths(s, t model.ID, limit int) int {
 			return flow
 		}
 		for y := sink; y != source; {
-			x := prev[y]
-			cap[x][y]--
-			cap[y][x]++
+			x := sc.prev[y]
+			sc.cap[x][y]--
+			sc.cap[y][x]++
 			y = x
 		}
 		flow++
 	}
+}
+
+// MaxNodeDisjointPaths returns the maximum number of internally-node-disjoint
+// directed paths from s to t in g, computed as max-flow on the vertex-split
+// graph (every node other than s and t has capacity 1). limit > 0 caps the
+// search: the function returns early once limit paths are found, which is all
+// the k-OSR checks ever need. limit ≤ 0 means unlimited.
+//
+// A direct edge s→t counts as one path, per the paper's path-counting in
+// Definition 1.
+func (g *Digraph) MaxNodeDisjointPaths(s, t model.ID, limit int) int {
+	var sc FlowScratch
+	return g.MaxNodeDisjointPathsScratch(&sc, s, t, limit)
+}
+
+// MaxNodeDisjointPathsScratch is MaxNodeDisjointPaths running on caller-owned
+// scratch, for hot paths that probe many pairs or many graphs.
+func (g *Digraph) MaxNodeDisjointPathsScratch(sc *FlowScratch, s, t model.ID, limit int) int {
+	if s == t || !g.HasNode(s) || !g.HasNode(t) {
+		return 0
+	}
+	size := sc.load(g)
+	return g.flowPair(sc, s, t, limit, size)
 }
 
 // batchCap bounds the "infinite" capacity on the source/sink split arcs.
@@ -120,27 +176,36 @@ func (g *Digraph) HasKDisjointPaths(s, t model.ID, k int) bool {
 // k-strong connectivity). Graphs with ≤ 1 node are k-strongly connected for
 // every k (vacuous quantification).
 func (g *Digraph) IsKStronglyConnected(k int) bool {
+	var sc FlowScratch
+	return g.IsKStronglyConnectedScratch(&sc, k)
+}
+
+// IsKStronglyConnectedScratch is IsKStronglyConnected on caller-owned
+// scratch: the node index and flow buffers are built once and shared by
+// every pair probe instead of reallocated per pair.
+func (g *Digraph) IsKStronglyConnectedScratch(sc *FlowScratch, k int) bool {
 	if k <= 0 || g.NumNodes() <= 1 {
 		return true
 	}
-	nodes := g.Nodes()
 	if g.NumNodes() <= k {
 		// κ(G) ≤ n-1 always (at most n-2 internal vertices plus the direct
 		// edge ⇒ ≤ n-1 disjoint paths).
 		return false
 	}
 	// Quick degree-based rejection: κ ≤ min degree.
-	for _, u := range nodes {
+	for u := range g.nodes {
 		if g.OutDegree(u) < k {
 			return false
 		}
 	}
-	for _, u := range nodes {
-		for _, v := range nodes {
-			if u == v {
+	size := sc.load(g)
+	nodes := sc.nodes
+	for i := range nodes {
+		for j := range nodes {
+			if i == j {
 				continue
 			}
-			if !g.HasKDisjointPaths(u, v, k) {
+			if g.flowPair(sc, nodes[i], nodes[j], k, size) < k {
 				return false
 			}
 		}
@@ -179,12 +244,14 @@ func (g *Digraph) StrongConnectivity() int {
 	if best <= 0 {
 		return 0
 	}
+	var sc FlowScratch
+	size := sc.load(g)
 	for _, u := range nodes {
 		for _, v := range nodes {
 			if u == v {
 				continue
 			}
-			p := g.MaxNodeDisjointPaths(u, v, best)
+			p := g.flowPair(&sc, u, v, best, size)
 			if p < best {
 				best = p
 				if best == 0 {

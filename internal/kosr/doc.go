@@ -8,6 +8,13 @@
 // has accumulated through discovery — never over the global graph, which no
 // process in the CUP model is allowed to see.
 //
+// The View methods are the from-scratch reference implementations; the
+// protocol stack runs the same procedures through Searcher, an incremental,
+// scratch-reusing engine that memoizes per-component candidate lists and
+// per-subset verdicts across knowledge updates. The two are pinned
+// equivalent by property tests; see Searcher and ARCHITECTURE.md ("The
+// incremental sink/core search").
+//
 // Notation note (see DESIGN.md §2): property P3 counts *target* vertices
 // outside S1 that S1 points at, while P4 counts *source* vertices of S1
 // pointing at a given process. This is the only reading consistent with the

@@ -41,11 +41,15 @@ func CheckExtendedKOSR(gdi *graph.Digraph, k int) ExtendedReport {
 		return r
 	}
 	v := FullView(gdi)
-	// Enumerate every sink set at every g; record the max g per set.
+	// Enumerate every sink set at every g; record the max g per set. The
+	// Searcher shares the κ/out-target verdict memos and the flow scratch
+	// across the whole g sweep (results are identical to the from-scratch
+	// View methods; only the work shrinks).
+	se := NewSearcher()
 	fgOf := make(map[string]int)
 	setOf := make(map[string]model.IDSet)
 	for g := v.MaxG(); g >= 0; g-- {
-		cands, exact := v.SinksAtGExact(g)
+		cands, exact := se.SinksAtGExact(v, g)
 		if !exact {
 			r.Exact = false
 		}

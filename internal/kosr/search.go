@@ -1,6 +1,7 @@
 package kosr
 
 import (
+	"fmt"
 	"sort"
 
 	"github.com/bftcup/bftcup/internal/model"
@@ -119,11 +120,14 @@ func (v *View) sinksAtG(g int, exact *bool) []Candidate {
 	return out
 }
 
-// enumerateSubsets yields every subset of ids with size ≥ minSize.
+// enumerateSubsets yields every subset of ids with size ≥ minSize. Callers
+// are guarded by ExactLimit; sets past the bit-mask capacity are a
+// programming error, and a silent empty enumeration would masquerade as "no
+// sink found", so the guard is loud.
 func enumerateSubsets(ids []model.ID, minSize int, yield func(model.IDSet)) {
 	n := len(ids)
 	if n > 30 {
-		return // guarded by ExactLimit; defensive
+		panic(fmt.Sprintf("kosr: enumerateSubsets over %d ids (callers must respect ExactLimit=%d; the mask enumeration caps at 30)", n, ExactLimit))
 	}
 	for mask := 1; mask < (1 << n); mask++ {
 		if popcount(mask) < minSize {

@@ -1,0 +1,654 @@
+package kosr
+
+import (
+	"slices"
+	"strconv"
+
+	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+// Searcher is an incremental, scratch-reusing engine for the sink/core
+// searches (Algorithms 2 and 4). One Searcher serves one process's view; the
+// protocol stack keeps a Searcher per node and re-runs the search on every
+// knowledge update, which is exactly the workload this engine is shaped for:
+//
+//   - The SCC decomposition of the received graph is recomputed only when the
+//     view's revision moves (one knowledge event = one recomputation), on
+//     reusable index-space Tarjan scratch instead of per-call maps.
+//   - Per-SCC candidate lists are memoized by the component's member content.
+//     A knowledge update dirties only the components it touches — a component
+//     whose member set is unchanged has an unchanged induced subgraph (PD
+//     records are immutable once received), so its (g+1)-core peel and its
+//     enumeration survive the update verbatim.
+//   - Per-S1 verdict facts (the |OutTargets| count and bounds on κ(G[S1]))
+//     are memoized across revisions and thresholds, so when a component does
+//     grow, only subsets involving the new members pay for max-flow probes.
+//   - The max-flow κ checks run on one reusable graph.FlowScratch.
+//
+// Equivalence with the from-scratch View methods is exact: for every view
+// and g, Searcher.SinksAtG returns precisely View.SinksAtG's candidates
+// (property-tested over randomized insertion sequences). The determinism
+// contract of the trace layer needs nothing less — committee adoption timing
+// is trace-visible, so the searcher may only change how much work a search
+// does, never its result.
+//
+// Soundness of the content-keyed memos rests on two view invariants that
+// discovery maintains by construction and the mutator API enforces: views
+// grow monotonically (records are never removed) and a received PD is never
+// replaced (View.SetPD bumps the generation if one ever is, which drops
+// every memo). Views mutated behind the API are not supported here; use the
+// from-scratch View methods for those.
+//
+// A Searcher is for one goroutine. The zero value is ready to use. Returned
+// candidates share their S1 sets with the memo — callers must treat
+// candidates as immutable (they always could: the from-scratch methods'
+// candidates are shared with nothing, but Members/Union copy anyway).
+type Searcher struct {
+	view     *View
+	gen      uint64
+	rev      uint64
+	received int
+	valid    bool
+
+	// comps is the current decomposition: sorted members (slices of arena)
+	// plus each component's canonical content key.
+	comps []sccComp
+	arena []model.ID
+
+	// pdSorted caches each received record's sorted PD (immutable per
+	// generation). sccCands memoizes per-(g, component-content) candidate
+	// lists; subsets memoizes per-S1 verdict facts.
+	pdSorted map[model.ID][]model.ID
+	sccCands map[string]*sccEntry
+	subsets  map[string]*subsetFacts
+
+	flow graph.FlowScratch
+
+	// Tarjan scratch, index space.
+	ids      []model.ID
+	idx      map[model.ID]int32
+	adjStart []int32
+	adjFlat  []int32
+	num      []int32
+	low      []int32
+	onStack  []bool
+	tstack   []int32
+	frames   []tframe
+
+	// Per-call scratch.
+	outSet  model.IDSet
+	keyBuf  []byte
+	pairBuf []cachedCand
+}
+
+type tframe struct {
+	u     int32
+	child int32
+}
+
+type sccComp struct {
+	ids []model.ID
+	key string
+}
+
+// subsetFacts are the g-independent (out) and g-bounding (kLo/kHi) facts
+// known about one S1 set. They depend only on the members' immutable PDs,
+// so they never expire within a view generation.
+type subsetFacts struct {
+	out int32 // |OutTargets(S1)|; -1 until computed
+	kLo int32 // κ(G[S1]) ≥ kLo proven
+	kHi int32 // κ(G[S1]) < kHi proven; 0 = nothing proven yet
+}
+
+type cachedCand struct {
+	s1  model.IDSet
+	key string
+}
+
+// sccEntry is the memoized outcome of searching one component at one g: the
+// S1 sets passing isSink's S1-side checks (P1, P3, κ), sorted by canonical
+// key, plus whether the enumeration was exhaustive.
+type sccEntry struct {
+	cands []cachedCand
+	exact bool
+}
+
+// Memo bounds: overflow clears the map (correctness is unaffected — the memo
+// only saves recomputation). Protocol-sized views never approach these.
+const (
+	maxSubsetMemo = 1 << 17
+	maxSCCMemo    = 1 << 12
+)
+
+// NewSearcher returns an empty searcher. The zero value works too.
+func NewSearcher() *Searcher { return &Searcher{} }
+
+// Search is the seam between the protocol stack and a sink/core search
+// implementation: the three committee-identification rules a node can run.
+// *Searcher (the incremental engine) is the production implementation;
+// FromScratch is the reference the transparency tests inject.
+type Search interface {
+	// FindSinkKnownF is Algorithm 2's decision step (threshold known).
+	FindSinkKnownF(v *View, f int) (Candidate, bool)
+	// FindCore is Algorithm 4's decision step (threshold unknown).
+	FindCore(v *View) (Candidate, bool)
+	// FindNaive is Observation 1's unsafe any-sink rule.
+	FindNaive(v *View) (Candidate, bool)
+}
+
+// FromScratch adapts the from-scratch View methods to the Search seam:
+// every call re-runs the full SCC → peel → enumeration pipeline. The
+// scenario-level transparency tests run whole sweeps on it and require
+// byte-identical per-cell trace digests to the incremental engine.
+type FromScratch struct{}
+
+// FindSinkKnownF implements Search via View.FindSinkKnownF.
+func (FromScratch) FindSinkKnownF(v *View, f int) (Candidate, bool) { return v.FindSinkKnownF(f) }
+
+// FindCore implements Search via View.FindCore.
+func (FromScratch) FindCore(v *View) (Candidate, bool) { return v.FindCore() }
+
+// FindNaive implements Search via View.FindNaive.
+func (FromScratch) FindNaive(v *View) (Candidate, bool) { return v.FindNaive() }
+
+// bind resets every memo and points the searcher at a (new) view or view
+// generation.
+func (s *Searcher) bind(v *View) {
+	s.view, s.gen, s.valid = v, v.gen, false
+	if s.pdSorted == nil {
+		s.pdSorted = make(map[model.ID][]model.ID)
+		s.sccCands = make(map[string]*sccEntry)
+		s.subsets = make(map[string]*subsetFacts)
+		s.outSet = model.NewIDSet()
+	} else {
+		clear(s.pdSorted)
+		clear(s.sccCands)
+		clear(s.subsets)
+	}
+}
+
+// refresh brings the decomposition up to the view's current revision. At an
+// unchanged revision this is two comparisons.
+func (s *Searcher) refresh(v *View) {
+	if s.view != v || s.gen != v.gen {
+		s.bind(v)
+	}
+	// len(v.PD) is a tripwire for records inserted behind the mutator API:
+	// such views still decompose correctly (the content memos only depend on
+	// record immutability, which direct insertion preserves).
+	if s.valid && s.rev == v.rev && s.received == len(v.PD) {
+		return
+	}
+	s.decompose(v)
+	s.rev, s.received, s.valid = v.rev, len(v.PD), true
+}
+
+// decompose recomputes the SCCs of the received graph (Tarjan, index space,
+// reused scratch) and their content keys.
+func (s *Searcher) decompose(v *View) {
+	s.ids = s.ids[:0]
+	for id := range v.PD {
+		s.ids = append(s.ids, id)
+	}
+	slices.Sort(s.ids)
+	n := len(s.ids)
+	if s.idx == nil {
+		s.idx = make(map[model.ID]int32, n)
+	} else {
+		clear(s.idx)
+	}
+	for i, id := range s.ids {
+		s.idx[id] = int32(i)
+	}
+	// CSR adjacency restricted to received targets, built from the sorted-PD
+	// cache (filled on first sight of each record).
+	s.adjStart = append(s.adjStart[:0], 0)
+	s.adjFlat = s.adjFlat[:0]
+	for _, u := range s.ids {
+		pd, ok := s.pdSorted[u]
+		if !ok {
+			pd = v.PD[u].Sorted()
+			s.pdSorted[u] = pd
+		}
+		for _, tgt := range pd {
+			if tgt == u {
+				continue
+			}
+			if j, ok := s.idx[tgt]; ok {
+				s.adjFlat = append(s.adjFlat, j)
+			}
+		}
+		s.adjStart = append(s.adjStart, int32(len(s.adjFlat)))
+	}
+
+	// Iterative Tarjan (mirrors graph.Digraph.SCCs).
+	if cap(s.num) < n {
+		s.num = make([]int32, n)
+		s.low = make([]int32, n)
+		s.onStack = make([]bool, n)
+	}
+	s.num, s.low, s.onStack = s.num[:n], s.low[:n], s.onStack[:n]
+	for i := 0; i < n; i++ {
+		s.num[i] = -1
+		s.onStack[i] = false
+	}
+	s.tstack = s.tstack[:0]
+	s.frames = s.frames[:0]
+	s.arena = s.arena[:0]
+	s.comps = s.comps[:0]
+	var bounds []int32 // arena offsets of component boundaries
+	counter := int32(0)
+	for root := int32(0); root < int32(n); root++ {
+		if s.num[root] >= 0 {
+			continue
+		}
+		s.frames = append(s.frames, tframe{u: root})
+		s.num[root], s.low[root] = counter, counter
+		counter++
+		s.tstack = append(s.tstack, root)
+		s.onStack[root] = true
+		for len(s.frames) > 0 {
+			f := &s.frames[len(s.frames)-1]
+			u := f.u
+			outs := s.adjFlat[s.adjStart[u]:s.adjStart[u+1]]
+			advanced := false
+			for f.child < int32(len(outs)) {
+				w := outs[f.child]
+				f.child++
+				if s.num[w] < 0 {
+					s.num[w], s.low[w] = counter, counter
+					counter++
+					s.tstack = append(s.tstack, w)
+					s.onStack[w] = true
+					s.frames = append(s.frames, tframe{u: w})
+					advanced = true
+					break
+				} else if s.onStack[w] && s.num[w] < s.low[u] {
+					s.low[u] = s.num[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			s.frames = s.frames[:len(s.frames)-1]
+			if len(s.frames) > 0 {
+				p := &s.frames[len(s.frames)-1]
+				if s.low[u] < s.low[p.u] {
+					s.low[p.u] = s.low[u]
+				}
+			}
+			if s.low[u] == s.num[u] {
+				start := len(s.arena)
+				for {
+					w := s.tstack[len(s.tstack)-1]
+					s.tstack = s.tstack[:len(s.tstack)-1]
+					s.onStack[w] = false
+					s.arena = append(s.arena, s.ids[w])
+					if w == u {
+						break
+					}
+				}
+				slices.Sort(s.arena[start:])
+				bounds = append(bounds, int32(start), int32(len(s.arena)))
+			}
+		}
+	}
+	// Materialize comps only after the arena stops growing (appends may move
+	// its backing array).
+	for i := 0; i < len(bounds); i += 2 {
+		members := s.arena[bounds[i]:bounds[i+1]]
+		s.comps = append(s.comps, sccComp{ids: members, key: string(idsKey(s.keyBuf[:0], members))})
+	}
+}
+
+// idsKey renders sorted ids as the canonical comma-joined decimal key
+// (matching model.IDSet.Key) into buf.
+func idsKey(buf []byte, ids []model.ID) []byte {
+	for i, id := range ids {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendUint(buf, uint64(id), 10)
+	}
+	return buf
+}
+
+// SinksAtG enumerates candidates (S1, S2) with isSink(g, S1, S2) in the
+// view, exactly as View.SinksAtG does, but incrementally. Results are
+// deterministic: sorted by the canonical key of S1.
+func (s *Searcher) SinksAtG(v *View, g int) []Candidate {
+	cands, _ := s.SinksAtGExact(v, g)
+	return cands
+}
+
+// SinksAtGExact additionally reports whether the enumeration was exhaustive.
+func (s *Searcher) SinksAtGExact(v *View, g int) ([]Candidate, bool) {
+	exact := true
+	pairs := s.collect(v, g, &exact)
+	if len(pairs) == 0 {
+		return nil, exact
+	}
+	out := make([]Candidate, 0, len(pairs))
+	for _, c := range pairs {
+		out = append(out, Candidate{G: g, S1: c.s1, S2: v.DeriveS2(c.s1, g)})
+	}
+	return out, exact
+}
+
+// collect gathers the passing S1 sets at g across all components, sorted by
+// canonical key, in the searcher's pair scratch (valid until the next call).
+func (s *Searcher) collect(v *View, g int, exact *bool) []cachedCand {
+	if g < 0 {
+		return nil
+	}
+	s.refresh(v)
+	s.pairBuf = s.pairBuf[:0]
+	for i := range s.comps {
+		ent := s.entryFor(v, g, &s.comps[i])
+		if !ent.exact {
+			*exact = false
+		}
+		s.pairBuf = append(s.pairBuf, ent.cands...)
+	}
+	slices.SortFunc(s.pairBuf, func(a, b cachedCand) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		}
+		return 0
+	})
+	return s.pairBuf
+}
+
+// first returns the candidate View.SinksAtG(g)[0] would return, deriving S2
+// only for the winner.
+func (s *Searcher) first(v *View, g int) (Candidate, bool) {
+	exact := true
+	pairs := s.collect(v, g, &exact)
+	if len(pairs) == 0 {
+		return Candidate{}, false
+	}
+	c := pairs[0]
+	return Candidate{G: g, S1: c.s1, S2: v.DeriveS2(c.s1, g)}, true
+}
+
+// entryFor resolves one component's memoized search at g.
+func (s *Searcher) entryFor(v *View, g int, comp *sccComp) *sccEntry {
+	s.keyBuf = strconv.AppendInt(s.keyBuf[:0], int64(g), 10)
+	s.keyBuf = append(s.keyBuf, '|')
+	s.keyBuf = append(s.keyBuf, comp.key...)
+	if e, ok := s.sccCands[string(s.keyBuf)]; ok {
+		return e
+	}
+	// Materialize the key before searching: searchComp's subset enumeration
+	// reuses keyBuf for per-S1 keys.
+	key := string(s.keyBuf)
+	e := s.searchComp(v, g, comp)
+	if len(s.sccCands) >= maxSCCMemo {
+		clear(s.sccCands)
+	}
+	s.sccCands[key] = e
+	return e
+}
+
+// searchComp mirrors the per-SCC block of View.sinksAtG: peel, then exact
+// subset enumeration up to ExactLimit, else structural candidates.
+func (s *Searcher) searchComp(v *View, g int, comp *sccComp) *sccEntry {
+	e := &sccEntry{exact: true}
+	if len(comp.ids) < 2*g+1 {
+		// The peeled pool can only shrink; skip building the induced graph.
+		return e
+	}
+	induced := s.inducedOf(comp)
+	pool := induced.NodeSet()
+	if g >= 1 {
+		pool = induced.DirectedCore(g + 1)
+	}
+	if pool.Len() < 2*g+1 {
+		return e
+	}
+	if pool.Len() <= ExactLimit {
+		s.enumeratePool(v, g, pool.Sorted(), e)
+	} else {
+		e.exact = false
+		// Structural candidates: the peeled pool itself and the pool minus
+		// each single low-degree vertex.
+		seen := make(map[string]bool)
+		try := func(s1 model.IDSet) {
+			if s1.Len() < 2*g+1 {
+				return
+			}
+			key := s1.Key()
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			if s.passes(v, g, s1, key) {
+				e.cands = append(e.cands, cachedCand{s1: s1, key: key})
+			}
+		}
+		try(pool)
+		sub := induced.Induced(pool)
+		for _, u := range pool.Sorted() {
+			rest := pool.Clone()
+			rest.Remove(u)
+			if g >= 1 {
+				rest = sub.Induced(rest).DirectedCore(g + 1)
+			}
+			if rest.Len() >= 2*g+1 {
+				try(rest)
+			}
+		}
+	}
+	slices.SortFunc(e.cands, func(a, b cachedCand) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		}
+		return 0
+	})
+	return e
+}
+
+// enumeratePool tries every subset of the (sorted, ≤ ExactLimit) pool with
+// |S1| ≥ 2g+1, consulting the per-S1 verdict memo before materializing
+// anything.
+func (s *Searcher) enumeratePool(v *View, g int, pool []model.ID, e *sccEntry) {
+	n := len(pool)
+	minSize := 2*g + 1
+	for mask := 1; mask < 1<<n; mask++ {
+		if popcount(mask) < minSize {
+			continue
+		}
+		buf := s.keyBuf[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				if len(buf) > 0 {
+					buf = append(buf, ',')
+				}
+				buf = strconv.AppendUint(buf, uint64(pool[i]), 10)
+			}
+		}
+		s.keyBuf = buf
+		// Reject on memoized facts alone when possible.
+		if f, ok := s.subsets[string(buf)]; ok {
+			if f.out >= 0 && int(f.out) > g {
+				continue
+			}
+			if popcount(mask) > 1 && f.kHi != 0 && int32(g+1) >= f.kHi {
+				continue
+			}
+		}
+		s1 := model.NewIDSet()
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s1.Add(pool[i])
+			}
+		}
+		if s.passes(v, g, s1, string(buf)) {
+			e.cands = append(e.cands, cachedCand{s1: s1, key: string(buf)})
+		}
+	}
+}
+
+// passes applies isSink's S1-side checks (P1 size, P3 out-target bound, P2/κ
+// connectivity) through the per-S1 verdict memo. key must be s1's canonical
+// key.
+func (s *Searcher) passes(v *View, g int, s1 model.IDSet, key string) bool {
+	if s1.Len() < 2*g+1 {
+		return false
+	}
+	f, ok := s.subsets[key]
+	if !ok {
+		if len(s.subsets) >= maxSubsetMemo {
+			clear(s.subsets)
+		}
+		f = &subsetFacts{out: -1}
+		s.subsets[key] = f
+	}
+	if f.out < 0 {
+		f.out = int32(s.countOutTargets(v, s1))
+	}
+	if int(f.out) > g {
+		return false
+	}
+	if s1.Len() > 1 {
+		k := int32(g + 1)
+		switch {
+		case k <= f.kLo:
+			// κ ≥ k already proven.
+		case f.kHi != 0 && k >= f.kHi:
+			return false
+		default:
+			if !s.kappaAtLeast(s1, int(k)) {
+				if f.kHi == 0 || k < f.kHi {
+					f.kHi = k
+				}
+				return false
+			}
+			if k > f.kLo {
+				f.kLo = k
+			}
+		}
+	}
+	return true
+}
+
+// countOutTargets counts |OutTargets(s1)| on reused scratch.
+func (s *Searcher) countOutTargets(v *View, s1 model.IDSet) int {
+	clear(s.outSet)
+	for id := range s1 {
+		for tgt := range v.PD[id] {
+			if tgt != id && !s1.Has(tgt) {
+				s.outSet.Add(tgt)
+			}
+		}
+	}
+	return s.outSet.Len()
+}
+
+// kappaAtLeast checks κ(G[s1]) ≥ k on the received PDs, on the shared flow
+// scratch. Matches View.kappaAtLeast (every member of s1 is received here).
+func (s *Searcher) kappaAtLeast(s1 model.IDSet, k int) bool {
+	if s1.Len() <= 1 {
+		return true
+	}
+	gd := graph.New()
+	for id := range s1 {
+		gd.AddNode(id)
+	}
+	for id := range s1 {
+		for _, tgt := range s.pdSorted[id] {
+			if tgt != id && s1.Has(tgt) {
+				gd.AddEdge(id, tgt)
+			}
+		}
+	}
+	return gd.IsKStronglyConnectedScratch(&s.flow, k)
+}
+
+// inducedOf builds the component's induced subgraph of the received graph.
+func (s *Searcher) inducedOf(comp *sccComp) *graph.Digraph {
+	gd := graph.New()
+	for _, u := range comp.ids {
+		gd.AddNode(u)
+	}
+	for _, u := range comp.ids {
+		for _, tgt := range s.pdSorted[u] {
+			if tgt != u && gd.HasNode(tgt) {
+				gd.AddEdge(u, tgt)
+			}
+		}
+	}
+	return gd
+}
+
+// FindSinkKnownF is View.FindSinkKnownF through the incremental engine
+// (Algorithm 2's decision step).
+func (s *Searcher) FindSinkKnownF(v *View, f int) (Candidate, bool) {
+	return s.first(v, f)
+}
+
+// FindCore is View.FindCore through the incremental engine (Algorithm 4's
+// decision step): g scanned from the view's maximum downward.
+func (s *Searcher) FindCore(v *View) (Candidate, bool) {
+	for g := v.MaxG(); g >= 0; g-- {
+		if c, ok := s.first(v, g); ok {
+			return c, true
+		}
+	}
+	return Candidate{}, false
+}
+
+// FindNaive is View.FindNaive through the incremental engine (Observation
+// 1's unsafe any-sink rule): g scanned upward.
+func (s *Searcher) FindNaive(v *View) (Candidate, bool) {
+	for g := 0; g <= v.MaxG(); g++ {
+		if c, ok := s.first(v, g); ok {
+			return c, true
+		}
+	}
+	return Candidate{}, false
+}
+
+// SearchReplay is the shared discovery-replay benchmark workload: the full
+// view of one graph, inserted one record at a time in sorted owner order
+// into a fresh view, with one search per insertion — the per-event search
+// schedule a node runs. Both benchmark harnesses (the go-test benchmarks
+// and `experiments -bench-json`) run replays through this one type, so
+// their trajectory numbers measure the same schedule by construction.
+type SearchReplay struct {
+	full   *View
+	owners []model.ID
+	known  []model.ID
+}
+
+// NewSearchReplay captures the replay inputs for one graph.
+func NewSearchReplay(g *graph.Digraph) *SearchReplay {
+	full := FullView(g)
+	return &SearchReplay{full: full, owners: full.Received().Sorted(), known: full.Known.Sorted()}
+}
+
+// Run replays the schedule against a fresh view and searcher, invoking
+// search after every insertion (from-scratch searches ignore the searcher).
+// It reports whether any search succeeded.
+func (r *SearchReplay) Run(search func(se *Searcher, v *View) bool) bool {
+	v := NewView()
+	se := NewSearcher()
+	for _, id := range r.known {
+		v.AddKnown(id)
+	}
+	found := false
+	for _, owner := range r.owners {
+		v.SetPD(owner, r.full.PD[owner])
+		if search(se, v) {
+			found = true
+		}
+	}
+	return found
+}

@@ -8,17 +8,67 @@ import (
 // View is a process's current knowledge: the processes it knows exist
 // (S_known) and the participant detectors it has received and verified
 // (S_PD, whose key set is S_received).
+//
+// Views grown through the mutator API (SetPD, AddKnown) carry a revision
+// counter, which is what lets a Searcher reuse work across searches: a
+// search at an unchanged revision is a pure cache read, and a search after
+// an insertion only recomputes what the insertion can change. Legacy direct
+// map mutation keeps working for the from-scratch View methods below, but a
+// Searcher requires mutator-maintained views (discovery maintains its view
+// exclusively through them).
 type View struct {
 	// Known is S_known: every process this process has heard of.
 	Known model.IDSet
 	// PD maps a process to its (signed, verified) participant detector.
 	// The key set is S_received.
 	PD map[model.ID]model.IDSet
+
+	// rev counts mutator-API mutations; gen counts content replacements (an
+	// existing PD overwritten with a different set), which invalidate every
+	// content-keyed memo rather than just the current decomposition.
+	rev uint64
+	gen uint64
 }
 
 // NewView returns an empty view.
 func NewView() *View {
 	return &View{Known: model.NewIDSet(), PD: make(map[model.ID]model.IDSet)}
+}
+
+// Rev returns the view's revision: a monotone counter bumped by every
+// mutator-API change. Equal revisions of one View mean identical knowledge.
+func (v *View) Rev() uint64 { return v.rev }
+
+// Gen returns the view's content generation, bumped only when an existing PD
+// record is replaced by a different set. Discovery never replaces a record
+// (the first verified record per owner wins), so in protocol use the
+// generation stays 0; the Searcher checks it anyway and drops every
+// content-keyed memo when it moves.
+func (v *View) Gen() uint64 { return v.gen }
+
+// SetPD records owner's participant detector (S_PD gains the record, so
+// S_received gains owner) and bumps the revision. The set is cloned; callers
+// keep ownership of pd. Overwriting an existing record with a different set
+// additionally bumps the generation.
+func (v *View) SetPD(owner model.ID, pd model.IDSet) {
+	if old, ok := v.PD[owner]; ok {
+		if old.Equal(pd) {
+			return
+		}
+		v.gen++
+	}
+	v.PD[owner] = pd.Clone()
+	v.rev++
+}
+
+// AddKnown inserts id into S_known, bumping the revision and reporting true
+// when it was absent.
+func (v *View) AddKnown(id model.ID) bool {
+	if !v.Known.Add(id) {
+		return false
+	}
+	v.rev++
+	return true
 }
 
 // FullView builds the omniscient view of a knowledge connectivity graph:
@@ -27,10 +77,10 @@ func NewView() *View {
 func FullView(g *graph.Digraph) *View {
 	v := NewView()
 	for _, u := range g.Nodes() {
-		v.Known.Add(u)
-		v.PD[u] = g.OutSet(u).Clone()
+		v.AddKnown(u)
+		v.SetPD(u, g.OutSet(u))
 		for w := range g.OutSet(u) {
-			v.Known.Add(w)
+			v.AddKnown(w)
 		}
 	}
 	return v

@@ -60,9 +60,10 @@ const axisOverflow = "(more)"
 // grade counts, traffic totals and the fingerprint are all maintained
 // online, so memory is O(min(distinct axis values, maxAxisValues)) plus the
 // reorder buffer — independent of the sweep's cell count. Outcomes may
-// arrive in any order; they are folded in position order (a worker pool
-// claims positions sequentially, so its reordering — and therefore the
-// buffer — is bounded by its parallelism).
+// arrive in any order; they are folded in position order (the worker pool
+// claims positions within a bounded window of its completion watermark, so
+// its reordering — and therefore the buffer — is O(parallelism) no matter
+// how skewed per-cell runtimes are).
 type Aggregator struct {
 	keep    bool
 	rep     *Report

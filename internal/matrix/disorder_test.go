@@ -1,0 +1,70 @@
+package matrix
+
+import (
+	"testing"
+
+	"github.com/bftcup/bftcup/internal/core"
+	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/scenario"
+)
+
+// TestRunPoolClaimWindowBoundsDisorder pins runPool's sliding claim window.
+// Position 0 is a deliberately slow cell (a 21-node permissioned committee,
+// cold-compiled); behind it sit hundreds of near-instant single-node cells.
+// Before the window, racing workers streamed those instant cells to the sink
+// ~10³ positions ahead of the stalled cell, growing every position-ordered
+// reorder buffer (the Aggregator's pending map, a merge's per-stream
+// buffers) without bound. The window caps how far any claim may run ahead
+// of the completion watermark, so the maximum observed disorder — the gap
+// between a sunk position and the contiguous-completion watermark at that
+// moment — must stay within parallelism × claimWindowPerWorker regardless
+// of how skewed the cell costs are.
+func TestRunPoolClaimWindowBoundsDisorder(t *testing.T) {
+	slowHead := scenario.Params{
+		Graph: graph.Def{Kind: graph.DefComplete, N: 21},
+		Mode:  core.ModePermissioned,
+		F:     -1,
+		Net:   scenario.NetParams{Kind: scenario.NetSync},
+		Seed:  1,
+	}
+	fastTail := scenario.Params{
+		Graph: graph.Def{Kind: graph.DefComplete, N: 1},
+		Mode:  core.ModePermissioned,
+		F:     0,
+		Net:   scenario.NetParams{Kind: scenario.NetSync},
+	}
+	cells := CellList{{Index: 0, Params: slowHead}}
+	for i := 1; i < 600; i++ {
+		p := fastTail
+		p.Seed = int64(i)
+		cells = append(cells, Cell{Index: i, Params: p})
+	}
+
+	const par = 4
+	window := par * claimWindowPerWorker
+	maxDisorder, low := 0, 0
+	done := make(map[int]bool)
+	if _, err := runPool(cells, Options{Parallelism: par}, func(pos int, o Outcome) error {
+		if o.Err != "" {
+			t.Errorf("cell %d errored: %s", pos, o.Err)
+		}
+		if d := pos - low; d > maxDisorder {
+			maxDisorder = d
+		}
+		done[pos] = true
+		for done[low] {
+			delete(done, low)
+			low++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if low != len(cells) {
+		t.Fatalf("sink saw %d contiguous outcomes, want %d", low, len(cells))
+	}
+	t.Logf("max observed disorder: %d (window %d, parallelism %d)", maxDisorder, window, par)
+	if maxDisorder > window {
+		t.Fatalf("observed disorder %d exceeds the claim window %d — reorder buffering is no longer O(parallelism)", maxDisorder, window)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/bftcup/bftcup/internal/scenario"
@@ -169,13 +168,26 @@ func (w *cellRunner) runCell(c Cell) Outcome {
 	return out
 }
 
+// claimWindowPerWorker bounds how far ahead of the completion watermark a
+// worker may claim a cell position, as a multiple of the pool's parallelism.
+// Without the bound, a racing worker streaming instant cells past one slow
+// in-flight cell claims positions arbitrarily far ahead, and every consumer
+// that folds outcomes in position order — the Aggregator's reorder buffer,
+// a shard merge's per-stream buffers — grows without bound. With it, at
+// most parallelism × claimWindowPerWorker outcomes can ever be buffered, so
+// downstream memory is O(parallelism) at any sweep size. The factor is
+// generous: a worker only ever waits when it is a full window ahead of the
+// slowest cell, which costs nothing in the uniform-cost common case.
+const claimWindowPerWorker = 8
+
 // runPool executes the source's cells on a worker pool and feeds every
 // finished outcome to sink in completion order. Workers claim positions
-// sequentially and materialize each cell on demand — nothing holds a cell
-// slice. Sink calls are serialized; pos is the cell's position within the
-// source (not its global Index). A sink error stops workers from claiming
-// further cells and is returned. The effective parallelism is returned
-// alongside.
+// sequentially within a sliding window of the completion watermark (see
+// claimWindowPerWorker) and materialize each cell on demand — nothing holds
+// a cell slice. Sink calls are serialized; pos is the cell's position within
+// the source (not its global Index). A sink error stops workers from
+// claiming further cells and is returned. The effective parallelism is
+// returned alongside.
 func runPool(src CellSource, opts Options, sink func(pos int, o Outcome) error) (int, error) {
 	n := src.Len()
 	if n == 0 {
@@ -188,13 +200,19 @@ func runPool(src CellSource, opts Options, sink func(pos int, o Outcome) error) 
 	if par > n {
 		par = n
 	}
+	window := par * claimWindowPerWorker
 
-	var next atomic.Int64
-	next.Store(-1)
-	var stop atomic.Bool
-	var sinkMu sync.Mutex
-	var sinkErr error
-	done := 0
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	var (
+		next      int          // next unclaimed position
+		low       int          // completion watermark: every position < low is done
+		completed map[int]bool // done positions ≥ low (size ≤ window by construction)
+		stop      bool
+		sinkErr   error
+		done      int
+	)
+	completed = make(map[int]bool, window)
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
 		wg.Add(1)
@@ -202,26 +220,38 @@ func runPool(src CellSource, opts Options, sink func(pos int, o Outcome) error) 
 			defer wg.Done()
 			cr := newCellRunner(opts.Trace)
 			for {
-				if stop.Load() {
+				mu.Lock()
+				for !stop && next < n && next >= low+window {
+					cond.Wait()
+				}
+				if stop || next >= n {
+					mu.Unlock()
 					return
 				}
-				i := int(next.Add(1))
-				if i >= n {
-					return
-				}
+				i := next
+				next++
+				mu.Unlock()
+
 				o := cr.runCell(src.Cell(i))
-				sinkMu.Lock()
+
+				mu.Lock()
 				if sinkErr == nil {
 					if err := sink(i, o); err != nil {
 						sinkErr = err
-						stop.Store(true)
+						stop = true
 					}
+				}
+				completed[i] = true
+				for completed[low] {
+					delete(completed, low)
+					low++
 				}
 				done++
 				if opts.Progress != nil {
 					opts.Progress(done, n)
 				}
-				sinkMu.Unlock()
+				cond.Broadcast()
+				mu.Unlock()
 			}
 		}()
 	}

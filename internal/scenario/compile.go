@@ -10,6 +10,7 @@ import (
 	"github.com/bftcup/bftcup/internal/cryptox"
 	"github.com/bftcup/bftcup/internal/discovery"
 	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/kosr"
 	"github.com/bftcup/bftcup/internal/model"
 	"github.com/bftcup/bftcup/internal/sim"
 )
@@ -240,6 +241,31 @@ type Runner struct {
 	doubleDecided model.IDSet
 	perProcess    map[model.ID]ProcessResult
 	res           Result
+	// searchers is the pool of per-node incremental sink/core search
+	// engines, handed out in node-creation order each run so the knowledge
+	// layer's scratch (Tarjan stacks, max-flow arrays, verdict memos) is
+	// reused across cells the same way the engine's heap and pools are. A
+	// searcher rebinds itself when it sees a new view, so reuse is invisible
+	// to results.
+	searchers    []*kosr.Searcher
+	searcherNext int
+
+	// SearchFactory, when non-nil, overrides the pooled incremental
+	// searchers with a per-node engine of its own choosing. The search
+	// transparency tests inject kosr.FromScratch through it to pin the
+	// incremental engine to the reference, trace digest for trace digest.
+	SearchFactory func() kosr.Search
+}
+
+// nextSearcher hands out the next pooled searcher, growing the pool on first
+// use.
+func (r *Runner) nextSearcher() *kosr.Searcher {
+	if r.searcherNext == len(r.searchers) {
+		r.searchers = append(r.searchers, kosr.NewSearcher())
+	}
+	s := r.searchers[r.searcherNext]
+	r.searcherNext++
+	return s
 }
 
 // reset prepares the scratch for one run.
@@ -263,6 +289,7 @@ func (r *Runner) reset(net sim.NetworkModel, seed int64) {
 	clear(r.decidedAt)
 	clear(r.doubleDecided)
 	clear(r.perProcess)
+	r.searcherNext = 0
 }
 
 // Run executes the compiled scenario under one seed: generate (or fetch from
@@ -314,6 +341,13 @@ func (r *Runner) Run(c *Compiled, seed int64, trace bool) (*Result, error) {
 				Discovery:   c.Discovery,
 				PBFTTimeout: c.PBFTTimeout,
 				PollPeriod:  c.PollPeriod,
+			}
+			if c.Mode != core.ModePermissioned {
+				if r.SearchFactory != nil {
+					cfg.Searcher = r.SearchFactory()
+				} else {
+					cfg.Searcher = r.nextSearcher()
+				}
 			}
 			n := core.NewNode(signers[id], reg, cfg, func(v model.Value) {
 				if _, dup := decisions[id]; dup {
