@@ -36,7 +36,8 @@ func main() {
 		graphName = flag.String("graph", "fig1b", "graph def: a figure (fig1a…fig4b), complete:N, kosr:sink=S,nonsink=T,k=K[,extra=P], extended:core=S,noncore=T[,extra=P]")
 		modeName  = flag.String("mode", "bft-cup", "protocol: bft-cup|bft-cupft|naive|permissioned")
 		f         = flag.Int("f", -1, "fault threshold handed to processes; -1 = the graph family's natural threshold")
-		byzFlag   = flag.String("byz", "", "byzantine processes, e.g. 4:silent,7:fake-pd or 4:as-correct")
+		byzFlag   = flag.String("byz", "", "byzantine processes, e.g. 4:silent,7:fake-pd,3:delay,5:collude (kinds: silent|fake-pd|equiv-pd|as-correct|delay|selective-silent|collude)")
+		autoFlag  = flag.String("autobyz", "", "automatic byzantine placement, kind×count[@place] (place: figure|tail|sink|worst), e.g. silent×2@worst or 'silentx2@worst'")
 		netName   = flag.String("net", "sync", "network: sync|partial|async")
 		gst       = flag.Duration("gst", 2*time.Second, "GST for -net partial")
 		slowFlag  = flag.String("slow", "", "pre-GST fast groups, e.g. 1,2,3/6,7,8 (everything else slow)")
@@ -59,6 +60,9 @@ func main() {
 
 	params, err := buildParams(*graphName, *modeName, *f, *byzFlag, *netName, *gst, *slowFlag, *horizon)
 	if err != nil {
+		fail(err)
+	}
+	if params.Auto, err = scenario.ParseAutoByz(*autoFlag); err != nil {
 		fail(err)
 	}
 
@@ -260,17 +264,9 @@ func parseByz(s string) (map[model.ID]scenario.ByzParams, error) {
 			kind = kv[1]
 		}
 		var bp scenario.ByzParams
-		switch kind {
-		case "silent":
-			bp.Kind = scenario.ByzSilent
-		case "fake-pd":
-			bp.Kind = scenario.ByzFakePD
-		case "equiv-pd":
-			bp.Kind = scenario.ByzEquivPD
-		case "as-correct":
-			bp.Kind = scenario.ByzAsCorrect
-		default:
-			return nil, fmt.Errorf("unknown byzantine kind %q", kind)
+		bp.Kind, err = scenario.ParseByzKind(kind)
+		if err != nil {
+			return nil, err
 		}
 		out[model.ID(raw)] = bp
 	}

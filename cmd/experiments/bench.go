@@ -41,6 +41,11 @@ type BenchEntry struct {
 	// knowledge-layer-bound workload the incremental sink/core search engine
 	// targets. Nil for entries that predate it.
 	SweepExt *MatrixBench `json:"sweep_ext,omitempty"`
+	// SweepWorst is a small byz=worst sweep: every cell pays the worst-case
+	// placement enumeration inside Compile, so this number tracks the
+	// kosr.WorstPlacement search (and the memo sharing that keeps it cheap).
+	// Nil for entries that predate it.
+	SweepWorst *MatrixBench `json:"sweep_worst,omitempty"`
 	// Search is the knowledge-layer search replay (BenchmarkSinkSearch's
 	// workload measured through the harness): PD records inserted one at a
 	// time with a search after every insertion — the per-event schedule the
@@ -149,6 +154,33 @@ func runSweepExtBench() (*matrix.Report, error) {
 	}
 	if rep.Errors > 0 {
 		return nil, fmt.Errorf("extended sweep bench had %d errored cells", rep.Errors)
+	}
+	return rep, nil
+}
+
+// runSweepWorstBench times a byz=worst seed sweep on a 12-node random KOSR
+// graph: each worker's first cell pays the C(12,3) placement enumeration in
+// Compile (then the compile cache amortizes it across seeds), so the number
+// is dominated by kosr.WorstPlacement plus the usual cell cost. Worst-placed
+// cells legitimately fail consensus; only Errors would be a bench failure.
+func runSweepWorstBench() (*matrix.Report, error) {
+	base := scenario.Params{
+		Graph: graph.Def{Kind: graph.DefKOSR, Sink: 7, NonSink: 5, K: 3, ExtraEdgeP: 0.2},
+		Mode:  core.ModeKnownF,
+		F:     -1,
+		Auto:  scenario.AutoByz{Kind: scenario.ByzSilent, Count: 3, Place: scenario.PlaceWorst},
+		Net:   scenario.NetParams{Kind: scenario.NetSync},
+	}
+	src, err := matrix.SeedSweep(base, matrix.Seeds(1, 40))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := matrix.Run(src, matrix.Options{Parallelism: 1})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Errors > 0 {
+		return nil, fmt.Errorf("worst sweep bench had %d errored cells", rep.Errors)
 	}
 	return rep, nil
 }
@@ -267,6 +299,18 @@ func runBenchJSON(path, label string, gate float64) {
 		Fingerprint: extRep.Fingerprint(),
 	}
 
+	worstRep, err := runSweepWorstBench()
+	if err != nil {
+		fail(err)
+	}
+	entry.SweepWorst = &MatrixBench{
+		Cells:       worstRep.Cells,
+		Parallelism: worstRep.Parallelism,
+		WallSeconds: float64(worstRep.WallNS) / 1e9,
+		CellsPerSec: float64(worstRep.Cells) / (float64(worstRep.WallNS) / 1e9),
+		Fingerprint: worstRep.Fingerprint(),
+	}
+
 	if entry.Search, err = searchReplays(); err != nil {
 		fail(err)
 	}
@@ -290,6 +334,8 @@ func runBenchJSON(path, label string, gate float64) {
 		entry.Sweep.Cells, entry.Sweep.Parallelism, entry.Sweep.CellsPerSec, entry.Sweep.WallSeconds)
 	fmt.Printf("sweep-ext %d cells on %d workers: %.2f cells/s (%.2fs)\n",
 		entry.SweepExt.Cells, entry.SweepExt.Parallelism, entry.SweepExt.CellsPerSec, entry.SweepExt.WallSeconds)
+	fmt.Printf("sweep-worst %d cells on %d workers: %.2f cells/s (%.2fs)\n",
+		entry.SweepWorst.Cells, entry.SweepWorst.Parallelism, entry.SweepWorst.CellsPerSec, entry.SweepWorst.WallSeconds)
 	for _, s := range entry.Search {
 		fmt.Printf("search %-22s %10.0f ns/op  %8.0f ops/s  %6d allocs/op\n",
 			s.Name, s.NsPerOp, s.OpsPerSec, s.AllocsPerOp)
@@ -359,6 +405,7 @@ func gateEntry(prev, cur BenchEntry, tol float64) error {
 	gateSweep("matrix", cur.Matrix, prev.Matrix)
 	gateSweep("sweep", cur.Sweep, prev.Sweep)
 	gateSweep("sweep-ext", cur.SweepExt, prev.SweepExt)
+	gateSweep("sweep-worst", cur.SweepWorst, prev.SweepWorst)
 	prevSearch := make(map[string]SearchBench, len(prev.Search))
 	for _, s := range prev.Search {
 		prevSearch[s.Name] = s

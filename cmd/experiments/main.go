@@ -45,6 +45,7 @@ func main() {
 		runSel     = flag.String("run", "all", "experiment group: table1, fig1, fig2, fig3, fig4, all (ignored with -matrix)")
 		verbose    = flag.Bool("v", false, "print per-process details")
 		doMatrix   = flag.Bool("matrix", false, "run the standard scenario-matrix sweep instead of the paper suite")
+		adversary  = flag.Bool("adversary", false, "with -matrix: sweep the adversary zoo (delay, selective silence, collusion, equivocation) with tail vs worst-case placements instead of the standard axes")
 		seedsStr   = flag.String("seeds", "1:10", "seed sweep for -matrix, as FROM:TO or a single count N (= 1:N)")
 		parallel   = flag.Int("parallel", 0, "worker count: 0 = GOMAXPROCS, 1 = serial")
 		jsonOut    = flag.Bool("json", false, "emit the matrix report as JSON")
@@ -90,7 +91,7 @@ func main() {
 	case *benchJSON:
 		runBenchJSON(*benchOut, *benchLabel, *benchGate)
 	case *doMatrix:
-		runMatrix(*seedsStr, *parallel, *jsonOut, *trace, *cellRows, *compare, *shardStr, *jsonlPath, *resume)
+		runMatrix(*seedsStr, *adversary, *parallel, *jsonOut, *trace, *cellRows, *compare, *shardStr, *jsonlPath, *resume)
 	default:
 		runPaperSuite(*runSel, *parallel, *jsonOut, *trace, *verbose)
 	}
@@ -124,12 +125,16 @@ func runMerge(paths []string, jsonOut, cellRows, summary bool) {
 // optionally streaming per-cell JSONL (fresh or resumed) instead of
 // buffering a report. The sweep is a lazy cell source end to end — nothing
 // materializes the cell list, so seed ranges in the millions are fine.
-func runMatrix(seedsStr string, parallel int, jsonOut, trace, cellRows, compare bool, shardStr, jsonlPath string, resume bool) {
+func runMatrix(seedsStr string, adversary bool, parallel int, jsonOut, trace, cellRows, compare bool, shardStr, jsonlPath string, resume bool) {
 	seeds, err := matrix.ParseSeedRange(seedsStr)
 	if err != nil {
 		fail(err)
 	}
-	src, err := matrix.StandardSweep(seeds)
+	sweepName, sweep := "standard", matrix.StandardSweep
+	if adversary {
+		sweepName, sweep = "adversary", matrix.AdversarySweep
+	}
+	src, err := sweep(seeds)
 	if err != nil {
 		fail(err)
 	}
@@ -143,7 +148,7 @@ func runMatrix(seedsStr string, parallel int, jsonOut, trace, cellRows, compare 
 	if resume && (jsonlPath == "" || jsonlPath == "-") {
 		fail(fmt.Errorf("-resume needs -jsonl FILE (a stream on stdout cannot be resumed)"))
 	}
-	name := fmt.Sprintf("standard sweep, seeds %s", seedsStr)
+	name := fmt.Sprintf("%s sweep, seeds %s", sweepName, seedsStr)
 	part := shard.Source(src)
 	opts := matrix.Options{Parallelism: parallel, Trace: trace}
 	if !jsonOut && jsonlPath != "-" {

@@ -58,6 +58,7 @@ type PDEquivocator struct {
 	recB      discovery.SignedPD
 	chooseAlt func(model.ID) bool
 	collector *discovery.Module // collects and verifies third-party records
+	recBuf    []discovery.SignedPD
 }
 
 // NewPDEquivocator creates the behavior. chooseAlt selects which peers get
@@ -95,22 +96,18 @@ func (b *PDEquivocator) Receive(ctx sim.Context, from model.ID, payload []byte) 
 // Timer implements sim.Reactor.
 func (b *PDEquivocator) Timer(ctx sim.Context, tag uint64) { b.collector.HandleTimer(ctx, tag) }
 
-// reply sends the peer-dependent own record plus every relayed record.
+// reply sends the peer-dependent own record plus every relayed record. The
+// third-party records come from the collector's sorted-owner iterator — the
+// module already maintains that order incrementally, so the reply does not
+// rebuild and re-sort the ID list per request (and cannot alias the module's
+// internal record map).
 func (b *PDEquivocator) reply(ctx sim.Context, to model.ID) {
 	own := b.recA
 	if b.chooseAlt(to) {
 		own = b.recB
 	}
-	recs := []discovery.SignedPD{own}
-	records := b.collector.Records()
-	ids := make([]model.ID, 0, len(records))
-	for id := range records {
-		if id != b.self {
-			ids = append(ids, id)
-		}
-	}
-	for _, id := range model.NewIDSet(ids...).Sorted() {
-		recs = append(recs, records[id])
-	}
+	recs := append(b.recBuf[:0], own)
+	recs = b.collector.AppendOtherRecords(recs)
+	b.recBuf = recs
 	ctx.Send(to, discovery.EncodeSetPDs(recs))
 }

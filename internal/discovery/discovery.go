@@ -133,9 +133,35 @@ func New(ownRecord SignedPD, verifier cryptox.Verifier, cfg Config, onUpdate fun
 // Callers must not mutate it.
 func (m *Module) View() *kosr.View { return m.view }
 
-// Records returns the signed records collected so far (used by the Byzantine
-// relay behaviors and by tests).
-func (m *Module) Records() map[model.ID]SignedPD { return m.records }
+// Records returns a copy of the signed records collected so far (used by the
+// Byzantine relay behaviors and by tests). Callers own the returned map;
+// mutating it cannot alias module state. Hot paths that only need ordered
+// iteration should use AppendOtherRecords instead.
+func (m *Module) Records() map[model.ID]SignedPD {
+	out := make(map[model.ID]SignedPD, len(m.records))
+	for id, rec := range m.records {
+		out[id] = rec
+	}
+	return out
+}
+
+// AppendOtherRecords appends every collected record except the module owner's
+// own to buf, in ascending owner order, and returns the extended slice. The
+// module keeps no reference to buf, and SignedPD values are safe to retain
+// (records are immutable once verified).
+func (m *Module) AppendOtherRecords(buf []SignedPD) []SignedPD {
+	for _, owner := range m.owners {
+		if owner != m.self {
+			buf = append(buf, m.records[owner])
+		}
+	}
+	return buf
+}
+
+// SendRecords answers a GETPDS request on behalf of a wrapping reactor: the
+// same (cached) S_PD payload the module itself would send. Byzantine
+// behaviors that only distort timing — not content — reply through it.
+func (m *Module) SendRecords(ctx sim.Context, to model.ID) { m.sendRecords(ctx, to) }
 
 // Start begins the periodic discovery task.
 func (m *Module) Start(ctx sim.Context) {

@@ -208,3 +208,33 @@ func TestDeltaGossipConvergesCheaper(t *testing.T) {
 		t.Fatalf("delta gossip should use fewer bytes: delta=%d full=%d", deltaBytes, fullBytes)
 	}
 }
+
+// TestRecordsReturnsCopy is the regression test for the internal-map leak:
+// Records() must hand back a snapshot the caller owns, so deleting or
+// overwriting entries cannot corrupt the module's verified-record store.
+func TestRecordsReturnsCopy(t *testing.T) {
+	signers, reg, err := cryptox.GenerateKeys(1, []model.ID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := New(NewSignedPD(signers[1], model.NewIDSet(2)), reg, DefaultConfig(), nil)
+	other := NewSignedPD(signers[2], model.NewIDSet(1))
+	w := wire.NewWriter()
+	w.Byte(wire.KindSetPDs)
+	w.Uvarint(1)
+	other.marshal(w)
+	mod.receiveRecords(9, w.Bytes())
+
+	snap := mod.Records()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d records, want 2", len(snap))
+	}
+	delete(snap, 2)
+	snap[1] = SignedPD{Owner: 1}
+	if again := mod.Records(); len(again) != 2 || again[2].Owner != 2 || len(again[1].Sig) == 0 {
+		t.Fatal("mutating the Records() snapshot corrupted module state")
+	}
+	if got := mod.View().PD[2]; !got.Equal(model.NewIDSet(1)) {
+		t.Fatalf("view PD(2) = %v after snapshot mutation, want {1}", got)
+	}
+}

@@ -168,6 +168,25 @@ func (s *Searcher) bind(v *View) {
 	}
 }
 
+// RebindPreserving points the searcher at a different view while keeping its
+// content-keyed memos (the sorted-PD cache, the per-component candidate
+// lists, the per-S1 verdict facts). The decomposition itself is recomputed on
+// the next search. Sound only when every view the searcher visits draws its
+// records from one immutable record universe — the same owner always mapping
+// to the same PD set — differing only in which records are present. The
+// worst-placement enumeration is exactly that workload: every f-subset's view
+// is the full graph minus the subset's records, so a component with the same
+// member content induces the same subgraph in every view, |OutTargets(S1)| is
+// computed from S1's own PDs regardless of what else was received, and all
+// three memos stay valid across rebinds.
+func (s *Searcher) RebindPreserving(v *View) {
+	if s.pdSorted == nil {
+		s.bind(v)
+		return
+	}
+	s.view, s.gen, s.valid = v, v.gen, false
+}
+
 // refresh brings the decomposition up to the view's current revision. At an
 // unchanged revision this is two comparisons.
 func (s *Searcher) refresh(v *View) {

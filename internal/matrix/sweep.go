@@ -124,3 +124,45 @@ func StandardSweep(seeds []int64) (CellSource, error) {
 	}
 	return ConcatSources(srcs...), nil
 }
+
+// AdversarySweep is the adversary-zoo counterpart of StandardSweep
+// (cmd/experiments -matrix -adversary): the BFT-CUP graph families crossed
+// with every zoo behavior and, for the silent baseline, with both the tail
+// heuristic and the worst-case placement search — so one report contrasts
+// kind(tail) rows against the same count at byz=worst. Unlike StandardSweep,
+// cells here are allowed to lose consensus: that a worst-placed or colluding
+// adversary defeats a graph the tail heuristic survives is the sweep's
+// finding, not a regression (the CLI exits non-zero on errors only).
+//
+// StandardSweep is deliberately untouched by the zoo: its fingerprint is the
+// cross-version regression anchor.
+func AdversarySweep(seeds []int64) (CellSource, error) {
+	if len(seeds) == 0 {
+		seeds = Seeds(1, 10)
+	}
+	cupGraphs, err := parseDefs("fig1b", "kosr:sink=5,nonsink=3,k=2,extra=0.15")
+	if err != nil {
+		return nil, err
+	}
+	nets := []scenario.NetParams{
+		{Kind: scenario.NetSync},
+		{Kind: scenario.NetPartial, GST: 2 * sim.Second},
+	}
+	zoo := []scenario.AutoByz{
+		{Kind: scenario.ByzDelay, Count: 1, Place: scenario.PlaceTail},
+		{Kind: scenario.ByzSelectiveSilent, Count: 1, Place: scenario.PlaceTail},
+		{Kind: scenario.ByzEquivPD, Count: 1, Place: scenario.PlaceTail},
+		{Kind: scenario.ByzCollude, Count: 2, Place: scenario.PlaceTail},
+		{Kind: scenario.ByzSilent, Count: 2, Place: scenario.PlaceTail},
+		{Kind: scenario.ByzSilent, Count: 2, Place: scenario.PlaceWorst},
+	}
+	axes := Axes{
+		Name:   "adversary",
+		Graphs: cupGraphs,
+		Modes:  []core.Mode{core.ModeKnownF},
+		Nets:   nets,
+		Byz:    zoo,
+		Seeds:  seeds,
+	}
+	return axes.Source()
+}

@@ -96,11 +96,15 @@ func (p Params) Compile() (*Compiled, error) {
 		f = built.F
 	}
 	byzMap := make(map[model.ID]ByzSpec)
-	for _, id := range p.autoByzIDs(built) {
-		byzMap[id] = p.autoByzSpec(built, id)
+	placed, err := p.autoByzIDs(built)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range placed {
+		byzMap[id] = p.autoByzSpec(built, id, placed)
 	}
 	for id, bp := range p.Byz {
-		spec := ByzSpec{Kind: bp.Kind}
+		spec := ByzSpec{Kind: bp.Kind, HoldRounds: bp.HoldRounds}
 		if len(bp.ClaimedPD) > 0 {
 			spec.ClaimedPD = model.NewIDSet(bp.ClaimedPD...)
 		}
@@ -108,8 +112,16 @@ func (p Params) Compile() (*Compiled, error) {
 			spec.AltPD = model.NewIDSet(bp.AltPD...)
 		}
 		if len(bp.AltRecipients) > 0 {
-			alt := model.NewIDSet(bp.AltRecipients...)
-			spec.ChooseAlt = func(id model.ID) bool { return alt.Has(id) }
+			// Carried as data, not a closure: CompileKey covers the set, so
+			// two cells differing only in recipients cannot share a cache
+			// entry (the Runner derives the chooser from the set at run time).
+			spec.AltRecipients = model.NewIDSet(bp.AltRecipients...)
+		}
+		if len(bp.AnswerTo) > 0 {
+			spec.AnswerTo = model.NewIDSet(bp.AnswerTo...)
+		}
+		if len(bp.Withhold) > 0 {
+			spec.Withhold = model.NewIDSet(bp.Withhold...)
 		}
 		byzMap[id] = spec
 	}
@@ -186,8 +198,9 @@ func (p Params) CompileKey() string {
 	}
 	for _, id := range sortedIDs(p.Byz) {
 		bp := p.Byz[id]
-		fmt.Fprintf(&sb, "|byz%d=%d;%v;%v;%v", uint64(id), int(bp.Kind),
-			canonIDs(bp.ClaimedPD), canonIDs(bp.AltPD), canonIDs(bp.AltRecipients))
+		fmt.Fprintf(&sb, "|byz%d=%d;%v;%v;%v;%d;%v;%v", uint64(id), int(bp.Kind),
+			canonIDs(bp.ClaimedPD), canonIDs(bp.AltPD), canonIDs(bp.AltRecipients),
+			bp.HoldRounds, canonIDs(bp.AnswerTo), canonIDs(bp.Withhold))
 	}
 	for _, id := range sortedIDs(p.Values) {
 		fmt.Fprintf(&sb, "|val%d=%q", uint64(id), string(p.Values[id]))
@@ -215,6 +228,43 @@ func canonIDs(ids []model.ID) []model.ID {
 	out := slices.Clone(ids)
 	slices.Sort(out)
 	return out
+}
+
+// ForgedClaim is the default advertised PD for a PD-forging behavior left
+// without an explicit ClaimedPD: the (up to) three lowest-ID other processes,
+// echoing the Section III worked example where Byzantine process 4 claims
+// PD {1,2,3}. It is guaranteed to differ from the process's real out-set —
+// if the pattern happens to coincide, the process's own ID is added
+// (knowledge graphs have no self-edges) — so a forging kind never silently
+// degenerates into advertising the truth.
+func ForgedClaim(g *graph.Digraph, id model.ID) model.IDSet {
+	claim := model.NewIDSet()
+	for _, u := range g.Nodes() {
+		if u != id {
+			claim.Add(u)
+			if claim.Len() == 3 {
+				break
+			}
+		}
+	}
+	if claim.Equal(g.OutSet(id)) {
+		claim.Add(id)
+	}
+	return claim
+}
+
+// resolveClaim fills a Byzantine spec's advertised PD: explicit claims win;
+// otherwise content-honest kinds (delay, selective silence) advertise the
+// real out-set and forging kinds get ForgedClaim.
+func resolveClaim(c *Compiled, id model.ID, bspec ByzSpec) model.IDSet {
+	if bspec.ClaimedPD != nil {
+		return bspec.ClaimedPD
+	}
+	switch bspec.Kind {
+	case ByzFakePD, ByzEquivPD, ByzCollude:
+		return ForgedClaim(c.Graph, id)
+	}
+	return c.Graph.OutSet(id).Clone()
 }
 
 // Run executes the compiled scenario under one seed. It is shorthand for a
@@ -323,6 +373,22 @@ func (r *Runner) Run(c *Compiled, seed int64, trace bool) (*Result, error) {
 	// per-event termination check is one comparison instead of a set scan.
 	decidedCorrect := 0
 
+	// Colluding-group state is mutable run state, so it is built here per
+	// run, never stored in the (goroutine-shared, immutable) Compiled.
+	// Members join in sorted ID order before the engine starts — the group
+	// record list is part of every member's replies from the first round.
+	var collusion *byz.Collusion
+	var colluders map[model.ID]*byz.Colluder
+	for _, id := range c.ids {
+		if bspec, ok := c.Byz[id]; ok && bspec.Kind == ByzCollude {
+			if collusion == nil {
+				collusion = byz.NewCollusion(reg, c.Discovery)
+				colluders = make(map[model.ID]*byz.Colluder)
+			}
+			colluders[id] = collusion.AddMember(signers[id], resolveClaim(c, id, bspec), bspec.Withhold)
+		}
+	}
+
 	for _, id := range c.ids {
 		id := id
 		value := model.Value(fmt.Sprintf("v%d", id))
@@ -373,21 +439,28 @@ func (r *Runner) Run(c *Compiled, seed int64, trace bool) (*Result, error) {
 			continue
 		}
 		var reactor sim.Reactor
-		claimed := bspec.ClaimedPD
-		if claimed == nil {
-			claimed = c.Graph.OutSet(id).Clone()
-		}
 		switch bspec.Kind {
 		case ByzSilent:
 			reactor = byz.Silent{}
 		case ByzFakePD:
-			reactor = byz.NewFakePD(signers[id], reg, claimed, c.Discovery)
+			reactor = byz.NewFakePD(signers[id], reg, resolveClaim(c, id, bspec), c.Discovery)
 		case ByzEquivPD:
 			alt := bspec.AltPD
 			if alt == nil {
 				alt = model.NewIDSet()
 			}
-			reactor = byz.NewPDEquivocator(signers[id], reg, claimed, alt, bspec.ChooseAlt, c.Discovery)
+			choose := bspec.ChooseAlt
+			if bspec.AltRecipients != nil {
+				recipients := bspec.AltRecipients
+				choose = func(id model.ID) bool { return recipients.Has(id) }
+			}
+			reactor = byz.NewPDEquivocator(signers[id], reg, resolveClaim(c, id, bspec), alt, choose, c.Discovery)
+		case ByzDelay:
+			reactor = byz.NewDelayer(signers[id], reg, resolveClaim(c, id, bspec), c.Discovery, bspec.HoldRounds)
+		case ByzSelectiveSilent:
+			reactor = byz.NewSelectiveSilent(signers[id], reg, resolveClaim(c, id, bspec), bspec.AnswerTo, c.Discovery)
+		case ByzCollude:
+			reactor = colluders[id]
 		default:
 			return nil, fmt.Errorf("scenario %q: unknown byz kind %v", name, bspec.Kind)
 		}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/bftcup/bftcup/internal/core"
 	"github.com/bftcup/bftcup/internal/graph"
+	"github.com/bftcup/bftcup/internal/kosr"
 	"github.com/bftcup/bftcup/internal/model"
 	"github.com/bftcup/bftcup/internal/sim"
 )
@@ -169,13 +170,20 @@ func (np NetParams) Model() sim.NetworkModel {
 type ByzParams struct {
 	// Kind selects the behavior.
 	Kind ByzKind
-	// ClaimedPD is the advertised PD (nil: the graph's real PD).
+	// ClaimedPD is the advertised PD (nil: the kind's default — see
+	// ByzSpec.ClaimedPD).
 	ClaimedPD []model.ID
 	// AltPD is the second record for ByzEquivPD.
 	AltPD []model.ID
 	// AltRecipients lists the peers that receive AltPD under ByzEquivPD
 	// (empty keeps the default even-ID split).
 	AltRecipients []model.ID
+	// HoldRounds is the ByzDelay reply delay in discovery periods.
+	HoldRounds int
+	// AnswerTo is the ByzSelectiveSilent peer subset.
+	AnswerTo []model.ID
+	// Withhold lists record owners a ByzCollude member censors.
+	Withhold []model.ID
 }
 
 // ByzPlace selects a deterministic automatic placement for swept Byzantine
@@ -193,6 +201,11 @@ const (
 	// PlaceSink picks the lowest-ID sink/core members — adversarial
 	// placement that stresses the committee itself.
 	PlaceSink
+	// PlaceWorst runs the worst-case placement search: per compiled graph,
+	// every Count-subset is graded by the knowledge margin the correct-only
+	// view retains (kosr.WorstPlacement), and the minimal-margin subset is
+	// placed. Deterministic per graph, so sweep fingerprints stay stable.
+	PlaceWorst
 )
 
 // String implements fmt.Stringer.
@@ -204,8 +217,48 @@ func (p ByzPlace) String() string {
 		return "tail"
 	case PlaceSink:
 		return "sink"
+	case PlaceWorst:
+		return "worst"
 	default:
 		return fmt.Sprintf("place(%d)", int(p))
+	}
+}
+
+// ParseByzKind parses a ByzKind's String form.
+func ParseByzKind(s string) (ByzKind, error) {
+	switch s {
+	case "silent":
+		return ByzSilent, nil
+	case "fake-pd":
+		return ByzFakePD, nil
+	case "equiv-pd":
+		return ByzEquivPD, nil
+	case "as-correct":
+		return ByzAsCorrect, nil
+	case "delay":
+		return ByzDelay, nil
+	case "selective-silent":
+		return ByzSelectiveSilent, nil
+	case "collude":
+		return ByzCollude, nil
+	default:
+		return 0, fmt.Errorf("unknown byzantine kind %q (want silent|fake-pd|equiv-pd|as-correct|delay|selective-silent|collude)", s)
+	}
+}
+
+// ParseByzPlace parses a ByzPlace's String form.
+func ParseByzPlace(s string) (ByzPlace, error) {
+	switch s {
+	case "figure":
+		return PlaceFigure, nil
+	case "tail":
+		return PlaceTail, nil
+	case "sink":
+		return PlaceSink, nil
+	case "worst":
+		return PlaceWorst, nil
+	default:
+		return 0, fmt.Errorf("unknown byzantine placement %q (want figure|tail|sink|worst)", s)
 	}
 }
 
@@ -226,6 +279,41 @@ func (a AutoByz) String() string {
 		return "none"
 	}
 	return fmt.Sprintf("%s×%d@%s", a.Kind, a.Count, a.Place)
+}
+
+// ParseAutoByz parses the String form — "kind×count@place" (an ASCII "x"
+// also separates kind and count, for shells without the multiplication
+// sign), "kind×count" (default tail placement), or "none".
+func ParseAutoByz(s string) (AutoByz, error) {
+	if s == "" || s == "none" {
+		return AutoByz{}, nil
+	}
+	rest := s
+	place := PlaceTail
+	if at := strings.LastIndexByte(rest, '@'); at >= 0 {
+		p, err := ParseByzPlace(rest[at+1:])
+		if err != nil {
+			return AutoByz{}, fmt.Errorf("auto byz %q: %w", s, err)
+		}
+		place, rest = p, rest[:at]
+	}
+	sep := strings.LastIndex(rest, "×")
+	sepLen := len("×")
+	if sep < 0 {
+		sep, sepLen = strings.LastIndexByte(rest, 'x'), 1
+	}
+	if sep <= 0 {
+		return AutoByz{}, fmt.Errorf("auto byz %q: want kind×count[@place] or none", s)
+	}
+	kind, err := ParseByzKind(rest[:sep])
+	if err != nil {
+		return AutoByz{}, fmt.Errorf("auto byz %q: %w", s, err)
+	}
+	count, err := strconv.Atoi(rest[sep+sepLen:])
+	if err != nil || count <= 0 {
+		return AutoByz{}, fmt.Errorf("auto byz %q: bad count %q", s, rest[sep+sepLen:])
+	}
+	return AutoByz{Kind: kind, Count: count, Place: place}, nil
 }
 
 // Params is a fully data-driven experiment description: every field is a
@@ -392,16 +480,28 @@ func (p Params) Spec() (Spec, error) {
 }
 
 // autoByzIDs resolves the automatic placement to concrete process IDs.
-func (p Params) autoByzIDs(built graph.BuiltGraph) []model.ID {
+// PlaceWorst is the only placement that can fail (enumeration cap).
+func (p Params) autoByzIDs(built graph.BuiltGraph) ([]model.ID, error) {
 	if p.Auto.Count == 0 {
-		return nil
+		return nil, nil
 	}
 	if p.Auto.Place == PlaceFigure {
 		ids := built.Byz.Sorted()
 		if len(ids) > p.Auto.Count {
 			ids = ids[:p.Auto.Count]
 		}
-		return ids
+		return ids, nil
+	}
+	if p.Auto.Place == PlaceWorst {
+		count := p.Auto.Count
+		if n := built.G.NumNodes(); count > n {
+			count = n
+		}
+		worst, err := kosr.WorstPlacement(built.G, count)
+		if err != nil {
+			return nil, fmt.Errorf("params %q: %w", p.nameOrID(), err)
+		}
+		return worst.Byz.Sorted(), nil
 	}
 	nodes := built.G.Nodes()
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
@@ -421,21 +521,50 @@ func (p Params) autoByzIDs(built graph.BuiltGraph) []model.ID {
 	if len(pool) > p.Auto.Count {
 		pool = pool[:p.Auto.Count]
 	}
-	return pool
+	return pool, nil
 }
 
-// autoByzSpec derives the ByzSpec for an automatically placed process. For
-// ByzFakePD the claimed PD is the sink minus the process itself — a
-// plausible false claim; ByzEquivPD additionally advertises an empty set to
-// half the peers.
-func (p Params) autoByzSpec(built graph.BuiltGraph, id model.ID) ByzSpec {
+// autoByzSpec derives the ByzSpec for an automatically placed process; placed
+// is the full sorted placement (some defaults are relative to the whole
+// group). For ByzFakePD / ByzEquivPD / ByzCollude the claimed PD is the sink
+// minus the process itself — a plausible false claim — falling back to the
+// run-time ForgedClaim default on sinkless graphs; ByzEquivPD additionally
+// advertises an empty set to half the peers. ByzDelay holds replies two
+// discovery rounds; ByzSelectiveSilent answers the lowest ⌈n/2⌉ processes;
+// ByzCollude additionally censors the highest-ID process outside the group.
+func (p Params) autoByzSpec(built graph.BuiltGraph, id model.ID, placed []model.ID) ByzSpec {
 	spec := ByzSpec{Kind: p.Auto.Kind}
 	switch p.Auto.Kind {
-	case ByzFakePD, ByzEquivPD:
+	case ByzFakePD, ByzEquivPD, ByzCollude:
 		if built.Sink.Len() > 0 {
 			claimed := built.Sink.Clone()
 			claimed.Remove(id)
 			spec.ClaimedPD = claimed
+		}
+	}
+	switch p.Auto.Kind {
+	case ByzDelay:
+		spec.HoldRounds = 2
+	case ByzSelectiveSilent:
+		nodes := built.G.Nodes()
+		answer := model.NewIDSet()
+		for _, u := range nodes {
+			if u != id {
+				answer.Add(u)
+			}
+			if answer.Len() >= (len(nodes)+1)/2 {
+				break
+			}
+		}
+		spec.AnswerTo = answer
+	case ByzCollude:
+		group := model.NewIDSet(placed...)
+		nodes := built.G.Nodes()
+		for i := len(nodes) - 1; i >= 0; i-- {
+			if u := nodes[i]; !group.Has(u) {
+				spec.Withhold = model.NewIDSet(u)
+				break
+			}
 		}
 	}
 	return spec

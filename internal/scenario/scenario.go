@@ -29,6 +29,16 @@ const (
 	// ByzAsCorrect runs the correct protocol while counting against f —
 	// the adversary strategy of the Fig. 3 narrative.
 	ByzAsCorrect
+	// ByzDelay relays honest discovery content with Byzantine timing: every
+	// GETPDS reply is held for HoldRounds discovery periods.
+	ByzDelay
+	// ByzSelectiveSilent runs honest discovery toward AnswerTo only and is
+	// completely silent toward everyone else.
+	ByzSelectiveSilent
+	// ByzCollude joins a per-run colluding group: members share collected
+	// records, advertise forged PDs for each other and censor the record
+	// owners in Withhold from their replies.
+	ByzCollude
 )
 
 // String implements fmt.Stringer.
@@ -42,22 +52,49 @@ func (k ByzKind) String() string {
 		return "equiv-pd"
 	case ByzAsCorrect:
 		return "as-correct"
+	case ByzDelay:
+		return "delay"
+	case ByzSelectiveSilent:
+		return "selective-silent"
+	case ByzCollude:
+		return "collude"
 	default:
 		return fmt.Sprintf("byz(%d)", int(k))
 	}
 }
 
-// ByzSpec configures one Byzantine process.
+// ByzSpec configures one Byzantine process. All behavior-shaping fields are
+// plain data (sets and integers) so a spec has a canonical serialized
+// identity — Params.CompileKey covers every one of them, which is what lets
+// the matrix layer's compile cache treat equal keys as interchangeable.
 type ByzSpec struct {
 	// Kind selects the behavior.
 	Kind ByzKind
-	// ClaimedPD is the advertised PD for ByzFakePD / ByzEquivPD (record A).
-	// Nil means the graph's real PD.
+	// ClaimedPD is the advertised PD for the discovery-active behaviors.
+	// Nil picks the kind's default: the graph's real out-set for ByzDelay /
+	// ByzSelectiveSilent (those attacks distort timing and reach, not
+	// content) and ForgedClaim for ByzFakePD / ByzEquivPD / ByzCollude
+	// (claiming the truth would make the "fake" PD a no-op).
 	ClaimedPD model.IDSet
 	// AltPD is record B for ByzEquivPD.
 	AltPD model.IDSet
-	// ChooseAlt selects which peers receive AltPD (nil: even IDs).
+	// AltRecipients is the peer set that receives AltPD under ByzEquivPD.
+	// Nil falls back to ChooseAlt (and then to the even-ID default). Unlike
+	// ChooseAlt it is data, visible to CompileKey.
+	AltRecipients model.IDSet
+	// ChooseAlt selects which peers receive AltPD. Functions have no
+	// canonical identity, so hand-written Specs may use it but Params cannot;
+	// AltRecipients wins when both are set.
 	ChooseAlt func(model.ID) bool
+	// HoldRounds is how many discovery periods ByzDelay holds each reply
+	// (values < 1 are floored to 1).
+	HoldRounds int
+	// AnswerTo is the peer subset ByzSelectiveSilent communicates with (nil
+	// behaves like ByzSilent).
+	AnswerTo model.IDSet
+	// Withhold lists third-party record owners a ByzCollude member censors
+	// from the group's replies (the group pools the union).
+	Withhold model.IDSet
 }
 
 // Spec is a full experiment description.
