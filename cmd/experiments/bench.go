@@ -46,6 +46,12 @@ type BenchEntry struct {
 	// kosr.WorstPlacement search (and the memo sharing that keeps it cheap).
 	// Nil for entries that predate it.
 	SweepWorst *MatrixBench `json:"sweep_worst,omitempty"`
+	// SweepProb is the random-graph-family emergence sweep (er/geo/sf over
+	// size × density × f, one seed): every cell builds a fresh random graph
+	// and searches views with no planted sink, so the number tracks the
+	// bitset subset engine on unstructured graphs. Nil for entries that
+	// predate it.
+	SweepProb *MatrixBench `json:"sweep_prob,omitempty"`
 	// Search is the knowledge-layer search replay (BenchmarkSinkSearch's
 	// workload measured through the harness): PD records inserted one at a
 	// time with a search after every insertion — the per-event schedule the
@@ -185,6 +191,25 @@ func runSweepWorstBench() (*matrix.Report, error) {
 	return rep, nil
 }
 
+// runSweepProbBench times the probabilistic family sweep at one seed: 54
+// cells, each building a fresh random graph (er/geo/sf) and running searches
+// on views without a planted sink. Cells without consensus are the sweep's
+// normal output; only Errors fail the bench.
+func runSweepProbBench() (*matrix.Report, error) {
+	src, err := matrix.ProbabilisticSweep(matrix.Seeds(1, 1))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := matrix.Run(src, matrix.Options{Parallelism: 1})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Errors > 0 {
+		return nil, fmt.Errorf("probabilistic sweep bench had %d errored cells", rep.Errors)
+	}
+	return rep, nil
+}
+
 // searchReplays builds the search workloads: a view's records inserted one at
 // a time (sorted owner order — the schedule is part of the workload), a
 // search after every insertion, mirroring the per-event search schedule the
@@ -202,6 +227,13 @@ func searchReplays() ([]SearchBench, error) {
 	if err != nil {
 		return nil, err
 	}
+	// 24-node k-OSR graph with a 15-member sink: the sink SCC sits just under
+	// ExactLimit, so every search pays a full exact subset enumeration — the
+	// workload the bitset subset engine targets.
+	sink24G, _, err := graph.GenKOSR(rand.New(rand.NewSource(9)), graph.GenSpec{SinkSize: 15, NonSinkSize: 9, K: 3, ExtraEdgeP: 0.2})
+	if err != nil {
+		return nil, err
+	}
 	fig4b := graph.Fig4b()
 	replays := []replay{
 		{"sink-replay-fig1b", fig.G, func(se *kosr.Searcher, v *kosr.View) bool {
@@ -212,7 +244,15 @@ func searchReplays() ([]SearchBench, error) {
 			_, ok := se.FindSinkKnownF(v, 2)
 			return ok
 		}},
+		{"sink-replay-random-24", sink24G, func(se *kosr.Searcher, v *kosr.View) bool {
+			_, ok := se.FindSinkKnownF(v, 2)
+			return ok
+		}},
 		{"core-replay-fig4b", fig4b.G, func(se *kosr.Searcher, v *kosr.View) bool {
+			_, ok := se.FindCore(v)
+			return ok
+		}},
+		{"core-replay-random-24", sink24G, func(se *kosr.Searcher, v *kosr.View) bool {
 			_, ok := se.FindCore(v)
 			return ok
 		}},
@@ -311,6 +351,18 @@ func runBenchJSON(path, label string, gate float64) {
 		Fingerprint: worstRep.Fingerprint(),
 	}
 
+	probRep, err := runSweepProbBench()
+	if err != nil {
+		fail(err)
+	}
+	entry.SweepProb = &MatrixBench{
+		Cells:       probRep.Cells,
+		Parallelism: probRep.Parallelism,
+		WallSeconds: float64(probRep.WallNS) / 1e9,
+		CellsPerSec: float64(probRep.Cells) / (float64(probRep.WallNS) / 1e9),
+		Fingerprint: probRep.Fingerprint(),
+	}
+
 	if entry.Search, err = searchReplays(); err != nil {
 		fail(err)
 	}
@@ -336,6 +388,8 @@ func runBenchJSON(path, label string, gate float64) {
 		entry.SweepExt.Cells, entry.SweepExt.Parallelism, entry.SweepExt.CellsPerSec, entry.SweepExt.WallSeconds)
 	fmt.Printf("sweep-worst %d cells on %d workers: %.2f cells/s (%.2fs)\n",
 		entry.SweepWorst.Cells, entry.SweepWorst.Parallelism, entry.SweepWorst.CellsPerSec, entry.SweepWorst.WallSeconds)
+	fmt.Printf("sweep-prob %d cells on %d workers: %.2f cells/s (%.2fs)\n",
+		entry.SweepProb.Cells, entry.SweepProb.Parallelism, entry.SweepProb.CellsPerSec, entry.SweepProb.WallSeconds)
 	for _, s := range entry.Search {
 		fmt.Printf("search %-22s %10.0f ns/op  %8.0f ops/s  %6d allocs/op\n",
 			s.Name, s.NsPerOp, s.OpsPerSec, s.AllocsPerOp)
@@ -406,6 +460,7 @@ func gateEntry(prev, cur BenchEntry, tol float64) error {
 	gateSweep("sweep", cur.Sweep, prev.Sweep)
 	gateSweep("sweep-ext", cur.SweepExt, prev.SweepExt)
 	gateSweep("sweep-worst", cur.SweepWorst, prev.SweepWorst)
+	gateSweep("sweep-prob", cur.SweepProb, prev.SweepProb)
 	prevSearch := make(map[string]SearchBench, len(prev.Search))
 	for _, s := range prev.Search {
 		prevSearch[s.Name] = s

@@ -46,6 +46,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "print per-process details")
 		doMatrix   = flag.Bool("matrix", false, "run the standard scenario-matrix sweep instead of the paper suite")
 		adversary  = flag.Bool("adversary", false, "with -matrix: sweep the adversary zoo (delay, selective silence, collusion, equivocation) with tail vs worst-case placements instead of the standard axes")
+		probSweep  = flag.Bool("probabilistic", false, "with -matrix: sweep the random-graph families (er, geo, sf) over size, density and fault threshold, reporting per-axis emergence rates")
 		seedsStr   = flag.String("seeds", "1:10", "seed sweep for -matrix, as FROM:TO or a single count N (= 1:N)")
 		parallel   = flag.Int("parallel", 0, "worker count: 0 = GOMAXPROCS, 1 = serial")
 		jsonOut    = flag.Bool("json", false, "emit the matrix report as JSON")
@@ -91,7 +92,7 @@ func main() {
 	case *benchJSON:
 		runBenchJSON(*benchOut, *benchLabel, *benchGate)
 	case *doMatrix:
-		runMatrix(*seedsStr, *adversary, *parallel, *jsonOut, *trace, *cellRows, *compare, *shardStr, *jsonlPath, *resume)
+		runMatrix(*seedsStr, *adversary, *probSweep, *parallel, *jsonOut, *trace, *cellRows, *compare, *shardStr, *jsonlPath, *resume)
 	default:
 		runPaperSuite(*runSel, *parallel, *jsonOut, *trace, *verbose)
 	}
@@ -125,14 +126,20 @@ func runMerge(paths []string, jsonOut, cellRows, summary bool) {
 // optionally streaming per-cell JSONL (fresh or resumed) instead of
 // buffering a report. The sweep is a lazy cell source end to end — nothing
 // materializes the cell list, so seed ranges in the millions are fine.
-func runMatrix(seedsStr string, adversary bool, parallel int, jsonOut, trace, cellRows, compare bool, shardStr, jsonlPath string, resume bool) {
+func runMatrix(seedsStr string, adversary, probabilistic bool, parallel int, jsonOut, trace, cellRows, compare bool, shardStr, jsonlPath string, resume bool) {
 	seeds, err := matrix.ParseSeedRange(seedsStr)
 	if err != nil {
 		fail(err)
 	}
+	if adversary && probabilistic {
+		fail(fmt.Errorf("-adversary and -probabilistic select different sweeps; pick one"))
+	}
 	sweepName, sweep := "standard", matrix.StandardSweep
-	if adversary {
+	switch {
+	case adversary:
 		sweepName, sweep = "adversary", matrix.AdversarySweep
+	case probabilistic:
+		sweepName, sweep = "probabilistic", matrix.ProbabilisticSweep
 	}
 	src, err := sweep(seeds)
 	if err != nil {

@@ -1,0 +1,222 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+// propertyDefs spans every graph family the Def grammar can build — figures,
+// complete graphs, the planted k-OSR / extended families, and the three
+// probabilistic families — so the bitset engine is cross-validated against
+// the map/slice reference on structured and unstructured topologies alike.
+func propertyDefs(t *testing.T) []Def {
+	t.Helper()
+	var defs []Def
+	for _, name := range FigureNames() {
+		defs = append(defs, Def{Kind: DefFigure, Figure: name})
+	}
+	for _, s := range []string{
+		"complete:4", "complete:9",
+		"kosr:sink=5,nonsink=3,k=2,extra=0.15",
+		"kosr:sink=7,nonsink=4,k=3,extra=0.3",
+		"extended:core=5,noncore=3,extra=0.2",
+		"er:n=12,p=0.15", "er:n=12,p=0.4", "er:n=20,p=0.3",
+		"geo:n=12,r=0.3", "geo:n=16,r=0.5",
+		"sf:n=12,m=1", "sf:n=16,m=3",
+	} {
+		d, err := ParseDef(s)
+		if err != nil {
+			t.Fatalf("ParseDef(%q): %v", s, err)
+		}
+		defs = append(defs, d)
+	}
+	return defs
+}
+
+// TestBitAdjacencyReachableMatchesDigraph asserts BitAdjacency.ReachableSet
+// equals the map-based Digraph.Reachable for every node of every family over
+// randomized seeds. Reachability closure is the backbone of the sink
+// properties (S1 mutual reach, S2 reach-into-sink), so any divergence here
+// would silently corrupt search verdicts.
+func TestBitAdjacencyReachableMatchesDigraph(t *testing.T) {
+	for _, d := range propertyDefs(t) {
+		for seed := int64(1); seed <= 3; seed++ {
+			b, err := d.Build(seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", d, seed, err)
+			}
+			var ba BitAdjacency
+			ba.Load(b.G)
+			if ba.NumNodes() != b.G.NumNodes() {
+				t.Fatalf("%s seed %d: BitAdjacency has %d nodes, Digraph has %d",
+					d, seed, ba.NumNodes(), b.G.NumNodes())
+			}
+			for _, u := range b.G.Nodes() {
+				want := b.G.Reachable(u)
+				got := ba.ReachableSet(u)
+				if !got.Equal(want) {
+					t.Fatalf("%s seed %d: Reachable(%d) bitset %v != digraph %v",
+						d, seed, u, got, want)
+				}
+			}
+			if !d.UsesSeed() {
+				break
+			}
+		}
+	}
+}
+
+// TestFlowProberMatchesDigraphMaxFlow asserts the reusable FlowProber (one
+// Load, many pair probes on shared scratch) returns exactly the per-call
+// Digraph.MaxNodeDisjointPaths value on every ordered pair, across families
+// and seeds, for both bounded and unbounded limits.
+func TestFlowProberMatchesDigraphMaxFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, d := range propertyDefs(t) {
+		for seed := int64(1); seed <= 2; seed++ {
+			b, err := d.Build(seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", d, seed, err)
+			}
+			nodes := b.G.Nodes()
+			var prober FlowProber
+			prober.Load(b.G)
+			pairs := 0
+			for _, s := range nodes {
+				for _, u := range nodes {
+					if s == u {
+						continue
+					}
+					// Sample pairs on large graphs; exhaustive on small ones.
+					if len(nodes) > 12 && rng.Intn(4) != 0 {
+						continue
+					}
+					limit := rng.Intn(len(nodes) + 2) // 0 = unbounded
+					want := b.G.MaxNodeDisjointPaths(s, u, limit)
+					got := prober.MaxNodeDisjointPaths(s, u, limit)
+					if got != want {
+						t.Fatalf("%s seed %d: MaxNodeDisjointPaths(%d,%d,limit=%d) prober %d != digraph %d",
+							d, seed, s, u, limit, got, want)
+					}
+					pairs++
+				}
+			}
+			if pairs == 0 && len(nodes) > 1 {
+				t.Fatalf("%s seed %d: no pairs probed", d, seed)
+			}
+			if !d.UsesSeed() {
+				break
+			}
+		}
+	}
+}
+
+// poolRows packs a Digraph's adjacency restricted to pool (sorted IDs) into
+// single-word rows for PoolFlow, the same shape the k-OSR enumeration feeds.
+func poolRows(g *Digraph, pool []model.ID) []uint64 {
+	idx := make(map[model.ID]int, len(pool))
+	for i, id := range pool {
+		idx[id] = i
+	}
+	rows := make([]uint64, len(pool))
+	for i, id := range pool {
+		for _, v := range g.Out(id) {
+			if j, ok := idx[v]; ok && j != i {
+				rows[i] |= 1 << j
+			}
+		}
+	}
+	return rows
+}
+
+// TestPoolFlowKappaMatchesInducedSubgraph asserts PoolFlow.KappaAtLeast on a
+// subset mask equals Digraph.IsKStronglyConnected on the materialized
+// induced subgraph, for random masks and thresholds over every family. This
+// is the verdict the sink search's property P2 (κ(G[S1]) ≥ g+1) rides on.
+func TestPoolFlowKappaMatchesInducedSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, d := range propertyDefs(t) {
+		for seed := int64(1); seed <= 2; seed++ {
+			b, err := d.Build(seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", d, seed, err)
+			}
+			pool := b.G.Nodes()
+			if len(pool) > 64 {
+				pool = pool[:64]
+			}
+			var pf PoolFlow
+			pf.Reset(poolRows(b.G, pool))
+			full := uint64(1)<<len(pool) - 1
+			if len(pool) == 64 {
+				full = ^uint64(0)
+			}
+			for trial := 0; trial < 40; trial++ {
+				mask := rng.Uint64() & full
+				if trial == 0 {
+					mask = full // always include the whole pool
+				}
+				k := rng.Intn(5) // 0..4; k=0 exercises the vacuous branch
+				subset := model.NewIDSet()
+				for m := mask; m != 0; m &= m - 1 {
+					subset.Add(pool[trailing(m)])
+				}
+				want := b.G.Induced(subset).IsKStronglyConnected(k)
+				got := pf.KappaAtLeast(mask, k)
+				if got != want {
+					t.Fatalf("%s seed %d: KappaAtLeast(%s, %d) bitset %v != induced %v",
+						d, seed, subset, k, got, want)
+				}
+			}
+			if !d.UsesSeed() {
+				break
+			}
+		}
+	}
+}
+
+func trailing(m uint64) int {
+	i := 0
+	for m&1 == 0 {
+		m >>= 1
+		i++
+	}
+	return i
+}
+
+// TestBitAdjacencyIndexRoundTrip pins the index contract: IDs are sorted,
+// Index inverts IDs, HasEdge mirrors Digraph.HasEdge bit for bit.
+func TestBitAdjacencyIndexRoundTrip(t *testing.T) {
+	d, err := ParseDef("er:n=70,p=0.1") // > 64 nodes: multi-word rows
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Build(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba BitAdjacency
+	ba.Load(b.G)
+	ids := ba.IDs()
+	for i, id := range ids {
+		if j, ok := ba.Index(id); !ok || j != i {
+			t.Fatalf("Index(%d) = %d,%v want %d,true", id, j, ok, i)
+		}
+	}
+	if _, ok := ba.Index(model.ID(9999)); ok {
+		t.Fatal("Index accepted an ID not in the graph")
+	}
+	for i, u := range ids {
+		for j, v := range ids {
+			if got, want := ba.HasEdge(i, j), b.G.HasEdge(u, v); got != want {
+				t.Fatalf("HasEdge(%d→%d) bitset %v != digraph %v", u, v, got, want)
+			}
+		}
+	}
+	if testing.Verbose() {
+		fmt.Printf("bitadj round trip over %d nodes ok\n", len(ids))
+	}
+}

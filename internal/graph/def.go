@@ -24,6 +24,12 @@ const (
 	DefKOSR
 	// DefExtended is a random extended k-OSR graph from GenExtendedKOSR.
 	DefExtended
+	// DefER is a directed Erdős–Rényi graph from GenER.
+	DefER
+	// DefGeo is a random geometric digraph from GenGeometric.
+	DefGeo
+	// DefSF is a scale-free (Barabási–Albert-style) digraph from GenScaleFree.
+	DefSF
 )
 
 // Def is a compact, textual, matrix-consumable description of a knowledge
@@ -37,12 +43,21 @@ const (
 //	complete:7                             complete digraph on 7 nodes
 //	kosr:sink=7,nonsink=4,k=3[,extra=0.15] random k-OSR family
 //	extended:core=5,noncore=3[,extra=0.15] random extended k-OSR family
+//	er:n=16,p=0.3                          directed Erdős–Rényi G(n, p)
+//	geo:n=16,r=0.4                         random geometric digraph (unit square)
+//	sf:n=16,m=2                            scale-free (Barabási–Albert) digraph
+//
+// The er/geo/sf families carry no planted sink or core: unlike the
+// constructive kosr/extended generators, whether the graded sink/core
+// properties hold on a draw is exactly the question a probabilistic sweep
+// measures.
 type Def struct {
-	// Kind selects the family (figure, complete, k-OSR, extended k-OSR).
+	// Kind selects the family (figure, complete, k-OSR, extended k-OSR,
+	// Erdős–Rényi, geometric, scale-free).
 	Kind DefKind
 	// Figure is the figure name for DefFigure.
 	Figure string
-	// N is the node count for DefComplete.
+	// N is the node count for DefComplete, DefER, DefGeo and DefSF.
 	N int
 	// Sink is the sink (kosr) or core (extended) size.
 	Sink int
@@ -50,8 +65,14 @@ type Def struct {
 	NonSink int
 	// K is the required connectivity for DefKOSR (f+1).
 	K int
-	// ExtraEdgeP is the extra-edge probability for the random families.
+	// ExtraEdgeP is the extra-edge probability for the kosr/extended families.
 	ExtraEdgeP float64
+	// P is the edge probability for DefER.
+	P float64
+	// R is the connection radius for DefGeo (unit square, Euclidean).
+	R float64
+	// M is the per-node attachment count for DefSF.
+	M int
 }
 
 // BuiltGraph is the result of materializing a Def.
@@ -88,6 +109,12 @@ func (d Def) String() string {
 			s += fmt.Sprintf(",extra=%g", d.ExtraEdgeP)
 		}
 		return s
+	case DefER:
+		return fmt.Sprintf("er:n=%d,p=%g", d.N, d.P)
+	case DefGeo:
+		return fmt.Sprintf("geo:n=%d,r=%g", d.N, d.R)
+	case DefSF:
+		return fmt.Sprintf("sf:n=%d,m=%d", d.N, d.M)
 	default:
 		return fmt.Sprintf("def(%d)", int(d.Kind))
 	}
@@ -112,12 +139,24 @@ func (d Def) Validate() error {
 			return fmt.Errorf("graph def %q: need N ≥ 1", d)
 		}
 	case DefKOSR:
-		if d.Sink <= 0 || d.K <= 0 || d.NonSink < 0 {
-			return fmt.Errorf("graph def %q: need sink ≥ 1, k ≥ 1 and nonsink ≥ 0", d)
+		if d.Sink <= 0 || d.K <= 0 || d.NonSink < 0 || !(d.ExtraEdgeP >= 0 && d.ExtraEdgeP <= 1) {
+			return fmt.Errorf("graph def %q: need sink ≥ 1, k ≥ 1, nonsink ≥ 0 and 0 ≤ extra ≤ 1", d)
 		}
 	case DefExtended:
-		if d.Sink < 3 || d.NonSink < 0 {
-			return fmt.Errorf("graph def %q: need core ≥ 3 and noncore ≥ 0", d)
+		if d.Sink < 3 || d.NonSink < 0 || !(d.ExtraEdgeP >= 0 && d.ExtraEdgeP <= 1) {
+			return fmt.Errorf("graph def %q: need core ≥ 3, noncore ≥ 0 and 0 ≤ extra ≤ 1", d)
+		}
+	case DefER:
+		if d.N < 1 || !(d.P >= 0 && d.P <= 1) {
+			return fmt.Errorf("graph def %q: need n ≥ 1 and 0 ≤ p ≤ 1", d)
+		}
+	case DefGeo:
+		if d.N < 1 || !(d.R >= 0) {
+			return fmt.Errorf("graph def %q: need n ≥ 1 and r ≥ 0", d)
+		}
+	case DefSF:
+		if d.N < 1 || d.M < 1 || d.M > d.N {
+			return fmt.Errorf("graph def %q: need n ≥ 1 and 1 ≤ m ≤ n", d)
 		}
 	default:
 		return fmt.Errorf("graph def: unknown kind %d", int(d.Kind))
@@ -129,7 +168,11 @@ func (d Def) Validate() error {
 // complete graphs are fixed constructions; only the random families draw
 // from the generator RNG.
 func (d Def) UsesSeed() bool {
-	return d.Kind == DefKOSR || d.Kind == DefExtended
+	switch d.Kind {
+	case DefKOSR, DefExtended, DefER, DefGeo, DefSF:
+		return true
+	}
+	return false
 }
 
 // BuildKey returns the canonical cache key identifying Build(seed)'s output:
@@ -147,7 +190,7 @@ func (d Def) BuildKey(seed int64) string {
 // NumNodes returns the node count the def will materialize to.
 func (d Def) NumNodes() int {
 	switch d.Kind {
-	case DefComplete:
+	case DefComplete, DefER, DefGeo, DefSF:
 		return d.N
 	case DefKOSR, DefExtended:
 		return d.Sink + d.NonSink
@@ -192,8 +235,8 @@ func ParseDef(s string) (Def, error) {
 		}); err != nil {
 			return Def{}, fmt.Errorf("graph def %q: %w", s, err)
 		}
-		if d.Sink <= 0 || d.K <= 0 || d.NonSink < 0 {
-			return Def{}, fmt.Errorf("graph def %q: need sink ≥ 1, k ≥ 1 and nonsink ≥ 0", s)
+		if d.Sink <= 0 || d.K <= 0 || d.NonSink < 0 || !(d.ExtraEdgeP >= 0 && d.ExtraEdgeP <= 1) {
+			return Def{}, fmt.Errorf("graph def %q: need sink ≥ 1, k ≥ 1, nonsink ≥ 0 and 0 ≤ extra ≤ 1", s)
 		}
 		return d, nil
 	case "extended":
@@ -205,8 +248,44 @@ func ParseDef(s string) (Def, error) {
 		}); err != nil {
 			return Def{}, fmt.Errorf("graph def %q: %w", s, err)
 		}
-		if d.Sink < 3 || d.NonSink < 0 {
-			return Def{}, fmt.Errorf("graph def %q: need core ≥ 3 and noncore ≥ 0", s)
+		if d.Sink < 3 || d.NonSink < 0 || !(d.ExtraEdgeP >= 0 && d.ExtraEdgeP <= 1) {
+			return Def{}, fmt.Errorf("graph def %q: need core ≥ 3, noncore ≥ 0 and 0 ≤ extra ≤ 1", s)
+		}
+		return d, nil
+	case "er":
+		d := Def{Kind: DefER}
+		if err := parseDefFields(rest, map[string]func(string) error{
+			"n": intField(&d.N),
+			"p": floatField(&d.P),
+		}); err != nil {
+			return Def{}, fmt.Errorf("graph def %q: %w", s, err)
+		}
+		if d.N < 1 || !(d.P >= 0 && d.P <= 1) {
+			return Def{}, fmt.Errorf("graph def %q: need n ≥ 1 and 0 ≤ p ≤ 1", s)
+		}
+		return d, nil
+	case "geo":
+		d := Def{Kind: DefGeo}
+		if err := parseDefFields(rest, map[string]func(string) error{
+			"n": intField(&d.N),
+			"r": floatField(&d.R),
+		}); err != nil {
+			return Def{}, fmt.Errorf("graph def %q: %w", s, err)
+		}
+		if d.N < 1 || !(d.R >= 0) {
+			return Def{}, fmt.Errorf("graph def %q: need n ≥ 1 and r ≥ 0", s)
+		}
+		return d, nil
+	case "sf":
+		d := Def{Kind: DefSF}
+		if err := parseDefFields(rest, map[string]func(string) error{
+			"n": intField(&d.N),
+			"m": intField(&d.M),
+		}); err != nil {
+			return Def{}, fmt.Errorf("graph def %q: %w", s, err)
+		}
+		if d.N < 1 || d.M < 1 || d.M > d.N {
+			return Def{}, fmt.Errorf("graph def %q: need n ≥ 1 and 1 ≤ m ≤ n", s)
 		}
 		return d, nil
 	default:
@@ -320,6 +399,24 @@ func (d Def) Build(seed int64) (BuiltGraph, error) {
 			return BuiltGraph{}, err
 		}
 		return BuiltGraph{G: g, F: fG, Byz: model.NewIDSet(), Sink: core}, nil
+	case DefER:
+		if err := d.Validate(); err != nil {
+			return BuiltGraph{}, err
+		}
+		g := GenER(rand.New(rand.NewSource(seed)), d.N, d.P)
+		return BuiltGraph{G: g, F: (d.N - 1) / 3, Byz: model.NewIDSet()}, nil
+	case DefGeo:
+		if err := d.Validate(); err != nil {
+			return BuiltGraph{}, err
+		}
+		g := GenGeometric(rand.New(rand.NewSource(seed)), d.N, d.R)
+		return BuiltGraph{G: g, F: (d.N - 1) / 3, Byz: model.NewIDSet()}, nil
+	case DefSF:
+		if err := d.Validate(); err != nil {
+			return BuiltGraph{}, err
+		}
+		g := GenScaleFree(rand.New(rand.NewSource(seed)), d.N, d.M)
+		return BuiltGraph{G: g, F: (d.N - 1) / 3, Byz: model.NewIDSet()}, nil
 	default:
 		return BuiltGraph{}, fmt.Errorf("unknown graph def kind %d", int(d.Kind))
 	}

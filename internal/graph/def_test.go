@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -13,6 +14,10 @@ func TestParseDefRoundTrip(t *testing.T) {
 		{Kind: DefKOSR, Sink: 5, NonSink: 2, K: 2, ExtraEdgeP: 0.15},
 		{Kind: DefExtended, Sink: 5, NonSink: 3},
 		{Kind: DefExtended, Sink: 6, NonSink: 2, ExtraEdgeP: 0.2},
+		{Kind: DefER, N: 16, P: 0.3},
+		{Kind: DefER, N: 12, P: 0},
+		{Kind: DefGeo, N: 16, R: 0.4},
+		{Kind: DefSF, N: 16, M: 2},
 	}
 	for _, want := range defs {
 		got, err := ParseDef(want.String())
@@ -59,7 +64,10 @@ func TestDefRoundTripProperty(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		defs = append(defs,
 			Def{Kind: DefKOSR, Sink: 3 + rng.Intn(30), NonSink: rng.Intn(30), K: 1 + rng.Intn(6), ExtraEdgeP: rng.Float64()},
-			Def{Kind: DefExtended, Sink: 3 + rng.Intn(30), NonSink: rng.Intn(30), ExtraEdgeP: rng.Float64()})
+			Def{Kind: DefExtended, Sink: 3 + rng.Intn(30), NonSink: rng.Intn(30), ExtraEdgeP: rng.Float64()},
+			Def{Kind: DefER, N: 1 + rng.Intn(40), P: rng.Float64()},
+			Def{Kind: DefGeo, N: 1 + rng.Intn(40), R: 2 * rng.Float64()},
+			Def{Kind: DefSF, N: 2 + rng.Intn(40), M: 1 + rng.Intn(6)})
 	}
 	checked := 0
 	for _, want := range defs {
@@ -95,6 +103,18 @@ func TestValidateMatchesParseDef(t *testing.T) {
 		{Kind: DefExtended, Sink: 2, NonSink: 1},
 		{Kind: DefExtended, Sink: 4, NonSink: -1},
 		{Kind: DefExtended, Sink: 3, NonSink: 0},
+		{Kind: DefER, N: 8, P: 0.5},
+		{Kind: DefER, N: 0, P: 0.5},
+		{Kind: DefER, N: 8, P: 1.5},
+		{Kind: DefER, N: 8, P: -0.1},
+		{Kind: DefER, N: 8, P: math.NaN()}, // NaN survives %g→ParseFloat; both sides must reject it
+		{Kind: DefGeo, N: 8, R: 0.4},
+		{Kind: DefGeo, N: 8, R: -0.4},
+		{Kind: DefGeo, N: 8, R: math.NaN()},
+		{Kind: DefGeo, N: 0, R: 0.4},
+		{Kind: DefSF, N: 8, M: 2},
+		{Kind: DefSF, N: 8, M: 0},
+		{Kind: DefSF, N: 8, M: 9},
 		{Kind: DefKind(99)},
 	}
 	for _, d := range cases {
@@ -147,6 +167,9 @@ func TestParseDefErrors(t *testing.T) {
 		"", "figZZ", "complete:0", "complete:x", "kosr:", "kosr:sink=0,nonsink=1,k=1",
 		"kosr:bogus=3", "extended:core=2,noncore=1", "random:1:2", "kosr:sink",
 		"kosr:sink=3,nonsink=-2,k=1", "extended:core=4,noncore=-1",
+		"er:", "er:n=0,p=0.5", "er:n=8,p=1.5", "er:n=8,p=-0.1", "er:n=8,p=NaN",
+		"er:n=8,q=0.5", "geo:", "geo:n=0,r=0.4", "geo:n=8,r=-1",
+		"geo:n=8,r=NaN", "sf:", "sf:n=8,m=0", "sf:n=8,m=9", "sf:n=8,m=x",
 	} {
 		if _, err := ParseDef(bad); err == nil {
 			t.Errorf("ParseDef(%q) unexpectedly succeeded", bad)
@@ -155,7 +178,10 @@ func TestParseDefErrors(t *testing.T) {
 }
 
 func TestDefBuildDeterministic(t *testing.T) {
-	for _, s := range []string{"kosr:sink=6,nonsink=3,k=2,extra=0.3", "extended:core=5,noncore=4,extra=0.3"} {
+	for _, s := range []string{
+		"kosr:sink=6,nonsink=3,k=2,extra=0.3", "extended:core=5,noncore=4,extra=0.3",
+		"er:n=14,p=0.3", "geo:n=14,r=0.4", "sf:n=14,m=2",
+	} {
 		d, err := ParseDef(s)
 		if err != nil {
 			t.Fatal(err)
@@ -211,8 +237,19 @@ func TestBuildKey(t *testing.T) {
 	if !ext.UsesSeed() {
 		t.Error("extended def claims to ignore the seed")
 	}
+	er := Def{Kind: DefER, N: 12, P: 0.3}
+	geo := Def{Kind: DefGeo, N: 12, R: 0.3}
+	sf := Def{Kind: DefSF, N: 12, M: 2}
+	for _, d := range []Def{er, geo, sf} {
+		if !d.UsesSeed() {
+			t.Errorf("%s claims to ignore the seed", d)
+		}
+		if d.BuildKey(1) == d.BuildKey(2) {
+			t.Errorf("%s builds differ by seed but share a key (stale graph reuse)", d)
+		}
+	}
 	keys := map[string]Def{}
-	for _, d := range []Def{fig, complete, kosr, ext} {
+	for _, d := range []Def{fig, complete, kosr, ext, er, geo, sf} {
 		k := d.BuildKey(1)
 		if prev, dup := keys[k]; dup {
 			t.Errorf("defs %s and %s share key %q", prev, d, k)

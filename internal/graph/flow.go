@@ -2,7 +2,7 @@ package graph
 
 import (
 	"math"
-	"slices"
+	"math/bits"
 
 	"github.com/bftcup/bftcup/internal/model"
 )
@@ -12,103 +12,131 @@ import (
 // of isSink* where a lone process with no outgoing knowledge is a sink.
 const InfiniteConnectivity = math.MaxInt32
 
-// FlowScratch owns the reusable state of the max-flow computations: the
-// residual capacity matrix of the vertex-split graph, the BFS predecessor
-// and queue arrays, and the node-index mapping. A zero FlowScratch is ready
-// to use; buffers grow to the largest graph seen and are reused afterwards,
-// so repeated connectivity checks (the sink search probes κ for every
-// candidate subset) stop allocating once warm. A FlowScratch is for one
-// goroutine; it holds no graph state between calls.
+// FlowScratch owns the reusable state of the max-flow computations, built on
+// bitsets: the adjacency snapshot (BitAdjacency), the base residual rows of
+// the vertex-split graph, the per-probe residual copy, and the BFS arrays. A
+// zero FlowScratch is ready to use; buffers grow to the largest graph seen
+// and are reused afterwards, so repeated connectivity checks (the sink search
+// probes κ for every candidate subset) stop allocating once warm. A
+// FlowScratch is for one goroutine; load snapshots one graph at a time.
+//
+// Every residual capacity is 0 or 1, so the residual graph is a pure bitset
+// matrix. That is sound because the probes run from out(s) to in(t) in the
+// vertex-split graph: the only arcs that classically need capacity > 1 are
+// the internal arcs in(s)→out(s) and in(t)→out(t), and neither can cross any
+// out(s)/in(t) cut in the source→sink direction — in(s)→out(s) ends on the
+// source side (at the source itself) and in(t)→out(t) starts on the sink
+// side (at the sink itself) — so their capacity never bounds the max flow
+// and pinning them to 1 changes no flow value. Max-flow values are unique,
+// so every verdict (and hence every trace digest downstream) is identical to
+// the previous matrix-based engine's.
+//
+// The base rows depend only on the graph, not on the probed pair: load
+// builds them once and each pair probe starts from a flat copy — the copy
+// plus word-parallel BFS is what makes many-pair probes (κ checks, the
+// CheckKOSR/CheckExtendedKOSR path conditions) cheap.
 type FlowScratch struct {
-	cap   [][]int8
-	prev  []int
-	queue []int
-	nodes []model.ID
-	idx   map[model.ID]int
+	adj   BitAdjacency
+	words int      // words per split-graph row
+	base  []uint64 // 2n rows × words: pair-independent residual template
+	resid []uint64
+	prev  []int32
+	queue []int32
+	seen  []uint64 // visited bitset for the BFS
 }
 
-// load indexes g's nodes into the scratch and sizes the buffers for the
-// vertex-split graph. Returns the split-graph size (2·|nodes|).
+// load snapshots g's adjacency and builds the split-graph residual template.
+// Returns the split-graph size (2·|nodes|).
 func (sc *FlowScratch) load(g *Digraph) int {
-	sc.nodes = sc.nodes[:0]
-	for id := range g.nodes {
-		sc.nodes = append(sc.nodes, id)
+	sc.adj.Load(g)
+	n := sc.adj.NumNodes()
+	size := 2 * n
+	sc.words = (size + 63) / 64
+	need := size * sc.words
+	if cap(sc.base) < need {
+		sc.base = make([]uint64, need)
+		sc.resid = make([]uint64, need)
 	}
-	// Index assignment must not depend on map order; sort like Nodes does.
-	slices.Sort(sc.nodes)
-	if sc.idx == nil {
-		sc.idx = make(map[model.ID]int, len(sc.nodes))
-	} else {
-		clear(sc.idx)
+	sc.base = sc.base[:need]
+	sc.resid = sc.resid[:need]
+	for i := range sc.base {
+		sc.base[i] = 0
 	}
-	for i, u := range sc.nodes {
-		sc.idx[u] = i
-	}
-	size := 2 * len(sc.nodes)
-	for len(sc.cap) < size {
-		sc.cap = append(sc.cap, nil)
-	}
-	for i := 0; i < size; i++ {
-		if len(sc.cap[i]) < size {
-			sc.cap[i] = make([]int8, size)
+	// in(u) = 2i, out(u) = 2i+1. Internal arcs in(u)→out(u) carry the
+	// node-disjointness; adjacency arcs out(u)→in(v) carry the edges.
+	for i := 0; i < n; i++ {
+		in, out := 2*i, 2*i+1
+		sc.base[in*sc.words+(out>>6)] |= 1 << (out & 63)
+		row := sc.adj.Row(i)
+		dst := sc.base[out*sc.words : (out+1)*sc.words]
+		for w, word := range row {
+			for word != 0 {
+				j := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				inj := 2 * j
+				dst[inj>>6] |= 1 << (inj & 63)
+			}
 		}
 	}
-	if len(sc.prev) < size {
-		sc.prev = make([]int, size)
-		sc.queue = make([]int, 0, size)
+	if cap(sc.prev) < size {
+		sc.prev = make([]int32, size)
+		sc.queue = make([]int32, size)
 	}
+	sc.prev = sc.prev[:size]
+	sc.queue = sc.queue[:size]
+	if cap(sc.seen) < sc.words {
+		sc.seen = make([]uint64, sc.words)
+	}
+	sc.seen = sc.seen[:sc.words]
 	return size
 }
 
-// flowPair runs the bounded Edmonds-Karp max-flow between s and t on the
-// loaded graph. The scratch must have been loaded with g; the residual
-// matrix is rebuilt from g's adjacency on every call.
-func (g *Digraph) flowPair(sc *FlowScratch, s, t model.ID, limit, size int) int {
-	for i := 0; i < size; i++ {
-		row := sc.cap[i]
-		for j := 0; j < size; j++ {
-			row[j] = 0
-		}
-	}
-	in := func(u model.ID) int { return 2 * sc.idx[u] }
-	out := func(u model.ID) int { return 2*sc.idx[u] + 1 }
-	big := int8(batchCap(limit, len(sc.nodes)))
-	for _, u := range sc.nodes {
-		if u == s || u == t {
-			sc.cap[in(u)][out(u)] = big
-		} else {
-			sc.cap[in(u)][out(u)] = 1
-		}
-	}
-	for _, u := range sc.nodes {
-		for v := range g.adj[u] {
-			sc.cap[out(u)][in(v)] = 1
-		}
-	}
-	source, sink := out(s), in(t)
+// flowPair runs the bounded Edmonds-Karp max-flow between the loaded nodes
+// with indices si and ti: residual rows are copied from the template, then
+// augmenting paths are found by word-parallel BFS until the limit is reached
+// or no path remains. limit ≤ 0 means unlimited.
+func (sc *FlowScratch) flowPair(si, ti, limit int) int {
+	copy(sc.resid, sc.base)
+	source, sink := int32(2*si+1), int32(2*ti)
+	size := 2 * sc.adj.NumNodes()
 	flow := 0
 	for {
 		if limit > 0 && flow >= limit {
 			return flow
 		}
-		// BFS for an augmenting path.
-		for i := 0; i < size; i++ {
-			sc.prev[i] = -1
+		for w := range sc.seen {
+			sc.seen[w] = 0
 		}
+		sc.seen[source>>6] |= 1 << (source & 63)
 		sc.prev[source] = source
-		queue := append(sc.queue[:0], source)
+		sc.queue[0] = source
+		qlen := 1
 		found := false
-		for len(queue) > 0 && !found {
-			x := queue[0]
-			queue = queue[1:]
-			for y := 0; y < size; y++ {
-				if sc.prev[y] == -1 && sc.cap[x][y] > 0 {
+		for qi := 0; qi < qlen && !found; qi++ {
+			x := sc.queue[qi]
+			row := sc.resid[int(x)*sc.words : (int(x)+1)*sc.words]
+			for w := 0; w < sc.words; w++ {
+				fresh := row[w] &^ sc.seen[w]
+				if fresh == 0 {
+					continue
+				}
+				sc.seen[w] |= fresh
+				for fresh != 0 {
+					y := int32(w<<6 + bits.TrailingZeros64(fresh))
+					fresh &= fresh - 1
+					if int(y) >= size {
+						break
+					}
 					sc.prev[y] = x
 					if y == sink {
 						found = true
 						break
 					}
-					queue = append(queue, y)
+					sc.queue[qlen] = y
+					qlen++
+				}
+				if found {
+					break
 				}
 			}
 		}
@@ -117,8 +145,8 @@ func (g *Digraph) flowPair(sc *FlowScratch, s, t model.ID, limit, size int) int 
 		}
 		for y := sink; y != source; {
 			x := sc.prev[y]
-			sc.cap[x][y]--
-			sc.cap[y][x]++
+			sc.resid[int(x)*sc.words+int(y>>6)] &^= 1 << (y & 63)
+			sc.resid[int(y)*sc.words+int(x>>6)] |= 1 << (x & 63)
 			y = x
 		}
 		flow++
@@ -144,22 +172,10 @@ func (g *Digraph) MaxNodeDisjointPathsScratch(sc *FlowScratch, s, t model.ID, li
 	if s == t || !g.HasNode(s) || !g.HasNode(t) {
 		return 0
 	}
-	size := sc.load(g)
-	return g.flowPair(sc, s, t, limit, size)
-}
-
-// batchCap bounds the "infinite" capacity on the source/sink split arcs.
-func batchCap(limit, n int) int {
-	if limit > 0 && limit < n {
-		return limit + 1
-	}
-	if n > 126 {
-		return 126
-	}
-	if n == 0 {
-		return 1
-	}
-	return n
+	sc.load(g)
+	si, _ := sc.adj.Index(s)
+	ti, _ := sc.adj.Index(t)
+	return sc.flowPair(si, ti, limit)
 }
 
 // HasKDisjointPaths reports whether there are at least k internally-node-
@@ -169,6 +185,45 @@ func (g *Digraph) HasKDisjointPaths(s, t model.ID, k int) bool {
 		return true
 	}
 	return g.MaxNodeDisjointPaths(s, t, k) >= k
+}
+
+// FlowProber amortizes the split-graph construction across many pair probes
+// on one graph: Load once, then every probe costs one residual copy plus the
+// BFS augments. CheckKOSR's fan-in condition and CheckExtendedKOSR's C2 loop
+// probe |non-sink|×|sink| pairs on the same graph, which previously rebuilt
+// the capacity matrix per pair.
+type FlowProber struct {
+	sc     FlowScratch
+	loaded bool
+}
+
+// Load snapshots g for subsequent probes.
+func (p *FlowProber) Load(g *Digraph) {
+	p.sc.load(g)
+	p.loaded = true
+}
+
+// MaxNodeDisjointPaths is Digraph.MaxNodeDisjointPaths against the loaded
+// snapshot. Nodes unknown to the snapshot yield 0.
+func (p *FlowProber) MaxNodeDisjointPaths(s, t model.ID, limit int) int {
+	if !p.loaded || s == t {
+		return 0
+	}
+	si, ok1 := p.sc.adj.Index(s)
+	ti, ok2 := p.sc.adj.Index(t)
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return p.sc.flowPair(si, ti, limit)
+}
+
+// HasKDisjointPaths reports ≥ k internally-node-disjoint paths from s to t
+// in the loaded snapshot.
+func (p *FlowProber) HasKDisjointPaths(s, t model.ID, k int) bool {
+	if k <= 0 {
+		return true
+	}
+	return p.MaxNodeDisjointPaths(s, t, k) >= k
 }
 
 // IsKStronglyConnected reports whether every ordered pair of distinct nodes
@@ -181,8 +236,8 @@ func (g *Digraph) IsKStronglyConnected(k int) bool {
 }
 
 // IsKStronglyConnectedScratch is IsKStronglyConnected on caller-owned
-// scratch: the node index and flow buffers are built once and shared by
-// every pair probe instead of reallocated per pair.
+// scratch: the node index and the split-graph residual template are built
+// once and shared by every pair probe instead of reallocated per pair.
 func (g *Digraph) IsKStronglyConnectedScratch(sc *FlowScratch, k int) bool {
 	if k <= 0 || g.NumNodes() <= 1 {
 		return true
@@ -198,14 +253,14 @@ func (g *Digraph) IsKStronglyConnectedScratch(sc *FlowScratch, k int) bool {
 			return false
 		}
 	}
-	size := sc.load(g)
-	nodes := sc.nodes
-	for i := range nodes {
-		for j := range nodes {
+	sc.load(g)
+	n := sc.adj.NumNodes()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
 			if i == j {
 				continue
 			}
-			if g.flowPair(sc, nodes[i], nodes[j], k, size) < k {
+			if sc.flowPair(i, j, k) < k {
 				return false
 			}
 		}
@@ -245,13 +300,13 @@ func (g *Digraph) StrongConnectivity() int {
 		return 0
 	}
 	var sc FlowScratch
-	size := sc.load(g)
-	for _, u := range nodes {
-		for _, v := range nodes {
-			if u == v {
+	sc.load(g)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
 				continue
 			}
-			p := g.flowPair(&sc, u, v, best, size)
+			p := sc.flowPair(i, j, best)
 			if p < best {
 				best = p
 				if best == 0 {

@@ -133,6 +133,123 @@ func GenExtendedKOSR(rng *rand.Rand, spec GenSpec) (g *Digraph, core model.IDSet
 	return g, core, fG, nil
 }
 
+// GenER generates a directed Erdős–Rényi graph G(n, p) on IDs 1..n: every
+// ordered pair (u, v), u ≠ v, carries an edge independently with probability
+// p. The pair order of the RNG draws is fixed (u ascending, v ascending), so
+// one (n, seed) always yields the same graph — the trace-determinism tests
+// and the matrix compile cache rely on it. Unlike GenKOSR there is no planted
+// structure: whether a sink emerges is the measured event.
+func GenER(rng *rand.Rand, n int, p float64) *Digraph {
+	g := New()
+	for i := 1; i <= n; i++ {
+		g.AddNode(model.ID(i))
+	}
+	for u := 1; u <= n; u++ {
+		for v := 1; v <= n; v++ {
+			if u != v && rng.Float64() < p {
+				g.AddEdge(model.ID(u), model.ID(v))
+			}
+		}
+	}
+	return g
+}
+
+// GenGeometric generates a random geometric digraph on IDs 1..n: each node
+// draws a point uniformly in the unit square, and two nodes know each other
+// (edges both ways) iff their Euclidean distance is ≤ r. All 2n coordinates
+// are drawn before any thresholding, so for a fixed (n, seed) the point set
+// is identical across radii and the edge set is monotone in r — the radius-
+// monotonicity tests pin exactly that: edges(r₁) ⊆ edges(r₂) for r₁ ≤ r₂.
+func GenGeometric(rng *rand.Rand, n int, r float64) *Digraph {
+	g := New()
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		g.AddNode(model.ID(i + 1))
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	r2 := r * r
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			if dx*dx+dy*dy <= r2 {
+				g.AddEdge(model.ID(i+1), model.ID(j+1))
+				g.AddEdge(model.ID(j+1), model.ID(i+1))
+			}
+		}
+	}
+	return g
+}
+
+// GenScaleFree generates a Barabási–Albert-style scale-free digraph on IDs
+// 1..n: the first min(m, n) nodes form a complete digraph, and every later
+// node adds out-edges to m distinct existing nodes chosen preferentially with
+// weight in-degree+1. Preferential attachment concentrates in-degree on the
+// early nodes (the heavy tail the degree-distribution test checks), giving
+// the seed clique a natural sink-ish role without planting one: whether it
+// actually satisfies the sink properties on a draw stays a measured event.
+func GenScaleFree(rng *rand.Rand, n, m int) *Digraph {
+	g := New()
+	if m > n {
+		m = n
+	}
+	indeg := make([]int, n+1) // indeg[v] for v = 1..n
+	for i := 1; i <= n; i++ {
+		g.AddNode(model.ID(i))
+	}
+	seed := m
+	if seed < 1 {
+		seed = 1
+	}
+	for u := 1; u <= seed; u++ {
+		for v := 1; v <= seed; v++ {
+			if u != v {
+				g.AddEdge(model.ID(u), model.ID(v))
+				indeg[v]++
+			}
+		}
+	}
+	chosen := make([]bool, n+1)
+	for u := seed + 1; u <= n; u++ {
+		existing := u - 1
+		total := 0
+		for v := 1; v <= existing; v++ {
+			chosen[v] = false
+			total += indeg[v] + 1
+		}
+		picks := m
+		if picks > existing {
+			picks = existing
+		}
+		for picked := 0; picked < picks; {
+			// Weighted draw over the existing nodes; rejection on repeats
+			// keeps the draw sequence deterministic per (n, m, seed).
+			x := rng.Intn(total)
+			v := 0
+			for w := 1; w <= existing; w++ {
+				x -= indeg[w] + 1
+				if x < 0 {
+					v = w
+					break
+				}
+			}
+			if chosen[v] {
+				continue
+			}
+			chosen[v] = true
+			g.AddEdge(model.ID(u), model.ID(v))
+			picked++
+		}
+		for v := 1; v <= existing; v++ {
+			if chosen[v] {
+				indeg[v]++
+			}
+		}
+	}
+	return g
+}
+
 // PDMap converts a graph into the participant-detector map handed to
 // processes: PD(i) = out-neighbors of i.
 func PDMap(g *Digraph) map[model.ID]model.IDSet {

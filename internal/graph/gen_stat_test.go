@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+// TestGenERStatistics checks the Erdős–Rényi generator against its model:
+// over many seeds the edge count concentrates around p·n·(n−1) (each of the
+// n·(n−1) ordered pairs is an independent Bernoulli(p) draw), and the
+// aggregate degree distribution is not degenerate. Tolerances are set at ~6
+// standard deviations of the binomial so the test is deterministic in
+// practice while still catching a broken probability comparison (e.g. using
+// ≤ instead of <, or drawing per unordered pair).
+func TestGenERStatistics(t *testing.T) {
+	const n = 24
+	for _, p := range []float64{0.1, 0.3, 0.6} {
+		trials := 40
+		pairs := float64(n * (n - 1))
+		totalEdges := 0
+		minOut, maxOut := n, 0
+		for s := 0; s < trials; s++ {
+			g := GenER(rand.New(rand.NewSource(int64(s+1))), n, p)
+			if g.NumNodes() != n {
+				t.Fatalf("p=%v seed %d: %d nodes, want %d", p, s+1, g.NumNodes(), n)
+			}
+			totalEdges += g.NumEdges()
+			for _, u := range g.Nodes() {
+				d := g.OutDegree(u)
+				if d < minOut {
+					minOut = d
+				}
+				if d > maxOut {
+					maxOut = d
+				}
+			}
+		}
+		mean := float64(totalEdges) / float64(trials)
+		want := p * pairs
+		// std of the per-trial edge count, shrunk by √trials for the mean.
+		sigma := math.Sqrt(pairs*p*(1-p)) / math.Sqrt(float64(trials))
+		if diff := math.Abs(mean - want); diff > 6*sigma+1 {
+			t.Errorf("p=%v: mean edges %.1f over %d trials, want %.1f ± %.1f",
+				p, mean, trials, want, 6*sigma+1)
+		}
+		// The degree distribution must spread: with p in (0,1) no node should
+		// pin at the extremes across every trial simultaneously.
+		if minOut == n-1 || maxOut == 0 {
+			t.Errorf("p=%v: degenerate out-degrees (min %d, max %d)", p, minOut, maxOut)
+		}
+	}
+	// Boundary parameters are exact, not statistical.
+	if g := GenER(rand.New(rand.NewSource(1)), 10, 0); g.NumEdges() != 0 {
+		t.Errorf("p=0 produced %d edges", g.NumEdges())
+	}
+	if g := GenER(rand.New(rand.NewSource(1)), 10, 1); g.NumEdges() != 90 {
+		t.Errorf("p=1 produced %d edges, want 90", g.NumEdges())
+	}
+}
+
+// TestGenGeometricRadiusMonotone pins the generator's draw-order contract:
+// all 2n coordinates are drawn before thresholding, so at a fixed (n, seed)
+// the point set is identical across radii and edges(r₁) ⊆ edges(r₂) whenever
+// r₁ ≤ r₂. A generator that interleaved draws with thresholding would break
+// this and make density sweeps incomparable across the radius axis.
+func TestGenGeometricRadiusMonotone(t *testing.T) {
+	radii := []float64{0.1, 0.2, 0.35, 0.5, 0.8, 1.5}
+	for seed := int64(1); seed <= 5; seed++ {
+		var prev *Digraph
+		for _, r := range radii {
+			g := GenGeometric(rand.New(rand.NewSource(seed)), 18, r)
+			// Symmetry: geometric proximity is mutual knowledge.
+			for _, u := range g.Nodes() {
+				for _, v := range g.Out(u) {
+					if !g.HasEdge(v, u) {
+						t.Fatalf("seed %d r=%v: edge %d→%d has no reverse", seed, r, u, v)
+					}
+				}
+			}
+			if prev != nil {
+				for _, u := range prev.Nodes() {
+					for _, v := range prev.Out(u) {
+						if !g.HasEdge(u, v) {
+							t.Fatalf("seed %d: edge %d→%d present at smaller radius but missing at r=%v",
+								seed, u, v, r)
+						}
+					}
+				}
+			}
+			prev = g
+		}
+		// r ≥ √2 covers the unit square: the final graph must be complete.
+		if got, want := prev.NumEdges(), 18*17; got != want {
+			t.Errorf("seed %d: r=1.5 built %d edges, want complete %d", seed, got, want)
+		}
+	}
+}
+
+// TestGenScaleFreeDegreeTail checks the preferential-attachment signature:
+// in-degree mass concentrates on the seed-clique nodes, so the maximum
+// in-degree sits well above the mean (heavy tail), while every non-seed node
+// has exactly m out-edges to distinct targets (the attachment invariant).
+func TestGenScaleFreeDegreeTail(t *testing.T) {
+	const n, m = 40, 2
+	exceed := 0
+	for seed := int64(1); seed <= 10; seed++ {
+		g := GenScaleFree(rand.New(rand.NewSource(seed)), n, m)
+		indeg := map[model.ID]int{}
+		for _, u := range g.Nodes() {
+			out := g.Out(u)
+			if int(u) > m {
+				if len(out) != m {
+					t.Fatalf("seed %d: non-seed node %d has %d out-edges, want %d", seed, u, len(out), m)
+				}
+				for _, v := range out {
+					if v >= u {
+						t.Fatalf("seed %d: node %d attaches forward to %d", seed, u, v)
+					}
+				}
+			}
+			seen := model.NewIDSet()
+			for _, v := range out {
+				if !seen.Add(v) {
+					t.Fatalf("seed %d: node %d has duplicate edge to %d", seed, u, v)
+				}
+				indeg[v]++
+			}
+		}
+		maxIn, sumIn := 0, 0
+		for _, d := range indeg {
+			sumIn += d
+			if d > maxIn {
+				maxIn = d
+			}
+		}
+		mean := float64(sumIn) / float64(n)
+		if float64(maxIn) >= 3*mean {
+			exceed++
+		}
+	}
+	// Uniform attachment would keep max ≈ mean·(1+o(1)); preferential
+	// attachment reliably produces hubs. Require the 3×-mean hub on a clear
+	// majority of seeds rather than all, to keep the test statistical, not
+	// flaky.
+	if exceed < 7 {
+		t.Errorf("heavy tail absent: only %d/10 seeds had max in-degree ≥ 3× mean", exceed)
+	}
+}
+
+// TestGenProbabilisticSameSeedIdentical locks byte-identical re-generation
+// for all three probabilistic families: the matrix compile cache and the
+// sharded sweep resume protocol both assume (def, seed) fully determines the
+// graph, independent of how many other graphs the process built in between.
+func TestGenProbabilisticSameSeedIdentical(t *testing.T) {
+	type gen func(*rand.Rand) *Digraph
+	gens := map[string]gen{
+		"er":  func(r *rand.Rand) *Digraph { return GenER(r, 20, 0.3) },
+		"geo": func(r *rand.Rand) *Digraph { return GenGeometric(r, 20, 0.4) },
+		"sf":  func(r *rand.Rand) *Digraph { return GenScaleFree(r, 20, 2) },
+	}
+	for name, gn := range gens {
+		a := gn(rand.New(rand.NewSource(77)))
+		// Interleave an unrelated generation to prove no hidden shared state.
+		_ = gn(rand.New(rand.NewSource(13)))
+		b := gn(rand.New(rand.NewSource(77)))
+		if a.String() != b.String() {
+			t.Errorf("%s: same seed produced different graphs", name)
+		}
+	}
+}

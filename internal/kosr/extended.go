@@ -99,12 +99,14 @@ func CheckExtendedKOSR(gdi *graph.Digraph, k int) ExtendedReport {
 	// C2: every non-core node reaches every core node through k_Gdi(Vcore)
 	// node-disjoint paths.
 	kCore := best + 1
+	var prober graph.FlowProber
+	prober.Load(gdi)
 	for _, u := range gdi.Nodes() {
 		if core.Has(u) {
 			continue
 		}
 		for _, w := range core.Sorted() {
-			if !gdi.HasKDisjointPaths(u, w, kCore) {
+			if !prober.HasKDisjointPaths(u, w, kCore) {
 				r.Reason = fmt.Sprintf("C2 fails: fewer than %d node-disjoint paths from %v to core node %v", kCore, u, w)
 				return r
 			}

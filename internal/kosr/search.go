@@ -2,6 +2,7 @@ package kosr
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"github.com/bftcup/bftcup/internal/model"
@@ -38,8 +39,10 @@ func (c Candidate) AnswerThreshold() int {
 // ExactLimit is the SCC size up to which the sink search enumerates subsets
 // exhaustively. Above it, the search falls back to structural candidates
 // (whole SCC and its peeled cores), which suffices for well-formed views but
-// is marked as inexact in checker reports.
-const ExactLimit = 16
+// is marked as inexact in checker reports. The bitset enumeration's
+// dominated-subset pruning (poolEnum) makes 20 affordable where the plain
+// 2^n walk stopped at 16.
+const ExactLimit = 20
 
 // SinksAtG enumerates candidates (S1, S2) with isSink(g, S1, S2) in the view.
 // Results are deterministic: sorted by the canonical key of S1.
@@ -67,6 +70,7 @@ func (v *View) sinksAtG(g int, exact *bool) []Candidate {
 	}
 	rg := v.ReceivedGraph()
 	var out []Candidate
+	var pe poolEnum
 	seen := make(map[string]bool)
 	tryS1 := func(s1 model.IDSet) {
 		if s1.Len() < 2*g+1 {
@@ -97,7 +101,26 @@ func (v *View) sinksAtG(g int, exact *bool) []Candidate {
 			continue
 		}
 		if pool.Len() <= ExactLimit {
-			enumerateSubsets(pool.Sorted(), 2*g+1, tryS1)
+			// Pruned bitset enumeration: poolEnum's cuts are sound (it yields
+			// a superset of the passing S1 sets) and tryS1 re-checks every
+			// isSink property exactly, so the result matches the plain
+			// enumerateSubsets walk — the equivalence tests pin that up to
+			// brute-force sizes.
+			sorted := pool.Sorted()
+			pe.init(sorted, g, func(u model.ID, yield func(model.ID)) {
+				for tgt := range v.PD[u] {
+					yield(tgt)
+				}
+			})
+			pe.run(func(mask uint64, _ int, _ bool) {
+				s1 := model.NewIDSet()
+				for rest := mask; rest != 0; {
+					i := bits.TrailingZeros64(rest)
+					rest &= rest - 1
+					s1.Add(sorted[i])
+				}
+				tryS1(s1)
+			})
 		} else {
 			*exact = false
 			// Structural candidates: the peeled pool itself and the pool

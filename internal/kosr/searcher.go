@@ -1,6 +1,7 @@
 package kosr
 
 import (
+	"math/bits"
 	"slices"
 	"strconv"
 
@@ -52,18 +53,30 @@ type Searcher struct {
 	valid    bool
 
 	// comps is the current decomposition: sorted members (slices of arena)
-	// plus each component's canonical content key.
+	// plus each component's canonical content key (mask or string).
 	comps []sccComp
 	arena []model.ID
 
-	// pdSorted caches each received record's sorted PD (immutable per
-	// generation). sccCands memoizes per-(g, component-content) candidate
-	// lists; subsets memoizes per-S1 verdict facts.
-	pdSorted map[model.ID][]model.ID
-	sccCands map[string]*sccEntry
-	subsets  map[string]*subsetFacts
+	// maskable reports that every received ID fits the 1..64 bitmask ID
+	// space, so subset and component content keys are uint64 masks (bit =
+	// id-1) instead of strings. Mask keys are pure content identity — the
+	// same cross-g, cross-revision and cross-rebind sharing as the string
+	// keys, minus the key rendering. Views with larger IDs stay on the
+	// string maps; the two key spaces never mix.
+	maskable bool
 
-	flow graph.FlowScratch
+	// pdSorted caches each received record's sorted PD (immutable per
+	// generation). sccCands/sccCandsM memoize per-(g, component-content)
+	// candidate lists; subsets/subsetsM memoize per-S1 verdict facts.
+	pdSorted  map[model.ID][]model.ID
+	sccCands  map[string]*sccEntry
+	sccCandsM map[sccMaskKey]*sccEntry
+	subsets   map[string]*subsetFacts
+	subsetsM  map[uint64]*subsetFacts
+
+	flow     graph.FlowScratch
+	enum     poolEnum
+	poolFlow graph.PoolFlow
 
 	// Tarjan scratch, index space.
 	ids      []model.ID
@@ -88,8 +101,15 @@ type tframe struct {
 }
 
 type sccComp struct {
-	ids []model.ID
-	key string
+	ids  []model.ID
+	key  string // content key; empty when the searcher is maskable
+	mask uint64 // global content mask (bit = id-1); valid when maskable
+}
+
+// sccMaskKey is the (g, component-content) memo key of maskable views.
+type sccMaskKey struct {
+	g    int32
+	mask uint64
 }
 
 // subsetFacts are the g-independent (out) and g-bounding (kLo/kHi) facts
@@ -159,12 +179,16 @@ func (s *Searcher) bind(v *View) {
 	if s.pdSorted == nil {
 		s.pdSorted = make(map[model.ID][]model.ID)
 		s.sccCands = make(map[string]*sccEntry)
+		s.sccCandsM = make(map[sccMaskKey]*sccEntry)
 		s.subsets = make(map[string]*subsetFacts)
+		s.subsetsM = make(map[uint64]*subsetFacts)
 		s.outSet = model.NewIDSet()
 	} else {
 		clear(s.pdSorted)
 		clear(s.sccCands)
+		clear(s.sccCandsM)
 		clear(s.subsets)
+		clear(s.subsetsM)
 	}
 }
 
@@ -212,6 +236,7 @@ func (s *Searcher) decompose(v *View) {
 	}
 	slices.Sort(s.ids)
 	n := len(s.ids)
+	s.maskable = n == 0 || (s.ids[0] >= 1 && s.ids[n-1] <= 64)
 	if s.idx == nil {
 		s.idx = make(map[model.ID]int32, n)
 	} else {
@@ -317,8 +342,23 @@ func (s *Searcher) decompose(v *View) {
 	// its backing array).
 	for i := 0; i < len(bounds); i += 2 {
 		members := s.arena[bounds[i]:bounds[i+1]]
-		s.comps = append(s.comps, sccComp{ids: members, key: string(idsKey(s.keyBuf[:0], members))})
+		c := sccComp{ids: members}
+		if s.maskable {
+			c.mask = maskOfIDs(members)
+		} else {
+			c.key = string(idsKey(s.keyBuf[:0], members))
+		}
+		s.comps = append(s.comps, c)
 	}
+}
+
+// maskOfIDs folds ids (all in 1..64) into the global content mask, bit id-1.
+func maskOfIDs(ids []model.ID) uint64 {
+	var m uint64
+	for _, id := range ids {
+		m |= 1 << (id - 1)
+	}
+	return m
 }
 
 // idsKey renders sorted ids as the canonical comma-joined decimal key
@@ -394,8 +434,22 @@ func (s *Searcher) first(v *View, g int) (Candidate, bool) {
 	return Candidate{G: g, S1: c.s1, S2: v.DeriveS2(c.s1, g)}, true
 }
 
-// entryFor resolves one component's memoized search at g.
+// entryFor resolves one component's memoized search at g: mask-keyed on
+// maskable views, string-keyed otherwise. Both maps share the cap.
 func (s *Searcher) entryFor(v *View, g int, comp *sccComp) *sccEntry {
+	if s.maskable {
+		mk := sccMaskKey{g: int32(g), mask: comp.mask}
+		if e, ok := s.sccCandsM[mk]; ok {
+			return e
+		}
+		e := s.searchComp(v, g, comp)
+		if len(s.sccCandsM)+len(s.sccCands) >= maxSCCMemo {
+			clear(s.sccCandsM)
+			clear(s.sccCands)
+		}
+		s.sccCandsM[mk] = e
+		return e
+	}
 	s.keyBuf = strconv.AppendInt(s.keyBuf[:0], int64(g), 10)
 	s.keyBuf = append(s.keyBuf, '|')
 	s.keyBuf = append(s.keyBuf, comp.key...)
@@ -406,7 +460,8 @@ func (s *Searcher) entryFor(v *View, g int, comp *sccComp) *sccEntry {
 	// reuses keyBuf for per-S1 keys.
 	key := string(s.keyBuf)
 	e := s.searchComp(v, g, comp)
-	if len(s.sccCands) >= maxSCCMemo {
+	if len(s.sccCandsM)+len(s.sccCands) >= maxSCCMemo {
+		clear(s.sccCandsM)
 		clear(s.sccCands)
 	}
 	s.sccCands[key] = e
@@ -474,45 +529,139 @@ func (s *Searcher) searchComp(v *View, g int, comp *sccComp) *sccEntry {
 	return e
 }
 
-// enumeratePool tries every subset of the (sorted, ≤ ExactLimit) pool with
-// |S1| ≥ 2g+1, consulting the per-S1 verdict memo before materializing
-// anything.
+// enumeratePool walks the subsets of the (sorted, ≤ ExactLimit ≤ 64) pool
+// through the dominated-subset-pruned bitset enumerator: poolEnum cuts whole
+// subtrees that cannot pass P1/P3/κ, the survivors resolve their verdict
+// facts by content key (global bitmask on maskable views), and κ probes run
+// on the pool-local PoolFlow engine — no per-subset graph materialization.
+// The enumerator's prunes are sound (see poolEnum), so the passing set is
+// exactly the plain mask walk's; candidates are materialized only on pass.
 func (s *Searcher) enumeratePool(v *View, g int, pool []model.ID, e *sccEntry) {
-	n := len(pool)
-	minSize := 2*g + 1
-	for mask := 1; mask < 1<<n; mask++ {
-		if popcount(mask) < minSize {
-			continue
+	pe := &s.enum
+	pe.init(pool, g, func(u model.ID, yield func(model.ID)) {
+		for _, tgt := range s.pdSorted[u] {
+			yield(tgt)
 		}
-		buf := s.keyBuf[:0]
-		for i := 0; i < n; i++ {
-			if mask&(1<<i) != 0 {
+	})
+	s.poolFlow.Reset(pe.adj[:pe.n])
+	k := int32(g + 1)
+	pe.run(func(inc uint64, out int, outExact bool) {
+		var f *subsetFacts
+		if s.maskable {
+			var gmask uint64
+			for rest := inc; rest != 0; {
+				i := bits.TrailingZeros64(rest)
+				rest &= rest - 1
+				gmask |= 1 << (pool[i] - 1)
+			}
+			f = s.factsForMask(gmask)
+		} else {
+			buf := s.keyBuf[:0]
+			for rest := inc; rest != 0; {
+				i := bits.TrailingZeros64(rest)
+				rest &= rest - 1
 				if len(buf) > 0 {
 					buf = append(buf, ',')
 				}
 				buf = strconv.AppendUint(buf, uint64(pool[i]), 10)
 			}
+			s.keyBuf = buf
+			f = s.factsForKey(string(buf))
 		}
-		s.keyBuf = buf
-		// Reject on memoized facts alone when possible.
-		if f, ok := s.subsets[string(buf)]; ok {
-			if f.out >= 0 && int(f.out) > g {
-				continue
+		if f.out < 0 {
+			if outExact {
+				f.out = int32(out)
+			} else {
+				f.out = int32(s.countOutTargetsMask(v, pool, inc))
 			}
-			if popcount(mask) > 1 && f.kHi != 0 && int32(g+1) >= f.kHi {
-				continue
+		}
+		if int(f.out) > g {
+			return
+		}
+		if bits.OnesCount64(inc) > 1 {
+			switch {
+			case k <= f.kLo:
+				// κ ≥ g+1 already proven.
+			case f.kHi != 0 && k >= f.kHi:
+				return
+			default:
+				if !s.poolFlow.KappaAtLeast(inc, int(k)) {
+					if f.kHi == 0 || k < f.kHi {
+						f.kHi = k
+					}
+					return
+				}
+				if k > f.kLo {
+					f.kLo = k
+				}
 			}
 		}
 		s1 := model.NewIDSet()
-		for i := 0; i < n; i++ {
-			if mask&(1<<i) != 0 {
-				s1.Add(pool[i])
+		buf := s.keyBuf[:0]
+		for rest := inc; rest != 0; {
+			i := bits.TrailingZeros64(rest)
+			rest &= rest - 1
+			u := pool[i]
+			s1.Add(u)
+			if len(buf) > 0 {
+				buf = append(buf, ',')
 			}
+			buf = strconv.AppendUint(buf, uint64(u), 10)
 		}
-		if s.passes(v, g, s1, string(buf)) {
-			e.cands = append(e.cands, cachedCand{s1: s1, key: string(buf)})
+		s.keyBuf = buf
+		e.cands = append(e.cands, cachedCand{s1: s1, key: string(buf)})
+	})
+}
+
+// countOutTargetsMask is countOutTargets for a subset given as a mask over a
+// sorted pool, without materializing the IDSet. Only reached when the
+// enumerator's out count is a lower bound (> 64 distinct external targets).
+func (s *Searcher) countOutTargetsMask(v *View, pool []model.ID, inc uint64) int {
+	clear(s.outSet)
+	for rest := inc; rest != 0; {
+		i := bits.TrailingZeros64(rest)
+		rest &= rest - 1
+		u := pool[i]
+		for _, tgt := range s.pdSorted[u] {
+			if tgt == u {
+				continue
+			}
+			if j, ok := slices.BinarySearch(pool, tgt); ok && inc&(1<<j) != 0 {
+				continue
+			}
+			s.outSet.Add(tgt)
 		}
 	}
+	return s.outSet.Len()
+}
+
+// factsForMask resolves the verdict-facts record keyed by global content
+// mask; factsForKey is the string-keyed fallback for views with IDs > 64.
+// The two maps share the memo cap.
+func (s *Searcher) factsForMask(mask uint64) *subsetFacts {
+	if f, ok := s.subsetsM[mask]; ok {
+		return f
+	}
+	if len(s.subsetsM)+len(s.subsets) >= maxSubsetMemo {
+		clear(s.subsetsM)
+		clear(s.subsets)
+	}
+	f := &subsetFacts{out: -1}
+	s.subsetsM[mask] = f
+	return f
+}
+
+func (s *Searcher) factsForKey(key string) *subsetFacts {
+	if f, ok := s.subsets[key]; ok {
+		return f
+	}
+	if len(s.subsetsM)+len(s.subsets) >= maxSubsetMemo {
+		clear(s.subsetsM)
+		clear(s.subsets)
+	}
+	f := &subsetFacts{out: -1}
+	s.subsets[key] = f
+	return f
 }
 
 // passes applies isSink's S1-side checks (P1 size, P3 out-target bound, P2/κ
@@ -522,13 +671,15 @@ func (s *Searcher) passes(v *View, g int, s1 model.IDSet, key string) bool {
 	if s1.Len() < 2*g+1 {
 		return false
 	}
-	f, ok := s.subsets[key]
-	if !ok {
-		if len(s.subsets) >= maxSubsetMemo {
-			clear(s.subsets)
+	var f *subsetFacts
+	if s.maskable {
+		var mask uint64
+		for id := range s1 {
+			mask |= 1 << (id - 1)
 		}
-		f = &subsetFacts{out: -1}
-		s.subsets[key] = f
+		f = s.factsForMask(mask)
+	} else {
+		f = s.factsForKey(key)
 	}
 	if f.out < 0 {
 		f.out = int32(s.countOutTargets(v, s1))

@@ -240,23 +240,76 @@ func TestForEachSubsetUpToNoAliasing(t *testing.T) {
 	}
 }
 
-// TestSearcherMemoKeysWellFormed pins the per-SCC memo's store key against
-// keyBuf clobbering: searchComp's subset enumeration reuses the key buffer,
-// so a store that reads the buffer after the search would park the entry
-// under the last subset's bare key — where no "g|members" lookup ever finds
-// it, silently defeating the memo while every result stays correct.
+// TestSearcherMemoKeysWellFormed pins the per-SCC memo's key spaces. Views
+// whose IDs all fit 1..64 are maskable: entries land in the mask-keyed map
+// under the component's content mask (a subset of the received-ID mask), and
+// the string maps stay empty. Views with larger IDs fall back to the string
+// maps, whose store key must be of the "g|members" form — searchComp's subset
+// enumeration reuses the key buffer, so a store that reads the buffer after
+// the search would park the entry under the last subset's bare key, where no
+// lookup ever finds it, silently defeating the memo while every result stays
+// correct.
 func TestSearcherMemoKeysWellFormed(t *testing.T) {
 	v := FullView(graph.Fig1b().G)
 	se := NewSearcher()
 	if _, ok := se.FindCore(v); !ok {
 		t.Fatal("core not found")
 	}
-	if len(se.sccCands) == 0 {
-		t.Fatal("no per-SCC entries memoized")
+	if !se.maskable {
+		t.Fatal("Fig1b view (IDs ≤ 64) should be maskable")
 	}
-	for key := range se.sccCands {
+	if len(se.sccCandsM) == 0 {
+		t.Fatal("no per-SCC entries memoized in the mask-keyed map")
+	}
+	if len(se.sccCands) != 0 || len(se.subsets) != 0 {
+		t.Fatalf("maskable view leaked into the string maps (%d sccCands, %d subsets)", len(se.sccCands), len(se.subsets))
+	}
+	var universe uint64
+	for id := range v.PD {
+		universe |= 1 << (id - 1)
+	}
+	for mk := range se.sccCandsM {
+		if mk.mask == 0 || mk.mask&^universe != 0 {
+			t.Fatalf("per-SCC mask key %b is not a nonempty subset of the received-ID mask %b", mk.mask, universe)
+		}
+	}
+
+	// Shift every ID by +100: same graph, IDs > 64, string-keyed path.
+	base := graph.Fig1b().G
+	shifted := graph.New()
+	for _, u := range base.Nodes() {
+		shifted.AddNode(u + 100)
+	}
+	for _, u := range base.Nodes() {
+		for _, w := range base.Out(u) {
+			shifted.AddEdge(u+100, w+100)
+		}
+	}
+	vs := FullView(shifted)
+	ses := NewSearcher()
+	c1, ok1 := ses.FindCore(vs)
+	if !ok1 {
+		t.Fatal("core not found in shifted view")
+	}
+	if ses.maskable {
+		t.Fatal("shifted view (IDs > 64) should not be maskable")
+	}
+	if len(ses.sccCands) == 0 {
+		t.Fatal("no per-SCC entries memoized in the string-keyed map")
+	}
+	for key := range ses.sccCands {
 		if !strings.Contains(key, "|") {
 			t.Fatalf("per-SCC memo key %q is not of the form g|members — the entry was stored under a clobbered key", key)
+		}
+	}
+	// The two key spaces must agree on the result modulo the shift.
+	c0, _ := se.FindCore(v)
+	if c1.G != c0.G || c1.S1.Len() != c0.S1.Len() {
+		t.Fatalf("shifted core (g=%d, |S1|=%d) disagrees with unshifted (g=%d, |S1|=%d)", c1.G, c1.S1.Len(), c0.G, c0.S1.Len())
+	}
+	for id := range c0.S1 {
+		if !c1.S1.Has(id + 100) {
+			t.Fatalf("shifted core S1 missing %d+100", id)
 		}
 	}
 }
@@ -265,13 +318,13 @@ func TestSearcherMemoKeysWellFormed(t *testing.T) {
 // search on an unchanged view (the searcher analogue of the scenario
 // package's TestCompiledRunAllocsSteadyState). A memo-hit search allocates
 // only the result — the winner's derived S2, a few objects (measured: 4).
-// The from-scratch path re-runs SCC, peel, enumeration and max-flow,
-// allocating hundreds; the budget sits 5× over the measured steady state
-// and far under that, so it trips on a wholesale regression of the
-// mechanism (including the memo-key regression TestSearcherMemoKeysWellFormed
-// pins, which alone costs ~50 allocs here) without flaking on allocator
+// With the mask-keyed memos a hit performs no key rendering at all, so the
+// budget is re-pinned at 2× the measured steady state: the from-scratch path
+// re-runs SCC, peel, enumeration and max-flow, allocating hundreds, and any
+// regression of the memo mechanism (a clobbered key, a string render on the
+// hit path) costs multiples of the budget without flaking on allocator
 // noise.
-const searcherAllocBudget = 20
+const searcherAllocBudget = 8
 
 // TestSearcherAllocsSteadyState gates the scratch-reuse win from both
 // sides: under the absolute budget, and far under the from-scratch search

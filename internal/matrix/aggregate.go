@@ -182,6 +182,18 @@ func (a *Aggregator) bump(axis, value string, o *Outcome) {
 	if o.Err != "" {
 		st.Errors++
 	}
+	if o.Agreement {
+		st.Agreement++
+	}
+	if o.Validity {
+		st.Validity++
+	}
+	if o.Integrity {
+		st.Integrity++
+	}
+	if o.Termination {
+		st.Termination++
+	}
 }
 
 // Report finalizes the aggregation: it fails if any position is still

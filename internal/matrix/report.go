@@ -18,6 +18,16 @@ type AxisStat struct {
 	Cells     int `json:"cells"`
 	Consensus int `json:"consensus"`
 	Errors    int `json:"errors"`
+	// Agreement / Validity / Integrity / Termination count outcomes that
+	// achieved each graded property individually — the per-axis emergence
+	// rates the probabilistic sweep reports (a random graph can preserve
+	// safety yet fail termination, and the split is the measurement). They
+	// are derived state like Cells/Consensus: the report fingerprint hashes
+	// outcomes, never axis tables, so adding them changes no fingerprint.
+	Agreement   int `json:"agreement"`
+	Validity    int `json:"validity"`
+	Integrity   int `json:"integrity"`
+	Termination int `json:"termination"`
 }
 
 // Report is the aggregated result of a matrix run. Every field except the
@@ -127,9 +137,10 @@ func (r *Report) WriteText(w io.Writer, cellRows bool) {
 			continue
 		}
 		fmt.Fprintf(w, "## by %s\n\n", axis)
-		fmt.Fprintf(w, "| %s | cells | consensus | errors |\n|---|---|---|---|\n", axis)
+		fmt.Fprintf(w, "| %s | cells | consensus | agree | valid | integr | term | errors |\n|---|---|---|---|---|---|---|---|\n", axis)
 		for _, st := range stats {
-			fmt.Fprintf(w, "| %s | %d | %d | %d |\n", st.Value, st.Cells, st.Consensus, st.Errors)
+			fmt.Fprintf(w, "| %s | %d | %d | %d | %d | %d | %d | %d |\n",
+				st.Value, st.Cells, st.Consensus, st.Agreement, st.Validity, st.Integrity, st.Termination, st.Errors)
 		}
 		fmt.Fprintln(w)
 	}

@@ -166,3 +166,60 @@ func AdversarySweep(seeds []int64) (CellSource, error) {
 	}
 	return axes.Source()
 }
+
+// ProbabilisticSweep crosses the three random-graph families — Erdős–Rényi,
+// random geometric and scale-free preferential attachment — over sizes,
+// densities and fault thresholds (cmd/experiments -matrix -probabilistic).
+// Unlike the planted families (kosr:, extended:), these graphs carry no
+// construction-time guarantee of the paper's connectivity conditions: whether
+// a sink, a core, and consensus emerge at a given (family, n, density, f)
+// point is the measurement, and the per-axis Agreement/Validity/Integrity/
+// Termination counts in the report are the emergence rates. Cells that lose
+// consensus are findings, not regressions.
+//
+// One density knob d spans the families on comparable footing: er uses edge
+// probability p = d, geo uses connection radius r = d (unit square; expected
+// neighborhood area πd²), and sf attaches m = max(1, round(8d)) edges per
+// node. The mapping is a labeling convention for the sweep axes, not a claim
+// of equal expected degree.
+//
+// StandardSweep stays the untouched cross-version fingerprint anchor; this
+// sweep has its own fingerprint identity tests (mono ≡ sharded ≡ resumed ≡
+// parallel).
+func ProbabilisticSweep(seeds []int64) (CellSource, error) {
+	if len(seeds) == 0 {
+		seeds = Seeds(1, 5)
+	}
+	var specs []string
+	for _, family := range []string{"er", "geo", "sf"} {
+		for _, n := range []int{12, 16, 20} {
+			for _, d := range []float64{0.15, 0.3, 0.5} {
+				switch family {
+				case "er":
+					specs = append(specs, fmt.Sprintf("er:n=%d,p=%g", n, d))
+				case "geo":
+					specs = append(specs, fmt.Sprintf("geo:n=%d,r=%g", n, d))
+				case "sf":
+					specs = append(specs, fmt.Sprintf("sf:n=%d,m=%d", n, max(1, int(d*8+0.5))))
+				}
+			}
+		}
+	}
+	defs, err := parseDefs(specs...)
+	if err != nil {
+		return nil, err
+	}
+	axes := Axes{
+		Name:   "probabilistic",
+		Graphs: defs,
+		Modes:  []core.Mode{core.ModeKnownF},
+		Nets:   []scenario.NetParams{{Kind: scenario.NetSync}},
+		F:      []int{1, 2},
+		Seeds:  seeds,
+		// Random graphs that never admit a sink would otherwise idle out the
+		// default 60 virtual seconds per cell; half that bounds sweep cost
+		// without touching cells that do terminate (they finish well under).
+		Horizon: 30 * sim.Second,
+	}
+	return axes.Source()
+}

@@ -159,3 +159,69 @@ func TestParamsSpecMatchesHandWritten(t *testing.T) {
 			a.Verdict(), a.Messages, a.Bytes, a.Elapsed, b.Verdict(), b.Messages, b.Bytes, b.Elapsed)
 	}
 }
+
+// TestTraceDeterminismProbabilisticFamilies extends the byte-identical-trace
+// regression to the unplanted random families: the graph itself is now part
+// of the seeded randomness, so determinism must hold through generation →
+// compile → run, a re-materialized spec must reproduce the digest exactly,
+// and a different seed must change both the graph and the trace. (The
+// compile cache keys er/geo/sf cells by build seed; a same-key different-
+// graph bug would surface here as a digest mismatch.)
+func TestTraceDeterminismProbabilisticFamilies(t *testing.T) {
+	for _, gs := range []string{"er:n=12,p=0.3", "geo:n=12,r=0.45", "sf:n=12,m=2"} {
+		gs := gs
+		t.Run(gs, func(t *testing.T) {
+			def, err := graph.ParseDef(gs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := Params{
+				Graph:   def,
+				Mode:    core.ModeKnownF,
+				F:       1,
+				Net:     NetParams{Kind: NetSync},
+				Horizon: 30 * sim.Second,
+				Seed:    7,
+				Trace:   true,
+			}
+			spec, err := p.Spec()
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec2, err := p.Spec()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(spec2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.TraceEvents == 0 {
+				t.Fatal("trace recorded no events")
+			}
+			if a.TraceDigest != b.TraceDigest || a.TraceEvents != b.TraceEvents {
+				t.Fatalf("same seed diverged: %s (%d events) vs %s (%d events)",
+					a.TraceDigest, a.TraceEvents, b.TraceDigest, b.TraceEvents)
+			}
+			if transcript(a) != transcript(b) {
+				t.Fatalf("decision transcripts diverge:\n%s\nvs\n%s", transcript(a), transcript(b))
+			}
+			p.Seed = 8
+			spec3, err := p.Spec()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := Run(spec3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.TraceDigest == a.TraceDigest {
+				t.Fatal("different seeds produced identical traces (graph seed not wired through?)")
+			}
+		})
+	}
+}
