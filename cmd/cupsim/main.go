@@ -46,10 +46,12 @@ func main() {
 		seedsStr  = flag.String("seeds", "", "seed sweep, FROM:TO or a count N (= 1:N) — run the scenario once per seed through the matrix engine")
 		parallel  = flag.Int("parallel", 0, "sweep worker count: 0 = GOMAXPROCS, 1 = serial")
 		jsonOut   = flag.Bool("json", false, "emit the sweep report as JSON")
-		shardStr  = flag.String("shard", "", "with -seeds: run only shard i/n of the sweep (deterministic partition)")
+		shardStr  = flag.String("shard", "", "with -seeds: run only span i/n[@t] of the sweep (deterministic partition)")
+		onlyStr   = flag.String("only", "", "with -seeds: run only these global cell indices, comma-separated")
 		jsonlPath = flag.String("jsonl", "", "with -seeds: stream per-cell outcomes as JSONL to this file ('-' = stdout)")
 		resume    = flag.Bool("resume", false, "with -seeds -jsonl FILE: resume an interrupted stream, running only the cells the file is missing")
 		doMerge   = flag.Bool("merge", false, "merge shard JSONL files (positional arguments) into the aggregate report")
+		insecure  = flag.Bool("insecure", false, "swap Ed25519 for the insecure crypto suite (faster runs; sweep fingerprints NOT comparable with secure ones)")
 	)
 	flag.Parse()
 
@@ -65,9 +67,10 @@ func main() {
 	if params.Auto, err = scenario.ParseAutoByz(*autoFlag); err != nil {
 		fail(err)
 	}
+	params.Insecure = *insecure
 
 	if *seedsStr != "" {
-		runSweep(params, *seedsStr, *parallel, *jsonOut, *shardStr, *jsonlPath, *resume)
+		runSweep(params, *seedsStr, *parallel, *jsonOut, *shardStr, *onlyStr, *jsonlPath, *resume)
 		return
 	}
 	params.Seed = *seed
@@ -124,17 +127,10 @@ func buildParams(graphName, modeName string, f int, byzFlag, netName string, gst
 	}, nil
 }
 
-func runSweep(params scenario.Params, seedsStr string, parallel int, jsonOut bool, shardStr, jsonlPath string, resume bool) {
+func runSweep(params scenario.Params, seedsStr string, parallel int, jsonOut bool, shardStr, onlyStr, jsonlPath string, resume bool) {
 	seeds, err := matrix.ParseSeedRange(seedsStr)
 	if err != nil {
 		fail(err)
-	}
-	shard, err := matrix.ParseShard(shardStr)
-	if err != nil {
-		fail(err)
-	}
-	if resume && (jsonlPath == "" || jsonlPath == "-") {
-		fail(fmt.Errorf("-resume needs -jsonl FILE (a stream on stdout cannot be resumed)"))
 	}
 	// The sweep is the scenario crossed with the seed axis: a lazy source,
 	// so -seeds 1:1000000 costs arithmetic, not memory.
@@ -143,36 +139,41 @@ func runSweep(params scenario.Params, seedsStr string, parallel int, jsonOut boo
 		fail(err)
 	}
 	name := fmt.Sprintf("%s seeds %s", params.Name, seedsStr)
-	part := shard.Source(src)
+	if params.Insecure {
+		name += " (insecure)"
+	}
+	job := matrix.StreamJob{
+		Name: name, Src: src,
+		Shard: shardStr, Only: onlyStr,
+		Path: jsonlPath, Resume: resume,
+		Opts: matrix.Options{Parallelism: parallel},
+	}
 
 	if jsonlPath != "" {
-		tr, skipped, err := matrix.RunOrResumeStreamFile(jsonlPath, resume, part, matrix.Options{Parallelism: parallel}, matrix.StreamHeader{
-			Name:       name,
-			TotalCells: src.Len(),
-			Shard:      shard.String(),
-		})
+		tr, err := job.Run()
 		if err != nil {
 			fail(err)
 		}
-		if skipped > 0 {
-			fmt.Fprintf(os.Stderr, "resumed %s: %d cells already complete, %d run now\n",
-				jsonlPath, skipped, tr.CellsRun-skipped)
-		}
-		fmt.Fprintf(os.Stderr, "shard %s: %d cells streamed, %d consensus, %d errors, %.2fs\n",
-			shard, tr.CellsRun, tr.Consensus, tr.Errors, float64(tr.WallNS)/1e9)
 		if tr.Errors > 0 || tr.Consensus < tr.CellsRun {
 			os.Exit(1)
 		}
 		return
 	}
+	if resume {
+		fail(fmt.Errorf("-resume needs -jsonl FILE (a stream on stdout cannot be resumed)"))
+	}
 
-	rep, err := matrix.Run(part, matrix.Options{Parallelism: parallel})
+	part, spec, err := job.Slice()
+	if err != nil {
+		fail(err)
+	}
+	rep, err := matrix.Run(part, job.Opts)
 	if err != nil {
 		fail(err)
 	}
 	rep.Name = name
-	if !shard.IsAll() {
-		rep.Name = fmt.Sprintf("%s, shard %s", name, shard)
+	if spec != "1/1" {
+		rep.Name = fmt.Sprintf("%s, shard %s", name, spec)
 	}
 	emitSweep(rep, jsonOut)
 	if rep.Errors > 0 || rep.Consensus < rep.Cells {

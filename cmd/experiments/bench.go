@@ -52,11 +52,34 @@ type BenchEntry struct {
 	// bitset subset engine on unstructured graphs. Nil for entries that
 	// predate it.
 	SweepProb *MatrixBench `json:"sweep_prob,omitempty"`
+	// SweepDist is the distributed fabric measurement: the Matrix workload
+	// run through the sweep coordinator over local subprocess workers, with
+	// the merged fingerprint asserted byte-identical to the monolithic run.
+	// Speedup compares 4 workers against 1 (the distribution-overhead
+	// baseline); on single-core machines it honestly records ~1×, and the
+	// cross-environment gate skip keeps such entries from flaking CI. Nil for
+	// entries that predate it.
+	SweepDist *DistBench `json:"sweep_dist,omitempty"`
 	// Search is the knowledge-layer search replay (BenchmarkSinkSearch's
 	// workload measured through the harness): PD records inserted one at a
 	// time with a search after every insertion — the per-event schedule the
 	// protocol stack runs during discovery. Nil for entries that predate it.
 	Search []SearchBench `json:"search,omitempty"`
+}
+
+// DistBench is the distributed-fabric trajectory point: the 4-worker run plus
+// its 1-worker baseline on the same fleet transport.
+type DistBench struct {
+	Cells       int     `json:"cells"`
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// OneWorkerWallSeconds is the same sweep through a single subprocess
+	// worker — distribution overhead included, so Speedup isolates what the
+	// extra workers buy.
+	OneWorkerWallSeconds float64 `json:"one_worker_wall_seconds"`
+	Speedup              float64 `json:"speedup_vs_one_worker"`
+	Fingerprint          string  `json:"fingerprint"`
 }
 
 // SearchBench is one sink/core search replay measured via testing.Benchmark.
@@ -208,6 +231,60 @@ func runSweepProbBench() (*matrix.Report, error) {
 		return nil, fmt.Errorf("probabilistic sweep bench had %d errored cells", rep.Errors)
 	}
 	return rep, nil
+}
+
+// runSweepDistBench measures the distributed fabric on the Matrix workload
+// (standard sweep, seeds 1:2): the same cells dealt to local subprocess
+// workers — this very binary re-execed in -matrix worker mode, the transport
+// sweepd defaults to — first 1 worker as the distribution-overhead baseline,
+// then 4. Both merged fingerprints must be byte-identical to the monolithic
+// fingerprint, which makes every trajectory append a distributed-identity
+// check too.
+func runSweepDistBench(monoFP string) (*DistBench, error) {
+	src, err := matrix.StandardSweep(matrix.Seeds(1, 2))
+	if err != nil {
+		return nil, err
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locating own binary for fabric workers: %w", err)
+	}
+	argv := []string{self, "-matrix", "-seeds", "1:2", "-parallel", "1"}
+	run := func(workers int) (*matrix.Report, float64, error) {
+		fleet := make([]matrix.Transport, workers)
+		for i := range fleet {
+			fleet[i] = matrix.ExecTransport{Argv: argv}
+		}
+		start := time.Now()
+		rep, _, err := matrix.RunFabric(src.Len(), fleet, matrix.FabricOptions{})
+		if err != nil {
+			return nil, 0, err
+		}
+		if rep.Errors > 0 {
+			return nil, 0, fmt.Errorf("fabric bench had %d errored cells", rep.Errors)
+		}
+		if fp := rep.Fingerprint(); fp != monoFP {
+			return nil, 0, fmt.Errorf("fabric fingerprint diverges from monolithic run on %d workers:\n  mono   %s\n  fabric %s", workers, monoFP, fp)
+		}
+		return rep, time.Since(start).Seconds(), nil
+	}
+	_, wall1, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	rep, wall4, err := run(4)
+	if err != nil {
+		return nil, err
+	}
+	return &DistBench{
+		Cells:                rep.Cells,
+		Workers:              4,
+		WallSeconds:          wall4,
+		CellsPerSec:          float64(rep.Cells) / wall4,
+		OneWorkerWallSeconds: wall1,
+		Speedup:              wall1 / wall4,
+		Fingerprint:          rep.Fingerprint(),
+	}, nil
 }
 
 // searchReplays builds the search workloads: a view's records inserted one at
@@ -363,6 +440,10 @@ func runBenchJSON(path, label string, gate float64) {
 		Fingerprint: probRep.Fingerprint(),
 	}
 
+	if entry.SweepDist, err = runSweepDistBench(entry.Matrix.Fingerprint); err != nil {
+		fail(err)
+	}
+
 	if entry.Search, err = searchReplays(); err != nil {
 		fail(err)
 	}
@@ -390,6 +471,8 @@ func runBenchJSON(path, label string, gate float64) {
 		entry.SweepWorst.Cells, entry.SweepWorst.Parallelism, entry.SweepWorst.CellsPerSec, entry.SweepWorst.WallSeconds)
 	fmt.Printf("sweep-prob %d cells on %d workers: %.2f cells/s (%.2fs)\n",
 		entry.SweepProb.Cells, entry.SweepProb.Parallelism, entry.SweepProb.CellsPerSec, entry.SweepProb.WallSeconds)
+	fmt.Printf("sweep-dist %d cells on %d subprocess workers: %.2f cells/s (%.2fs; %.2fx vs 1 worker; fingerprint matches monolithic)\n",
+		entry.SweepDist.Cells, entry.SweepDist.Workers, entry.SweepDist.CellsPerSec, entry.SweepDist.WallSeconds, entry.SweepDist.Speedup)
 	for _, s := range entry.Search {
 		fmt.Printf("search %-22s %10.0f ns/op  %8.0f ops/s  %6d allocs/op\n",
 			s.Name, s.NsPerOp, s.OpsPerSec, s.AllocsPerOp)
@@ -461,6 +544,11 @@ func gateEntry(prev, cur BenchEntry, tol float64) error {
 	gateSweep("sweep-ext", cur.SweepExt, prev.SweepExt)
 	gateSweep("sweep-worst", cur.SweepWorst, prev.SweepWorst)
 	gateSweep("sweep-prob", cur.SweepProb, prev.SweepProb)
+	if c, p := cur.SweepDist, prev.SweepDist; c != nil && p != nil && p.CellsPerSec > 0 && c.CellsPerSec < p.CellsPerSec*(1-tol) {
+		regressions = append(regressions, fmt.Sprintf(
+			"sweep-dist: %.2f cells/s, was %.2f (%.1f%% drop)",
+			c.CellsPerSec, p.CellsPerSec, (1-c.CellsPerSec/p.CellsPerSec)*100))
+	}
 	prevSearch := make(map[string]SearchBench, len(prev.Search))
 	for _, s := range prev.Search {
 		prevSearch[s.Name] = s

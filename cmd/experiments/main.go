@@ -12,6 +12,7 @@
 //	experiments -matrix -compare                                 serial-vs-parallel: identical reports + speedup
 //	experiments -matrix -shard 2/3 -jsonl part2.jsonl            run one shard, streaming per-cell JSONL
 //	experiments -matrix -shard 2/3 -jsonl part2.jsonl -resume    complete an interrupted shard stream
+//	experiments -matrix -only 4,17,23 -jsonl gaps.jsonl          run explicit cells (the fabric's gap back-fill)
 //	experiments -merge part1.jsonl part2.jsonl part3.jsonl       reconstruct the aggregate report from shards
 //	experiments -merge -summary part*.jsonl                      constant-memory merge (aggregates only)
 //	experiments -bench-json [-bench-out BENCH_matrix.json]       append engine+matrix numbers to the trajectory
@@ -53,9 +54,11 @@ func main() {
 		trace      = flag.Bool("trace", false, "record per-cell event-trace digests")
 		cellRows   = flag.Bool("cells", false, "list every cell in text output")
 		compare    = flag.Bool("compare", false, "with -matrix: run serially then in parallel, assert identical reports, print speedup")
-		shardStr   = flag.String("shard", "", "with -matrix: run only shard i/n of the sweep (deterministic partition)")
+		shardStr   = flag.String("shard", "", "with -matrix: run only span i/n[@t] of the sweep (deterministic partition)")
+		onlyStr    = flag.String("only", "", "with -matrix: run only these global cell indices, comma-separated (the fabric's gap back-fill)")
 		jsonlPath  = flag.String("jsonl", "", "with -matrix: stream per-cell outcomes as JSONL to this file ('-' = stdout) instead of buffering a report")
 		resume     = flag.Bool("resume", false, "with -matrix -jsonl FILE: resume an interrupted stream, running only the cells the file is missing")
+		insecure   = flag.Bool("insecure", false, "with -matrix: swap Ed25519 for the insecure crypto suite (faster cells; fingerprints NOT comparable with secure sweeps)")
 		doMerge    = flag.Bool("merge", false, "merge shard JSONL files (positional arguments) into the aggregate report")
 		summary    = flag.Bool("summary", false, "with -merge: aggregate in constant memory, dropping per-cell outcomes from the report")
 		benchJSON  = flag.Bool("bench-json", false, "run the engine and matrix hot-path benchmarks and append an entry to the trajectory file")
@@ -92,7 +95,7 @@ func main() {
 	case *benchJSON:
 		runBenchJSON(*benchOut, *benchLabel, *benchGate)
 	case *doMatrix:
-		runMatrix(*seedsStr, *adversary, *probSweep, *parallel, *jsonOut, *trace, *cellRows, *compare, *shardStr, *jsonlPath, *resume)
+		runMatrix(*seedsStr, *adversary, *probSweep, *parallel, *jsonOut, *trace, *cellRows, *compare, *shardStr, *onlyStr, *jsonlPath, *resume, *insecure)
 	default:
 		runPaperSuite(*runSel, *parallel, *jsonOut, *trace, *verbose)
 	}
@@ -126,7 +129,7 @@ func runMerge(paths []string, jsonOut, cellRows, summary bool) {
 // optionally streaming per-cell JSONL (fresh or resumed) instead of
 // buffering a report. The sweep is a lazy cell source end to end — nothing
 // materializes the cell list, so seed ranges in the millions are fine.
-func runMatrix(seedsStr string, adversary, probabilistic bool, parallel int, jsonOut, trace, cellRows, compare bool, shardStr, jsonlPath string, resume bool) {
+func runMatrix(seedsStr string, adversary, probabilistic bool, parallel int, jsonOut, trace, cellRows, compare bool, shardStr, onlyStr, jsonlPath string, resume, insecure bool) {
 	seeds, err := matrix.ParseSeedRange(seedsStr)
 	if err != nil {
 		fail(err)
@@ -145,38 +148,34 @@ func runMatrix(seedsStr string, adversary, probabilistic bool, parallel int, jso
 	if err != nil {
 		fail(err)
 	}
-	shard, err := matrix.ParseShard(shardStr)
+	name := fmt.Sprintf("%s sweep, seeds %s", sweepName, seedsStr)
+	if insecure {
+		src = matrix.InsecureSource(src)
+		name += " (insecure)"
+	}
+	job := matrix.StreamJob{Name: name, Src: src, Shard: shardStr, Only: onlyStr, Path: jsonlPath, Resume: resume}
+	part, spec, err := job.Slice()
 	if err != nil {
 		fail(err)
 	}
-	if compare && (!shard.IsAll() || jsonlPath != "") {
-		fail(fmt.Errorf("-compare runs the whole sweep twice; it cannot be combined with -shard or -jsonl"))
+	whole := spec == "1/1"
+	if compare && (!whole || jsonlPath != "") {
+		fail(fmt.Errorf("-compare runs the whole sweep twice; it cannot be combined with -shard, -only or -jsonl"))
 	}
-	if resume && (jsonlPath == "" || jsonlPath == "-") {
+	if resume && jsonlPath == "" {
 		fail(fmt.Errorf("-resume needs -jsonl FILE (a stream on stdout cannot be resumed)"))
 	}
-	name := fmt.Sprintf("%s sweep, seeds %s", sweepName, seedsStr)
-	part := shard.Source(src)
 	opts := matrix.Options{Parallelism: parallel, Trace: trace}
 	if !jsonOut && jsonlPath != "-" {
 		opts.Progress = progressLine(part.Len())
 	}
+	job.Opts = opts
 
 	if jsonlPath != "" {
-		tr, skipped, err := matrix.RunOrResumeStreamFile(jsonlPath, resume, part, opts, matrix.StreamHeader{
-			Name:       name,
-			TotalCells: src.Len(),
-			Shard:      shard.String(),
-		})
+		tr, err := job.Run()
 		if err != nil {
 			fail(err)
 		}
-		if skipped > 0 {
-			fmt.Fprintf(os.Stderr, "resumed %s: %d cells already complete, %d run now\n",
-				jsonlPath, skipped, tr.CellsRun-skipped)
-		}
-		fmt.Fprintf(os.Stderr, "shard %s: %d cells streamed, %d consensus, %d errors, %.2fs\n",
-			shard, tr.CellsRun, tr.Consensus, tr.Errors, float64(tr.WallNS)/1e9)
 		if tr.Errors > 0 {
 			os.Exit(1)
 		}
@@ -208,8 +207,8 @@ func runMatrix(seedsStr string, adversary, probabilistic bool, parallel int, jso
 		}
 	}
 	rep.Name = name
-	if !shard.IsAll() {
-		rep.Name = fmt.Sprintf("%s, shard %s", name, shard)
+	if !whole {
+		rep.Name = fmt.Sprintf("%s, shard %s", name, spec)
 	}
 	fmt.Fprintf(os.Stderr, "fingerprint %s\n", rep.Fingerprint())
 	emit(rep, jsonOut, cellRows)

@@ -1,0 +1,231 @@
+// Command sweepd is the distributed sweep coordinator: it deals a scenario
+// sweep to a fleet of workers as shard spans, spools their JSONL streams,
+// survives worker death, torn streams and stragglers (work-stealing re-specs
+// a stalled worker's unclaimed tail), and folds everything through the
+// streaming merge into the monolithic report — the fingerprint is
+// byte-identical to a single-process run of the same sweep.
+//
+// The default fleet is local subprocesses of sweepd itself in -worker mode;
+// -ssh swaps in remote workers over ssh. The worker protocol is the shared
+// StreamJob flag set (-shard/-only/-jsonl/-resume), so experiments -matrix
+// and cupsim sweeps speak it too.
+//
+// Usage:
+//
+//	sweepd -sweep standard -seeds 1:10 -workers 4               4 local subprocess workers
+//	sweepd -sweep adversary -seeds 1:3 -workers 4 -shards 16    finer-grained load balancing
+//	sweepd -sweep standard -seeds 1:100 -ssh hostA,hostB        ssh fleet (remote sweepd on PATH)
+//	sweepd -sweep standard -seeds 1:10 -spool spool/ -v         keep spools, print recovery stats
+//	sweepd -worker -sweep standard -seeds 1:10 -shard 2/4 -jsonl -   one worker task by hand
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/bftcup/bftcup/internal/matrix"
+)
+
+func main() {
+	var (
+		worker    = flag.Bool("worker", false, "run one worker task (the coordinator execs these) instead of coordinating")
+		sweepSel  = flag.String("sweep", "standard", "sweep to run: standard|adversary|probabilistic")
+		seedsStr  = flag.String("seeds", "1:10", "seed sweep, FROM:TO or a single count N (= 1:N)")
+		insecure  = flag.Bool("insecure", false, "swap Ed25519 for the insecure crypto suite (fingerprints NOT comparable with secure sweeps)")
+		workers   = flag.Int("workers", 4, "local subprocess workers (ignored with -ssh)")
+		sshHosts  = flag.String("ssh", "", "comma-separated ssh destinations; replaces the local fleet")
+		remoteCmd = flag.String("remote-cmd", "sweepd", "worker command on ssh hosts (binary plus flags)")
+		sshArgs   = flag.String("ssh-args", "", "extra ssh client flags, space-separated")
+		shards    = flag.Int("shards", 0, "initial spans dealt to the fleet (0 = one per worker)")
+		spoolDir  = flag.String("spool", "", "spool directory for worker streams (empty = temp dir, removed on success)")
+		heartbeat = flag.Duration("heartbeat", 2*time.Minute, "declare a worker stalled after this long without stream progress (0 = off)")
+		parallel  = flag.Int("parallel", 1, "per-worker parallelism")
+		jsonOut   = flag.Bool("json", false, "emit the merged report as JSON")
+		cellRows  = flag.Bool("cells", false, "keep per-cell outcomes in the merged report and list them in text output")
+		verbose   = flag.Bool("v", false, "print recovery stats (redispatches, resumes, seals, steals)")
+		shardStr  = flag.String("shard", "", "with -worker: run only span i/n[@t] of the sweep")
+		onlyStr   = flag.String("only", "", "with -worker: run only these global cell indices, comma-separated")
+		jsonlPath = flag.String("jsonl", "", "with -worker: stream per-cell outcomes as JSONL to this file ('-' = stdout)")
+		resume    = flag.Bool("resume", false, "with -worker -jsonl FILE: complete an interrupted stream in place")
+	)
+	flag.Parse()
+
+	src, name, err := buildSweep(*sweepSel, *seedsStr, *insecure)
+	if err != nil {
+		fail(err)
+	}
+
+	if *worker {
+		runWorker(name, src, *shardStr, *onlyStr, *jsonlPath, *resume, *parallel)
+		return
+	}
+	runCoordinator(name, src, coordinatorConfig{
+		sweepSel: *sweepSel, seedsStr: *seedsStr, insecure: *insecure,
+		workers: *workers, sshHosts: *sshHosts, remoteCmd: *remoteCmd, sshArgs: *sshArgs,
+		shards: *shards, spoolDir: *spoolDir, heartbeat: *heartbeat, parallel: *parallel,
+		jsonOut: *jsonOut, cellRows: *cellRows, verbose: *verbose,
+	})
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweepd:", err)
+	os.Exit(2)
+}
+
+// buildSweep resolves the named sweep — the same construction every worker
+// and the coordinator must share, or headers disagree and the merge refuses.
+func buildSweep(sweepSel, seedsStr string, insecure bool) (matrix.CellSource, string, error) {
+	seeds, err := matrix.ParseSeedRange(seedsStr)
+	if err != nil {
+		return nil, "", err
+	}
+	var sweep func([]int64) (matrix.CellSource, error)
+	switch sweepSel {
+	case "standard":
+		sweep = matrix.StandardSweep
+	case "adversary":
+		sweep = matrix.AdversarySweep
+	case "probabilistic":
+		sweep = matrix.ProbabilisticSweep
+	default:
+		return nil, "", fmt.Errorf("unknown sweep %q (want standard|adversary|probabilistic)", sweepSel)
+	}
+	src, err := sweep(seeds)
+	if err != nil {
+		return nil, "", err
+	}
+	name := fmt.Sprintf("%s sweep, seeds %s", sweepSel, seedsStr)
+	if insecure {
+		src = matrix.InsecureSource(src)
+		name += " (insecure)"
+	}
+	return src, name, nil
+}
+
+// runWorker executes one fabric task: the coordinator side dispatches exactly
+// these flags, but the mode also works by hand for debugging a single span.
+func runWorker(name string, src matrix.CellSource, shardStr, onlyStr, jsonlPath string, resume bool, parallel int) {
+	tr, err := matrix.StreamJob{
+		Name: name, Src: src,
+		Shard: shardStr, Only: onlyStr,
+		Path: jsonlPath, Resume: resume,
+		Opts: matrix.Options{Parallelism: parallel},
+	}.Run()
+	if err != nil {
+		fail(err)
+	}
+	if tr.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+type coordinatorConfig struct {
+	sweepSel, seedsStr           string
+	insecure                     bool
+	workers                      int
+	sshHosts, remoteCmd, sshArgs string
+	shards                       int
+	spoolDir                     string
+	heartbeat                    time.Duration
+	parallel                     int
+	jsonOut, cellRows, verbose   bool
+}
+
+// fleet builds the worker transports: one ExecTransport per local slot
+// self-execing sweepd -worker, or one SSHTransport per -ssh host.
+func (c coordinatorConfig) fleet() ([]matrix.Transport, error) {
+	base := []string{
+		"-worker",
+		"-sweep", c.sweepSel,
+		"-seeds", c.seedsStr,
+		"-parallel", fmt.Sprint(c.parallel),
+	}
+	if c.insecure {
+		base = append(base, "-insecure")
+	}
+	if c.sshHosts != "" {
+		argv := append(strings.Fields(c.remoteCmd), base...)
+		var fleet []matrix.Transport
+		for _, host := range strings.Split(c.sshHosts, ",") {
+			host = strings.TrimSpace(host)
+			if host == "" {
+				continue
+			}
+			fleet = append(fleet, matrix.SSHTransport{Host: host, Argv: argv, SSHArgs: strings.Fields(c.sshArgs)})
+		}
+		if len(fleet) == 0 {
+			return nil, fmt.Errorf("-ssh lists no hosts")
+		}
+		return fleet, nil
+	}
+	if c.workers <= 0 {
+		return nil, fmt.Errorf("need at least one worker")
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locating own binary for worker exec: %w", err)
+	}
+	fleet := make([]matrix.Transport, c.workers)
+	for i := range fleet {
+		fleet[i] = matrix.ExecTransport{Argv: append([]string{self}, base...)}
+	}
+	return fleet, nil
+}
+
+func runCoordinator(name string, src matrix.CellSource, c coordinatorConfig) {
+	fleet, err := c.fleet()
+	if err != nil {
+		fail(err)
+	}
+	total := src.Len()
+	fmt.Fprintf(os.Stderr, "sweepd: %s — %d cells across %d workers\n", name, total, len(fleet))
+	opts := matrix.FabricOptions{
+		Shards:       c.shards,
+		SpoolDir:     c.spoolDir,
+		Heartbeat:    c.heartbeat,
+		KeepOutcomes: c.cellRows,
+	}
+	if !c.jsonOut {
+		last := -1
+		opts.Progress = func(done, total int) {
+			if done == last {
+				return
+			}
+			last = done
+			fmt.Fprintf(os.Stderr, "\r%d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	start := time.Now()
+	rep, stats, err := matrix.RunFabric(total, fleet, opts)
+	if err != nil {
+		fail(err)
+	}
+	rep.Name = name
+	wall := time.Since(start)
+	fmt.Fprintf(os.Stderr, "fabric: %d cells in %.2fs (%.2f cells/s) over %d workers, %d dispatches\n",
+		rep.Cells, wall.Seconds(), float64(rep.Cells)/wall.Seconds(), len(fleet), stats.Tasks)
+	if c.verbose || stats.Redispatches+stats.Resumes+stats.Seals+stats.Steals > 0 {
+		fmt.Fprintf(os.Stderr, "fabric: recovery — %d redispatched, %d resumed in place, %d sealed, %d steals (%d sub-shards), %d gap tasks\n",
+			stats.Redispatches, stats.Resumes, stats.Seals, stats.Steals, stats.SubShards, stats.GapTasks)
+	}
+	fmt.Fprintf(os.Stderr, "fingerprint %s\n", rep.Fingerprint())
+	if c.jsonOut {
+		raw, err := rep.JSON()
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(raw)
+		fmt.Println()
+	} else {
+		rep.WriteText(os.Stdout, c.cellRows)
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,359 @@
+package matrix
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fabricSweeps enumerates the named sweeps the fabric must reproduce
+// byte-identically; the probabilistic sweep is the slowest and skipped in
+// -short runs.
+func fabricSweeps(t *testing.T) map[string]CellSource {
+	t.Helper()
+	sweeps := map[string]CellSource{}
+	std, err := StandardSweep(Seeds(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweeps["standard"] = std
+	adv, err := AdversarySweep(Seeds(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweeps["adversary"] = adv
+	if !testing.Short() {
+		prob, err := ProbabilisticSweep(Seeds(1, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweeps["probabilistic"] = prob
+	}
+	return sweeps
+}
+
+// procFleet builds n in-process workers over one sweep.
+func procFleet(name string, src CellSource, n int) []Transport {
+	fleet := make([]Transport, n)
+	for i := range fleet {
+		fleet[i] = ProcTransport{Name: name, Src: src, Opts: Options{Parallelism: 2}}
+	}
+	return fleet
+}
+
+// TestFabricFingerprintIdentity is the tentpole's core claim: the
+// distributed sweep reproduces the monolithic fingerprint byte-for-byte on
+// every named sweep, with more shards than workers and uneven spans.
+func TestFabricFingerprintIdentity(t *testing.T) {
+	for name, src := range fabricSweeps(t) {
+		t.Run(name, func(t *testing.T) {
+			mono, err := Run(src, Options{Parallelism: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, stats, err := runFabric(src.Len(), procFleet(name, src, 4), FabricOptions{
+				Shards:   5,
+				SpoolDir: t.TempDir(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Fingerprint() != mono.Fingerprint() {
+				t.Fatalf("fabric fingerprint %s != mono %s", rep.Fingerprint(), mono.Fingerprint())
+			}
+			if rep.Cells != mono.Cells || rep.Consensus != mono.Consensus || rep.Errors != mono.Errors {
+				t.Fatalf("fabric report %d/%d/%d diverges from mono %d/%d/%d",
+					rep.Cells, rep.Consensus, rep.Errors, mono.Cells, mono.Consensus, mono.Errors)
+			}
+			if stats.Tasks != 5 || stats.Redispatches+stats.Seals+stats.Steals != 0 {
+				t.Fatalf("clean run dispatched %+v", stats)
+			}
+		})
+	}
+}
+
+// faultMode selects which failure the wrapped transport injects on its
+// first dispatch.
+type faultMode int
+
+const (
+	faultDie     faultMode = iota // exit non-zero mid-stream
+	faultCorrupt                  // write garbage mid-stream, exit zero
+	faultStall                    // stop emitting, hang until killed
+)
+
+// faultTransport wraps an in-process worker and injects one fault on the
+// fleet's first dispatch: the worker's true stream is buffered, a prefix of
+// it is emitted, and then the transport dies, corrupts the stream, or hangs
+// until the coordinator kills it. It deliberately does not implement
+// SpoolResumer, so a fleet of these recovers by seal-and-resplit.
+type faultTransport struct {
+	proc  ProcTransport
+	mode  faultMode
+	after int          // outcome records to emit before the fault
+	fired *atomic.Bool // shared: only the first dispatch faults
+}
+
+// Run implements Transport.
+func (f *faultTransport) Run(ctx context.Context, task Task, sink io.Writer) error {
+	if !f.fired.CompareAndSwap(false, true) {
+		return f.proc.Run(ctx, task, sink)
+	}
+	var buf bytes.Buffer
+	if err := f.proc.Run(ctx, task, &buf); err != nil {
+		return err
+	}
+	// Emit the header plus the first `after` outcome lines.
+	lines := bytes.SplitAfter(buf.Bytes(), []byte("\n"))
+	keep := f.after + 1
+	if keep > len(lines) {
+		keep = len(lines)
+	}
+	for _, line := range lines[:keep] {
+		if _, err := sink.Write(line); err != nil {
+			return err
+		}
+	}
+	switch f.mode {
+	case faultDie:
+		return errors.New("injected worker death")
+	case faultCorrupt:
+		_, err := sink.Write([]byte("ca5cade of garbage bytes, not JSON\n{\"type\":\"outcome\",\"outc"))
+		return err
+	default: // faultStall
+		<-ctx.Done()
+		return ctx.Err()
+	}
+}
+
+// resumingFault is faultTransport on a shared-filesystem fleet: it forwards
+// ResumeSpool to the in-process worker, so the coordinator recovers its
+// death by completing the torn spool in place.
+type resumingFault struct {
+	faultTransport
+}
+
+// ResumeSpool implements SpoolResumer.
+func (f *resumingFault) ResumeSpool(ctx context.Context, task Task, spool string) error {
+	return f.proc.ResumeSpool(ctx, task, spool)
+}
+
+// faultFleet builds 4 workers whose first dispatch suffers the given fault.
+// With resuming=true the fleet shares the coordinator's filesystem.
+func faultFleet(name string, src CellSource, mode faultMode, after int, resuming bool) []Transport {
+	fired := &atomic.Bool{}
+	fleet := make([]Transport, 4)
+	for i := range fleet {
+		ft := faultTransport{
+			proc:  ProcTransport{Name: name, Src: src, Opts: Options{Parallelism: 2}},
+			mode:  mode,
+			after: after,
+			fired: fired,
+		}
+		if resuming {
+			fleet[i] = &resumingFault{faultTransport: ft}
+		} else {
+			fleet[i] = &ft
+		}
+	}
+	return fleet
+}
+
+// checkFabricIdentity runs the fleet and asserts byte-identical convergence
+// with the monolithic run, returning the stats for recovery-path assertions.
+func checkFabricIdentity(t *testing.T, src CellSource, fleet []Transport, opts FabricOptions) FabricStats {
+	t.Helper()
+	mono, err := Run(src, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.SpoolDir = t.TempDir()
+	rep, stats, err := runFabric(src.Len(), fleet, opts)
+	if err != nil {
+		t.Fatalf("fabric: %v (stats %+v)", err, stats)
+	}
+	if rep.Fingerprint() != mono.Fingerprint() {
+		t.Fatalf("fabric fingerprint %s != mono %s (stats %+v)", rep.Fingerprint(), mono.Fingerprint(), stats)
+	}
+	if rep.Cells != mono.Cells || rep.Consensus != mono.Consensus {
+		t.Fatalf("fabric %d cells / %d consensus, mono %d / %d", rep.Cells, rep.Consensus, mono.Cells, mono.Consensus)
+	}
+	return stats
+}
+
+// TestFabricWorkerDeathResume kills a worker mid-shard on a shared-
+// filesystem fleet: the torn spool must be completed in place by another
+// worker and the merged fingerprint must not move.
+func TestFabricWorkerDeathResume(t *testing.T) {
+	for name, src := range fabricSweeps(t) {
+		t.Run(name, func(t *testing.T) {
+			fleet := faultFleet(name, src, faultDie, 3, true)
+			stats := checkFabricIdentity(t, src, fleet, FabricOptions{})
+			if stats.Resumes < 1 {
+				t.Fatalf("death recovered without a resume: %+v", stats)
+			}
+		})
+	}
+}
+
+// TestFabricWorkerDeathSealSplit kills a worker mid-shard on a fleet that
+// cannot resume spools (the SSH shape): the partial stream must be sealed
+// and its missing cells re-dispatched, converging to the same fingerprint.
+func TestFabricWorkerDeathSealSplit(t *testing.T) {
+	src := fabricSweeps(t)["standard"]
+	fleet := faultFleet("standard", src, faultDie, 3, false)
+	stats := checkFabricIdentity(t, src, fleet, FabricOptions{})
+	if stats.Seals < 1 {
+		t.Fatalf("non-resumable death recovered without sealing: %+v", stats)
+	}
+	if stats.Resumes != 0 {
+		t.Fatalf("fleet without SpoolResumer resumed a spool: %+v", stats)
+	}
+}
+
+// TestFabricCorruptStream has a worker exit zero after writing garbage mid-
+// stream — the lying-worker case. The coordinator must detect the torn
+// stream, recover only the missing cells, and still converge.
+func TestFabricCorruptStream(t *testing.T) {
+	for name, src := range fabricSweeps(t) {
+		t.Run(name, func(t *testing.T) {
+			fleet := faultFleet(name, src, faultCorrupt, 3, true)
+			stats := checkFabricIdentity(t, src, fleet, FabricOptions{})
+			if stats.Resumes+stats.Seals+stats.Redispatches < 1 {
+				t.Fatalf("corrupt stream accepted without recovery: %+v", stats)
+			}
+		})
+	}
+}
+
+// TestFabricStallSteal stalls a worker holding half the sweep: the
+// heartbeat must kill it and re-spec the unclaimed tail as sub-shards dealt
+// to the idle workers (the work-stealing path), converging byte-identically.
+func TestFabricStallSteal(t *testing.T) {
+	for name, src := range fabricSweeps(t) {
+		t.Run(name, func(t *testing.T) {
+			fleet := faultFleet(name, src, faultStall, 3, false)
+			stats := checkFabricIdentity(t, src, fleet, FabricOptions{
+				Shards:    2,
+				Heartbeat: 150 * time.Millisecond,
+			})
+			if stats.Steals < 1 || stats.SubShards < 2 {
+				t.Fatalf("stall did not trigger a tail steal: %+v", stats)
+			}
+			if stats.Seals < 1 {
+				t.Fatalf("stalled worker's prefix was discarded, not sealed: %+v", stats)
+			}
+		})
+	}
+}
+
+// TestFabricEmptyAndTinySweeps pins the edges: more workers than cells, a
+// single-cell sweep, and a worker count of one.
+func TestFabricEmptyAndTinySweeps(t *testing.T) {
+	src, err := StandardSweep(Seeds(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := &subsetCapSource{base: src, n: 3}
+	mono, err := Run(tiny, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		rep, _, err := runFabric(tiny.Len(), procFleet("tiny", tiny, workers), FabricOptions{SpoolDir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		if rep.Fingerprint() != mono.Fingerprint() {
+			t.Fatalf("%d workers: fingerprint diverged", workers)
+		}
+	}
+	if _, _, err := runFabric(0, procFleet("tiny", tiny, 2), FabricOptions{}); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	if _, _, err := runFabric(3, nil, FabricOptions{}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+}
+
+// subsetCapSource exposes the first n cells of a sweep as a whole sweep.
+type subsetCapSource struct {
+	base CellSource
+	n    int
+}
+
+func (s *subsetCapSource) Len() int        { return s.n }
+func (s *subsetCapSource) Index(i int) int { return i }
+func (s *subsetCapSource) Cell(i int) Cell { return s.base.Cell(i) }
+
+// TestSealStreamFile pins the seal primitive: a torn spool (header, some
+// outcomes, torn final line) becomes a valid partial stream whose header
+// ShardCells matches the surviving outcomes, and merging it with a stream
+// of the missing cells reproduces the monolithic fingerprint.
+func TestSealStreamFile(t *testing.T) {
+	src, err := StandardSweep(Seeds(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := Run(src, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	spool := filepath.Join(dir, "torn.jsonl")
+	span := Span{Shard: Shard{Index: 1, Count: 2}}
+	hdr := StreamHeader{Name: "seal", TotalCells: src.Len(), Shard: span.String()}
+	if _, err := RunStreamFile(spool, span.Source(src), Options{Parallelism: 1}, hdr); err != nil {
+		t.Fatal(err)
+	}
+	truncateStream(t, spool, 4) // drop trailer + 3 outcomes
+	raw, err := os.ReadFile(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final line too: seals must drop partial writes.
+	if err := os.WriteFile(spool, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	kept, err := sealStreamFile(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := scanStreamFile(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.trailer == nil || scan.header.ShardCells != kept || scan.trailer.CellsRun != kept || len(scan.done) != kept {
+		t.Fatalf("sealed stream inconsistent: kept %d, header %d, trailer %v, done %d",
+			kept, scan.header.ShardCells, scan.trailer, len(scan.done))
+	}
+	// Complete the sweep with the cells the sealed stream no longer claims.
+	var missing []int
+	for g := 0; g < src.Len(); g++ {
+		if !scan.done[g] {
+			missing = append(missing, g)
+		}
+	}
+	rest := filepath.Join(dir, "rest.jsonl")
+	part, err := cellSubset(src, missing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restHdr := StreamHeader{Name: "seal", TotalCells: src.Len(), Shard: "cells:" + FormatCellList(missing)}
+	if _, err := RunStreamFile(rest, part, Options{Parallelism: 1}, restHdr); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeFilesWith(MergeOptions{}, spool, rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Fingerprint() != mono.Fingerprint() {
+		t.Fatalf("sealed+gap merge fingerprint %s != mono %s", merged.Fingerprint(), mono.Fingerprint())
+	}
+}

@@ -33,6 +33,9 @@ type streamScan struct {
 	// offset is the byte offset just past the last intact record — the
 	// truncation point for appending.
 	offset int64
+	// headerEnd is the byte offset just past the header record (the fabric's
+	// seal step rewrites the header in place up to here).
+	headerEnd int64
 }
 
 // scanStreamFile reads a stream file line by line, stopping at the first
@@ -74,6 +77,7 @@ func scanStreamFile(path string) (*streamScan, error) {
 				return nil, fmt.Errorf("resume %s: header after outcomes", path)
 			}
 			scan.header = rec.Header
+			scan.headerEnd = scan.offset + int64(len(line))
 		case "outcome":
 			if scan.header == nil {
 				return nil, fmt.Errorf("resume %s: outcome before header", path)

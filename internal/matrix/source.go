@@ -202,6 +202,33 @@ func (s *seedSweepSource) Cell(i int) Cell {
 	return Cell{Index: i, Params: p}
 }
 
+// insecureSource sets Params.Insecure on every cell of a base sweep.
+type insecureSource struct {
+	base CellSource
+}
+
+// InsecureSource is the base sweep with every cell switched to the insecure
+// crypto suite — how the CLIs' -insecure flag reaches the named sweeps, whose
+// axes the caller does not construct. Indices, axis labels and cell IDs are
+// unchanged; fingerprints are NOT comparable with the secure sweep (message
+// byte counts differ), which is why the flag also renames the sweep.
+func InsecureSource(base CellSource) CellSource {
+	return &insecureSource{base: base}
+}
+
+// Len implements CellSource.
+func (s *insecureSource) Len() int { return s.base.Len() }
+
+// Index implements CellSource.
+func (s *insecureSource) Index(i int) int { return s.base.Index(i) }
+
+// Cell implements CellSource.
+func (s *insecureSource) Cell(i int) Cell {
+	c := s.base.Cell(i)
+	c.Params.Insecure = true
+	return c
+}
+
 // concatSource chains sources into one sweep, reindexing cells globally in
 // concatenation order (the lazy counterpart of the old Concat helper).
 type concatSource struct {

@@ -156,10 +156,11 @@ type streamCursor struct {
 	pending map[int]*Outcome
 	outs    int
 	eof     bool
-	// shard is the parsed header spec when it identifies a proper slice of
-	// the sweep; nil means ownership is unknown and the merge scheduler
-	// falls back to its buffer-aware heuristic for this stream.
-	shard *Shard
+	// span is the parsed header spec when it identifies a proper slice of
+	// the sweep ("i/n" or a work-stolen tail "i/n@t"); nil means ownership
+	// is unknown and the merge scheduler falls back to its buffer-aware
+	// heuristic for this stream.
+	span *Span
 }
 
 // newStreamCursor opens a stream and reads its header record.
@@ -181,7 +182,7 @@ func newStreamCursor(r io.Reader) (*streamCursor, error) {
 // owns reports whether this cursor's shard spec claims the global cell
 // index. Unknown specs own nothing (the scheduler handles them separately).
 func (c *streamCursor) owns(i int) bool {
-	return c.shard != nil && i%c.shard.Count == c.shard.Index-1
+	return c.span != nil && c.span.Owns(i)
 }
 
 // minPending returns the smallest buffered cell index, or ok=false when the
@@ -275,14 +276,16 @@ func (c *streamCursor) finish() error {
 // assignShards parses each cursor's shard spec independently. A spec that
 // claims the whole sweep ("1/1", or an empty header) is only meaningful when
 // the stream is alone — alongside other streams it cannot be literally true,
-// so it is demoted to unknown and scheduled by the heuristic instead.
+// so it is demoted to unknown and scheduled by the heuristic instead. Specs
+// that are not spans at all (the fabric's "cells:…" gap-filler streams) stay
+// unknown by construction.
 func assignShards(cursors []*streamCursor) {
 	for _, c := range cursors {
-		sh, err := ParseShard(c.hdr.Shard)
-		if err != nil || (sh.IsAll() && len(cursors) > 1) {
+		sp, err := ParseSpan(c.hdr.Shard)
+		if err != nil || (sp.IsAll() && len(cursors) > 1) {
 			continue
 		}
-		c.shard = &sh
+		c.span = &sp
 	}
 }
 
@@ -376,7 +379,7 @@ func merge(opts MergeOptions, readers ...io.Reader) (*Report, mergeStats, error)
 
 	hasUnknown := false
 	for _, c := range cursors {
-		if c.shard == nil {
+		if c.span == nil {
 			hasUnknown = true
 		}
 	}
@@ -403,7 +406,7 @@ func merge(opts MergeOptions, readers ...io.Reader) (*Report, mergeStats, error)
 		// 2. Unknown-spec streams with nothing buffered: reading them costs
 		// no memory and reveals where they are.
 		for _, c := range cursors {
-			if c.shard == nil && len(c.pending) == 0 {
+			if c.span == nil && len(c.pending) == 0 {
 				more, err := advance(c)
 				if err != nil {
 					return false, err
@@ -419,7 +422,7 @@ func merge(opts MergeOptions, readers ...io.Reader) (*Report, mergeStats, error)
 		var best *streamCursor
 		bestMin := 0
 		for _, c := range cursors {
-			if c.shard != nil || c.eof {
+			if c.span != nil || c.eof {
 				continue
 			}
 			if m, ok := c.minPending(); ok && (best == nil || m < bestMin) {

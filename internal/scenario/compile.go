@@ -70,6 +70,9 @@ type Compiled struct {
 	Discovery   discovery.Config
 	PBFTTimeout sim.Time
 	PollPeriod  sim.Time
+	// Insecure swaps the Ed25519 keyring for the insecure suite at run time
+	// (see Params.Insecure).
+	Insecure bool
 
 	// deriveName records that Name was empty in the source Params, so each
 	// run names its result after its own seed.
@@ -136,6 +139,7 @@ func (p Params) Compile() (*Compiled, error) {
 		Values:     p.Values,
 		Net:        net,
 		Horizon:    horizon,
+		Insecure:   p.Insecure,
 		deriveName: p.Name == "",
 		ids:        built.G.Nodes(),
 	}
@@ -166,6 +170,7 @@ func (s Spec) Compile() (*Compiled, error) {
 		Discovery:   s.Discovery,
 		PBFTTimeout: s.PBFTTimeout,
 		PollPeriod:  s.PollPeriod,
+		Insecure:    s.Insecure,
 		ids:         s.Graph.Nodes(),
 	}, nil
 }
@@ -189,6 +194,12 @@ func (p Params) CompileKey() string {
 	fmt.Fprintf(&sb, "|mode=%d|f=%d|net=%s|h=%d|slow=%t|auto=%d,%d,%d",
 		int(p.Mode), p.F, p.Net.Label(), int64(horizon), p.SlowDiscovery,
 		int(p.Auto.Kind), p.Auto.Count, int(p.Auto.Place))
+	if p.Insecure {
+		// Appended only when set, so every pre-existing secure key is
+		// byte-stable; an insecure cell must never share a Compiled (whose
+		// Insecure flag drives key-material selection) with a secure one.
+		sb.WriteString("|insecure=true")
+	}
 	if p.Name != "" {
 		// A fixed name is part of the compiled identity (it labels results
 		// and error messages); an empty one derives the per-seed cell ID at
@@ -355,9 +366,16 @@ func (r *Runner) Run(c *Compiled, seed int64, trace bool) (*Result, error) {
 	r.reset(c.Net, seed)
 	engine := r.engine
 
-	signers, reg, err := cryptox.Keyring(seed+1, c.ids)
-	if err != nil {
-		return nil, fmt.Errorf("scenario %q: %w", name, err)
+	var signers map[model.ID]cryptox.Signer
+	var reg cryptox.Verifier
+	if c.Insecure {
+		signers, reg = cryptox.InsecureSuite(c.ids)
+	} else {
+		var err error
+		signers, reg, err = cryptox.Keyring(seed+1, c.ids)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", name, err)
+		}
 	}
 
 	var tr *sim.Trace

@@ -348,6 +348,14 @@ type Params struct {
 	// SlowDiscovery stretches the gossip/poll periods, keeping the event
 	// volume of non-terminating (async) runs sane.
 	SlowDiscovery bool
+	// Insecure replaces the Ed25519 keyring with the cryptox insecure suite
+	// (identity-tagged, unverified signatures). Protocol decisions are
+	// unchanged — nodes never branch on signature bytes, only on
+	// verification verdicts, and the insecure verifier accepts exactly what
+	// Ed25519 would — but byte counts and therefore sweep fingerprints are
+	// NOT comparable with secure runs. Opt-in for crypto-dominated profiling
+	// sweeps; anchor fingerprints always use the real suite.
+	Insecure bool
 	// Trace enables event/decision trace digests on the result.
 	Trace bool
 }
@@ -475,6 +483,7 @@ func (p Params) Spec() (Spec, error) {
 		Discovery:   c.Discovery,
 		PBFTTimeout: c.PBFTTimeout,
 		PollPeriod:  c.PollPeriod,
+		Insecure:    p.Insecure,
 		Trace:       p.Trace,
 	}, nil
 }

@@ -126,6 +126,10 @@ type Spec struct {
 	PBFTTimeout sim.Time
 	PollPeriod  sim.Time
 
+	// Insecure swaps the Ed25519 keyring for the cryptox insecure suite (see
+	// Params.Insecure for the comparability caveat).
+	Insecure bool
+
 	// Trace, when set, records every delivered event and every decision into
 	// a streaming digest (Result.TraceDigest) for determinism assertions.
 	Trace bool
