@@ -10,6 +10,7 @@
 //	cupsim -graph fig2c -mode naive -net partial -gst 30s -slow 1,2,3/6,7,8
 //	cupsim -graph extended:core=7,noncore=4 -mode bft-cupft -seed 3
 //	cupsim -graph kosr:sink=5,nonsink=3,k=2 -mode bft-cup -seeds 1:50 -parallel 0 -json
+//	cupsim -graph fig1b -loss 0.15 -dup 0.075 -reorder 2ms -partition 10ms-400ms -churn 2@10ms+500ms
 //	cupsim -graph fig1b -seeds 1:100 -shard 1/4 -jsonl part1.jsonl
 //	cupsim -merge part1.jsonl part2.jsonl part3.jsonl part4.jsonl
 package main
@@ -52,6 +53,13 @@ func main() {
 		resume    = flag.Bool("resume", false, "with -seeds -jsonl FILE: resume an interrupted stream, running only the cells the file is missing")
 		doMerge   = flag.Bool("merge", false, "merge shard JSONL files (positional arguments) into the aggregate report")
 		insecure  = flag.Bool("insecure", false, "swap Ed25519 for the insecure crypto suite (faster runs; sweep fingerprints NOT comparable with secure ones)")
+
+		loss       = flag.Float64("loss", 0, "per-message delivery loss probability in [0,1)")
+		dup        = flag.Float64("dup", 0, "per-message duplication probability in [0,1)")
+		reorder    = flag.Duration("reorder", 0, "extra per-copy delivery jitter bound (reorders messages)")
+		partitions = flag.String("partition", "", "partition windows, ';'-separated FROM-UNTIL[:A|B] (Go durations; no groups = deterministic half/half), e.g. 10ms-400ms or 50ms-1s:1,2/3,4")
+		churnFlag  = flag.String("churn", "", "crash/restart churn, ';'-separated ID@CRASH[+RESTART[:wipe]] (Go durations), e.g. 2@10ms+500ms or 8@10ms")
+		unhardened = flag.Bool("unhardened", false, "with fault injection: keep the send-once protocol profile instead of arming retransmission hardening")
 	)
 	flag.Parse()
 
@@ -68,6 +76,9 @@ func main() {
 		fail(err)
 	}
 	params.Insecure = *insecure
+	if params.Faults, err = buildFaults(*loss, *dup, *reorder, *partitions, *churnFlag, *unhardened); err != nil {
+		fail(err)
+	}
 
 	if *seedsStr != "" {
 		runSweep(params, *seedsStr, *parallel, *jsonOut, *shardStr, *onlyStr, *jsonlPath, *resume)
@@ -127,6 +138,44 @@ func buildParams(graphName, modeName string, f int, byzFlag, netName string, gst
 	}, nil
 }
 
+// buildFaults assembles the chaos-injection axis from its flags; validation
+// happens at compile time so this only parses.
+func buildFaults(loss, dup float64, reorder time.Duration, partitions, churn string, unhardened bool) (scenario.FaultParams, error) {
+	fp := scenario.FaultParams{
+		Loss:       loss,
+		Dup:        dup,
+		Reorder:    sim.Time(reorder),
+		Unhardened: unhardened,
+	}
+	for _, s := range splitList(partitions) {
+		w, err := scenario.ParsePartition(s)
+		if err != nil {
+			return fp, err
+		}
+		fp.Partitions = append(fp.Partitions, w)
+	}
+	for _, s := range splitList(churn) {
+		c, err := scenario.ParseChurn(s)
+		if err != nil {
+			return fp, err
+		}
+		fp.Churn = append(fp.Churn, c)
+	}
+	return fp, nil
+}
+
+// splitList splits a ';'-separated flag value, dropping empty items so a
+// trailing separator is harmless.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ";") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
 func runSweep(params scenario.Params, seedsStr string, parallel int, jsonOut bool, shardStr, onlyStr, jsonlPath string, resume bool) {
 	seeds, err := matrix.ParseSeedRange(seedsStr)
 	if err != nil {
@@ -139,6 +188,9 @@ func runSweep(params scenario.Params, seedsStr string, parallel int, jsonOut boo
 		fail(err)
 	}
 	name := fmt.Sprintf("%s seeds %s", params.Name, seedsStr)
+	if params.Faults.Enabled() {
+		name += " (faults " + params.Faults.Label() + ")"
+	}
 	if params.Insecure {
 		name += " (insecure)"
 	}

@@ -52,6 +52,13 @@ type BenchEntry struct {
 	// bitset subset engine on unstructured graphs. Nil for entries that
 	// predate it.
 	SweepProb *MatrixBench `json:"sweep_prob,omitempty"`
+	// SweepChaos is the chaos fault-injection sweep at one seed: every
+	// injected cell pays per-message loss/duplication/reorder draws,
+	// partition checks and crash/restart churn on the hardened protocol
+	// profile, so the number tracks the injection path in Engine.Send plus
+	// the retransmission machinery it triggers. Nil for entries that predate
+	// it.
+	SweepChaos *MatrixBench `json:"sweep_chaos,omitempty"`
 	// SweepDist is the distributed fabric measurement: the Matrix workload
 	// run through the sweep coordinator over local subprocess workers, with
 	// the merged fingerprint asserted byte-identical to the monolithic run.
@@ -229,6 +236,26 @@ func runSweepProbBench() (*matrix.Report, error) {
 	}
 	if rep.Errors > 0 {
 		return nil, fmt.Errorf("probabilistic sweep bench had %d errored cells", rep.Errors)
+	}
+	return rep, nil
+}
+
+// runSweepChaosBench times the chaos fault-injection sweep at one seed: 64
+// cells over the loss × partition × churn × f ladder, the injected ones
+// drawing per-message faults and running the hardened retransmission
+// profile. Cells that lose consensus under injection are the sweep's normal
+// output; only Errors fail the bench.
+func runSweepChaosBench() (*matrix.Report, error) {
+	src, err := matrix.ChaosSweep(matrix.Seeds(1, 1))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := matrix.Run(src, matrix.Options{Parallelism: 1})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Errors > 0 {
+		return nil, fmt.Errorf("chaos sweep bench had %d errored cells", rep.Errors)
 	}
 	return rep, nil
 }
@@ -440,6 +467,18 @@ func runBenchJSON(path, label string, gate float64) {
 		Fingerprint: probRep.Fingerprint(),
 	}
 
+	chaosRep, err := runSweepChaosBench()
+	if err != nil {
+		fail(err)
+	}
+	entry.SweepChaos = &MatrixBench{
+		Cells:       chaosRep.Cells,
+		Parallelism: chaosRep.Parallelism,
+		WallSeconds: float64(chaosRep.WallNS) / 1e9,
+		CellsPerSec: float64(chaosRep.Cells) / (float64(chaosRep.WallNS) / 1e9),
+		Fingerprint: chaosRep.Fingerprint(),
+	}
+
 	if entry.SweepDist, err = runSweepDistBench(entry.Matrix.Fingerprint); err != nil {
 		fail(err)
 	}
@@ -471,6 +510,8 @@ func runBenchJSON(path, label string, gate float64) {
 		entry.SweepWorst.Cells, entry.SweepWorst.Parallelism, entry.SweepWorst.CellsPerSec, entry.SweepWorst.WallSeconds)
 	fmt.Printf("sweep-prob %d cells on %d workers: %.2f cells/s (%.2fs)\n",
 		entry.SweepProb.Cells, entry.SweepProb.Parallelism, entry.SweepProb.CellsPerSec, entry.SweepProb.WallSeconds)
+	fmt.Printf("sweep-chaos %d cells on %d workers: %.2f cells/s (%.2fs)\n",
+		entry.SweepChaos.Cells, entry.SweepChaos.Parallelism, entry.SweepChaos.CellsPerSec, entry.SweepChaos.WallSeconds)
 	fmt.Printf("sweep-dist %d cells on %d subprocess workers: %.2f cells/s (%.2fs; %.2fx vs 1 worker; fingerprint matches monolithic)\n",
 		entry.SweepDist.Cells, entry.SweepDist.Workers, entry.SweepDist.CellsPerSec, entry.SweepDist.WallSeconds, entry.SweepDist.Speedup)
 	for _, s := range entry.Search {
@@ -544,6 +585,7 @@ func gateEntry(prev, cur BenchEntry, tol float64) error {
 	gateSweep("sweep-ext", cur.SweepExt, prev.SweepExt)
 	gateSweep("sweep-worst", cur.SweepWorst, prev.SweepWorst)
 	gateSweep("sweep-prob", cur.SweepProb, prev.SweepProb)
+	gateSweep("sweep-chaos", cur.SweepChaos, prev.SweepChaos)
 	if c, p := cur.SweepDist, prev.SweepDist; c != nil && p != nil && p.CellsPerSec > 0 && c.CellsPerSec < p.CellsPerSec*(1-tol) {
 		regressions = append(regressions, fmt.Sprintf(
 			"sweep-dist: %.2f cells/s, was %.2f (%.1f%% drop)",

@@ -9,6 +9,7 @@
 //
 //	experiments [-run table1|fig1|fig2|fig3|fig4|all] [-v]       reproduce the paper
 //	experiments -matrix [-seeds 1:10] [-parallel N] [-json]      standard sweep (240 cells at 10 seeds)
+//	experiments -matrix -chaos [-seeds 1:3]                      chaos degradation sweep (loss × partition × churn × f)
 //	experiments -matrix -compare                                 serial-vs-parallel: identical reports + speedup
 //	experiments -matrix -shard 2/3 -jsonl part2.jsonl            run one shard, streaming per-cell JSONL
 //	experiments -matrix -shard 2/3 -jsonl part2.jsonl -resume    complete an interrupted shard stream
@@ -48,6 +49,7 @@ func main() {
 		doMatrix   = flag.Bool("matrix", false, "run the standard scenario-matrix sweep instead of the paper suite")
 		adversary  = flag.Bool("adversary", false, "with -matrix: sweep the adversary zoo (delay, selective silence, collusion, equivocation) with tail vs worst-case placements instead of the standard axes")
 		probSweep  = flag.Bool("probabilistic", false, "with -matrix: sweep the random-graph families (er, geo, sf) over size, density and fault threshold, reporting per-axis emergence rates")
+		chaosSweep = flag.Bool("chaos", false, "with -matrix: sweep the chaos fault-injection ladder (loss × partition × churn × f) over the BFT-CUP families, reporting graded-property degradation")
 		seedsStr   = flag.String("seeds", "1:10", "seed sweep for -matrix, as FROM:TO or a single count N (= 1:N)")
 		parallel   = flag.Int("parallel", 0, "worker count: 0 = GOMAXPROCS, 1 = serial")
 		jsonOut    = flag.Bool("json", false, "emit the matrix report as JSON")
@@ -95,7 +97,7 @@ func main() {
 	case *benchJSON:
 		runBenchJSON(*benchOut, *benchLabel, *benchGate)
 	case *doMatrix:
-		runMatrix(*seedsStr, *adversary, *probSweep, *parallel, *jsonOut, *trace, *cellRows, *compare, *shardStr, *onlyStr, *jsonlPath, *resume, *insecure)
+		runMatrix(*seedsStr, *adversary, *probSweep, *chaosSweep, *parallel, *jsonOut, *trace, *cellRows, *compare, *shardStr, *onlyStr, *jsonlPath, *resume, *insecure)
 	default:
 		runPaperSuite(*runSel, *parallel, *jsonOut, *trace, *verbose)
 	}
@@ -129,13 +131,19 @@ func runMerge(paths []string, jsonOut, cellRows, summary bool) {
 // optionally streaming per-cell JSONL (fresh or resumed) instead of
 // buffering a report. The sweep is a lazy cell source end to end — nothing
 // materializes the cell list, so seed ranges in the millions are fine.
-func runMatrix(seedsStr string, adversary, probabilistic bool, parallel int, jsonOut, trace, cellRows, compare bool, shardStr, onlyStr, jsonlPath string, resume, insecure bool) {
+func runMatrix(seedsStr string, adversary, probabilistic, chaos bool, parallel int, jsonOut, trace, cellRows, compare bool, shardStr, onlyStr, jsonlPath string, resume, insecure bool) {
 	seeds, err := matrix.ParseSeedRange(seedsStr)
 	if err != nil {
 		fail(err)
 	}
-	if adversary && probabilistic {
-		fail(fmt.Errorf("-adversary and -probabilistic select different sweeps; pick one"))
+	picked := 0
+	for _, b := range []bool{adversary, probabilistic, chaos} {
+		if b {
+			picked++
+		}
+	}
+	if picked > 1 {
+		fail(fmt.Errorf("-adversary, -probabilistic and -chaos select different sweeps; pick one"))
 	}
 	sweepName, sweep := "standard", matrix.StandardSweep
 	switch {
@@ -143,6 +151,8 @@ func runMatrix(seedsStr string, adversary, probabilistic bool, parallel int, jso
 		sweepName, sweep = "adversary", matrix.AdversarySweep
 	case probabilistic:
 		sweepName, sweep = "probabilistic", matrix.ProbabilisticSweep
+	case chaos:
+		sweepName, sweep = "chaos", matrix.ChaosSweep
 	}
 	src, err := sweep(seeds)
 	if err != nil {

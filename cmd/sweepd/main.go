@@ -32,7 +32,7 @@ import (
 func main() {
 	var (
 		worker    = flag.Bool("worker", false, "run one worker task (the coordinator execs these) instead of coordinating")
-		sweepSel  = flag.String("sweep", "standard", "sweep to run: standard|adversary|probabilistic")
+		sweepSel  = flag.String("sweep", "standard", "sweep to run: standard|adversary|probabilistic|chaos")
 		seedsStr  = flag.String("seeds", "1:10", "seed sweep, FROM:TO or a single count N (= 1:N)")
 		insecure  = flag.Bool("insecure", false, "swap Ed25519 for the insecure crypto suite (fingerprints NOT comparable with secure sweeps)")
 		workers   = flag.Int("workers", 4, "local subprocess workers (ignored with -ssh)")
@@ -42,6 +42,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "initial spans dealt to the fleet (0 = one per worker)")
 		spoolDir  = flag.String("spool", "", "spool directory for worker streams (empty = temp dir, removed on success)")
 		heartbeat = flag.Duration("heartbeat", 2*time.Minute, "declare a worker stalled after this long without stream progress (0 = off)")
+		retryWait = flag.Duration("retry-backoff", 0, "base delay before redispatching a failed task, doubling per attempt with jitter (0 = 50ms default, negative = immediate)")
 		parallel  = flag.Int("parallel", 1, "per-worker parallelism")
 		jsonOut   = flag.Bool("json", false, "emit the merged report as JSON")
 		cellRows  = flag.Bool("cells", false, "keep per-cell outcomes in the merged report and list them in text output")
@@ -65,7 +66,7 @@ func main() {
 	runCoordinator(name, src, coordinatorConfig{
 		sweepSel: *sweepSel, seedsStr: *seedsStr, insecure: *insecure,
 		workers: *workers, sshHosts: *sshHosts, remoteCmd: *remoteCmd, sshArgs: *sshArgs,
-		shards: *shards, spoolDir: *spoolDir, heartbeat: *heartbeat, parallel: *parallel,
+		shards: *shards, spoolDir: *spoolDir, heartbeat: *heartbeat, retryWait: *retryWait, parallel: *parallel,
 		jsonOut: *jsonOut, cellRows: *cellRows, verbose: *verbose,
 	})
 }
@@ -90,8 +91,10 @@ func buildSweep(sweepSel, seedsStr string, insecure bool) (matrix.CellSource, st
 		sweep = matrix.AdversarySweep
 	case "probabilistic":
 		sweep = matrix.ProbabilisticSweep
+	case "chaos":
+		sweep = matrix.ChaosSweep
 	default:
-		return nil, "", fmt.Errorf("unknown sweep %q (want standard|adversary|probabilistic)", sweepSel)
+		return nil, "", fmt.Errorf("unknown sweep %q (want standard|adversary|probabilistic|chaos)", sweepSel)
 	}
 	src, err := sweep(seeds)
 	if err != nil {
@@ -129,7 +132,7 @@ type coordinatorConfig struct {
 	sshHosts, remoteCmd, sshArgs string
 	shards                       int
 	spoolDir                     string
-	heartbeat                    time.Duration
+	heartbeat, retryWait         time.Duration
 	parallel                     int
 	jsonOut, cellRows, verbose   bool
 }
@@ -186,6 +189,7 @@ func runCoordinator(name string, src matrix.CellSource, c coordinatorConfig) {
 		Shards:       c.shards,
 		SpoolDir:     c.spoolDir,
 		Heartbeat:    c.heartbeat,
+		RetryBackoff: c.retryWait,
 		KeepOutcomes: c.cellRows,
 	}
 	if !c.jsonOut {
@@ -211,8 +215,8 @@ func runCoordinator(name string, src matrix.CellSource, c coordinatorConfig) {
 	fmt.Fprintf(os.Stderr, "fabric: %d cells in %.2fs (%.2f cells/s) over %d workers, %d dispatches\n",
 		rep.Cells, wall.Seconds(), float64(rep.Cells)/wall.Seconds(), len(fleet), stats.Tasks)
 	if c.verbose || stats.Redispatches+stats.Resumes+stats.Seals+stats.Steals > 0 {
-		fmt.Fprintf(os.Stderr, "fabric: recovery — %d redispatched, %d resumed in place, %d sealed, %d steals (%d sub-shards), %d gap tasks\n",
-			stats.Redispatches, stats.Resumes, stats.Seals, stats.Steals, stats.SubShards, stats.GapTasks)
+		fmt.Fprintf(os.Stderr, "fabric: recovery — %d redispatched, %d resumed in place, %d sealed, %d steals (%d sub-shards), %d gap tasks, %d backed off\n",
+			stats.Redispatches, stats.Resumes, stats.Seals, stats.Steals, stats.SubShards, stats.GapTasks, stats.Backoffs)
 	}
 	fmt.Fprintf(os.Stderr, "fingerprint %s\n", rep.Fingerprint())
 	if c.jsonOut {

@@ -80,6 +80,13 @@ type Config struct {
 	ProposalFor func(slot uint64) model.Value
 	// OnSlotDecided fires once per decided slot (chained mode observers).
 	OnSlotDecided func(slot uint64, v model.Value)
+	// Hardened arms the loss-tolerant protocol profile end to end:
+	// discovery retransmission backoff + delta resync and the PBFT
+	// sustained-loss behaviors (see discovery.Config.Hardened and
+	// pbft.Config.Hardened). Scenario compilation sets it whenever fault
+	// injection is active; off, the node is byte-identical to the seed
+	// protocol.
+	Hardened bool
 }
 
 func (c *Config) setDefaults() {
@@ -143,7 +150,9 @@ func NewNode(signer cryptox.Signer, verifier cryptox.Verifier, cfg Config, onDec
 	}
 	if cfg.Mode != ModePermissioned {
 		rec := discovery.NewSignedPD(signer, cfg.PD)
-		n.disc = discovery.New(rec, verifier, cfg.Discovery, n.onKnowledge)
+		dcfg := cfg.Discovery
+		dcfg.Hardened = dcfg.Hardened || cfg.Hardened
+		n.disc = discovery.New(rec, verifier, dcfg, n.onKnowledge)
 		n.searcher = cfg.Searcher
 		if n.searcher == nil {
 			n.searcher = kosr.NewSearcher()
@@ -202,6 +211,37 @@ func (n *Node) Init(ctx sim.Context) {
 	}
 	n.disc.Start(ctx)
 	n.search(ctx)
+}
+
+// Restart implements sim.Restartable: a crash-restart with persisted state.
+// Every map and record the node holds survived the crash; what died with the
+// previous incarnation is its pending timers, so each protocol layer re-arms
+// its own — discovery resumes its gossip round, undecided PBFT instances
+// re-arm their current view timer, a non-member re-enters the decided-value
+// poll. A node that had not yet identified a committee simply re-runs its
+// search (discovery's resumed rounds will grow the view again).
+func (n *Node) Restart(ctx sim.Context) {
+	n.ctx = ctx
+	if n.disc != nil {
+		n.disc.Resume(ctx)
+	}
+	if n.committee == nil {
+		if n.cfg.Mode != ModePermissioned {
+			n.search(ctx)
+		}
+		return
+	}
+	if n.committee.Members().Has(n.self) {
+		// Ascending slot order: Resume sets timers, and deterministic traces
+		// need a deterministic scheduling order (insts is a map).
+		for slot := uint64(0); slot < n.cfg.Slots; slot++ {
+			if inst := n.insts[slot]; inst != nil {
+				inst.Resume(ctx)
+			}
+		}
+	} else {
+		n.poll(ctx)
+	}
 }
 
 // Receive implements sim.Reactor.
@@ -323,6 +363,7 @@ func (n *Node) startSlot(ctx sim.Context, slot uint64) {
 		Quorum:      cand.QuorumSize(),
 		F:           cand.G,
 		BaseTimeout: n.cfg.PBFTTimeout,
+		Hardened:    n.cfg.Hardened,
 	}
 
 	inst, err := pbft.New(n.signer, n.verifier, cfg, n.proposalFor(slot), func(v model.Value) {

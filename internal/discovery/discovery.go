@@ -61,6 +61,22 @@ type Config struct {
 	// the sender has not previously sent to that peer, instead of the
 	// paper-faithful full S_PD.
 	Delta bool
+	// Hardened enables the loss-tolerant retransmission profile for chaos
+	// runs. Two changes, both trace-neutral when every round's view keeps
+	// growing on schedule (i.e. on loss-free networks the flag is only
+	// armed for fault scenarios, keeping baseline traces byte-identical):
+	//
+	//   - The GETPDS round period backs off exponentially (with RNG jitter,
+	//     so synchronized senders desynchronize) up to 8×Period while the
+	//     local view is unchanged, and snaps back to Period on growth —
+	//     retransmission keeps probing a lossy network without the seed's
+	//     fixed-cadence message volume exploding.
+	//   - In delta mode the per-peer sentTo sets are cleared at
+	//     exponentially spaced rounds (4, 8, 16, …): a full resync that
+	//     retransmits every record. Without it a SETPDS lost in transit
+	//     loses its records forever — sendRecords marks owners as sent at
+	//     send time, so delta gossip is at-most-once per (peer, record).
+	Hardened bool
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -95,6 +111,14 @@ type Module struct {
 	owners     []model.ID
 	encoded    []byte
 	recipients []model.ID
+
+	// Hardened-mode retransmission state: rounds since the view last grew
+	// (drives the backoff), the view size last observed, the round counter
+	// and the next full-resync round (delta mode).
+	idleRounds int
+	lastSize   int
+	roundNum   int
+	nextResync int
 }
 
 // New creates a discovery module. ownRecord is this process's signed PD
@@ -182,10 +206,33 @@ func (m *Module) HandleTimer(ctx sim.Context, tag uint64) bool {
 	return true
 }
 
+// Resume re-enters the periodic round after a crash restart with persisted
+// state: the module's records survived, but its pending round timer died
+// with the previous incarnation, so the loop must be re-armed. No-op if
+// Start was never called.
+func (m *Module) Resume(ctx sim.Context) {
+	if !m.started {
+		return
+	}
+	m.round(ctx)
+}
+
 // getPDsPayload is the constant one-byte GETPDS request (Send copies it).
 var getPDsPayload = []byte{wire.KindGetPDs}
 
 func (m *Module) round(ctx sim.Context) {
+	if m.cfg.Hardened && m.cfg.Delta {
+		m.roundNum++
+		if m.nextResync == 0 {
+			m.nextResync = 4
+		}
+		if m.roundNum >= m.nextResync {
+			// Full resync: forget what was sent so every record is
+			// retransmitted — the recovery path for SETPDS lost in transit.
+			clear(m.sentTo)
+			m.nextResync = m.roundNum * 2
+		}
+	}
 	if m.recipients == nil {
 		m.recipients = m.view.Known.Sorted()
 	}
@@ -194,7 +241,34 @@ func (m *Module) round(ctx sim.Context) {
 			ctx.Send(id, getPDsPayload)
 		}
 	}
-	ctx.SetTimer(m.cfg.Period, TimerTag)
+	ctx.SetTimer(m.nextPeriod(ctx), TimerTag)
+}
+
+// nextPeriod returns the delay before the next round: the configured Period,
+// or — hardened, while the view is not growing — a jittered exponential
+// backoff capped at 8×Period. Growth snaps the cadence back to Period.
+func (m *Module) nextPeriod(ctx sim.Context) sim.Time {
+	if !m.cfg.Hardened {
+		return m.cfg.Period
+	}
+	size := len(m.view.Known) + len(m.records)
+	if size != m.lastSize {
+		m.lastSize = size
+		m.idleRounds = 0
+	} else {
+		m.idleRounds++
+	}
+	shift := m.idleRounds / 2
+	if shift > 3 {
+		shift = 3
+	}
+	if shift == 0 {
+		return m.cfg.Period
+	}
+	p := m.cfg.Period << shift
+	// Deterministic jitter from the engine RNG: up to p/4 early, so peers
+	// that backed off in lockstep spread out again.
+	return p - sim.Time(ctx.Rand().Int63n(int64(p/4)+1))
 }
 
 // Handle processes a discovery message; it reports whether the payload was a

@@ -3,6 +3,7 @@ package matrix
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -29,6 +30,12 @@ type FabricOptions struct {
 	// every redispatch, resume or re-spec descended from it) before the
 	// sweep aborts. 0 means 5.
 	MaxAttempts int
+	// RetryBackoff is the base delay before a failed task's lineage is
+	// dispatched again; each attempt doubles it, with ±50% jitter, capped at
+	// 5s. Without it a worker that dies on startup burns the whole
+	// MaxAttempts budget in milliseconds. 0 means 50ms; negative disables
+	// the delay (recovery tasks redispatch immediately).
+	RetryBackoff time.Duration
 	// MaxSplit caps how many sub-spans one steal creates; 0 means the
 	// worker count.
 	MaxSplit int
@@ -56,6 +63,9 @@ type FabricStats struct {
 	SubShards int
 	// GapTasks counts explicit cell-list back-fill dispatches.
 	GapTasks int
+	// Backoffs counts recovery tasks whose dispatch was delayed by the
+	// retry backoff.
+	Backoffs int
 }
 
 // RunFabric executes a sweep of total cells across the fleet and merges the
@@ -112,6 +122,14 @@ func runFabric(total int, workers []Transport, opts FabricOptions) (*Report, Fab
 	if maxSplit <= 0 {
 		maxSplit = len(workers)
 	}
+	retryBase := opts.RetryBackoff
+	if retryBase == 0 {
+		retryBase = 50 * time.Millisecond
+	}
+	// The jitter decorrelates retries across lineages; it is wall-clock
+	// scheduling only, invisible to sweep fingerprints, so a non-deterministic
+	// seed is fine.
+	retryJitter := rand.New(rand.NewSource(time.Now().UnixNano()))
 	dir, ownDir := opts.SpoolDir, false
 	if dir == "" {
 		var err error
@@ -203,6 +221,13 @@ func runFabric(total int, workers []Transport, opts FabricOptions) (*Report, Fab
 			abort(fmt.Errorf("fabric: task %s failed %d times (last: %v)", lv.task.spec(), attempt, runErr))
 			return
 		}
+		// Every task this recovery enqueues waits out the lineage's jittered
+		// exponential backoff before redispatch.
+		var notBefore time.Time
+		if retryBase > 0 {
+			notBefore = time.Now().Add(retryDelay(retryBase, attempt, retryJitter))
+			stats.Backoffs++
+		}
 		scan, serr := scanStreamFile(lv.spool)
 		expected := lv.task.expected(total)
 		usable := serr == nil && scan.header != nil && len(scan.done) > 0 && scan.trailer == nil
@@ -223,6 +248,7 @@ func runFabric(total int, workers []Transport, opts FabricOptions) (*Report, Fab
 			t := lv.task
 			t.attempt = attempt
 			t.resumeSpool = ""
+			t.notBefore = notBefore
 			queue = append(queue, t)
 			stats.Redispatches++
 			return
@@ -233,6 +259,7 @@ func runFabric(total int, workers []Transport, opts FabricOptions) (*Report, Fab
 			t := lv.task
 			t.attempt = attempt
 			t.resumeSpool = lv.spool
+			t.notBefore = notBefore
 			queue = append(queue, t)
 			stats.Resumes++
 			return
@@ -245,6 +272,7 @@ func runFabric(total int, workers []Transport, opts FabricOptions) (*Report, Fab
 			t := lv.task
 			t.attempt = attempt
 			t.resumeSpool = ""
+			t.notBefore = notBefore
 			queue = append(queue, t)
 			stats.Redispatches++
 			return
@@ -262,7 +290,7 @@ func runFabric(total int, workers []Transport, opts FabricOptions) (*Report, Fab
 			return
 		}
 		if lv.task.Cells != nil {
-			queue = append(queue, Task{Cells: missing, attempt: attempt})
+			queue = append(queue, Task{Cells: missing, attempt: attempt, notBefore: notBefore})
 			stats.GapTasks++
 			return
 		}
@@ -287,7 +315,7 @@ func runFabric(total int, workers []Transport, opts FabricOptions) (*Report, Fab
 		}
 		if len(gaps) > 0 {
 			sort.Ints(gaps)
-			queue = append(queue, Task{Cells: gaps, attempt: attempt})
+			queue = append(queue, Task{Cells: gaps, attempt: attempt, notBefore: notBefore})
 			stats.GapTasks++
 		}
 		if tailLen := tail.Len(total); tailLen > 0 {
@@ -309,7 +337,7 @@ func runFabric(total int, workers []Transport, opts FabricOptions) (*Report, Fab
 			}
 			for _, sub := range tail.Split(m) {
 				if sub.Len(total) > 0 {
-					queue = append(queue, Task{Span: sub, attempt: attempt})
+					queue = append(queue, Task{Span: sub, attempt: attempt, notBefore: notBefore})
 				}
 			}
 		}
@@ -390,14 +418,40 @@ func runFabric(total int, workers []Transport, opts FabricOptions) (*Report, Fab
 	}
 
 	for len(queue) > 0 || len(running) > 0 {
-		for len(queue) > 0 && len(idle) > 0 && abortErr == nil {
-			task := queue[0]
-			queue = queue[1:]
+		// Dispatch every eligible task; recovery tasks still inside their
+		// backoff window stay queued (order otherwise preserved).
+		for len(idle) > 0 && abortErr == nil {
+			i := -1
+			now := time.Now()
+			for j, t := range queue {
+				if !t.notBefore.After(now) {
+					i = j
+					break
+				}
+			}
+			if i < 0 {
+				break
+			}
+			task := queue[i]
+			queue = append(queue[:i], queue[i+1:]...)
 			if err := dispatch(task); err != nil {
 				abort(err)
 			}
 		}
-		if len(running) == 0 {
+		// When only backed-off tasks remain and a worker could take one, arm
+		// a wakeup for the earliest eligibility; without it the loop would
+		// deadlock once the fleet drains (no exit events left to wake on).
+		var wake <-chan time.Time
+		if len(queue) > 0 && len(idle) > 0 && abortErr == nil {
+			next := queue[0].notBefore
+			for _, t := range queue[1:] {
+				if t.notBefore.Before(next) {
+					next = t.notBefore
+				}
+			}
+			wake = time.After(time.Until(next))
+		}
+		if len(running) == 0 && wake == nil {
 			break
 		}
 		select {
@@ -409,6 +463,8 @@ func runFabric(total int, workers []Transport, opts FabricOptions) (*Report, Fab
 				checkStalls(now)
 			}
 			progress()
+		case <-wake:
+			// Re-run the dispatch scan; the earliest backoff has expired.
 		}
 	}
 
@@ -427,6 +483,22 @@ func runFabric(total int, workers []Transport, opts FabricOptions) (*Report, Fab
 		opts.Progress(total, total)
 	}
 	return rep, stats, nil
+}
+
+// retryDelay computes the jittered exponential backoff before attempt n of a
+// task lineage runs (n ≥ 1, counting the original dispatch as attempt 0):
+// base·2^(n−1) jittered uniformly over [½·, 1½·), capped at 5s so a deep
+// lineage under a generous MaxAttempts cannot park work for minutes.
+func retryDelay(base time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	const maxDelay = 5 * time.Second
+	d := base
+	for i := 1; i < attempt && d < maxDelay; i++ {
+		d *= 2
+	}
+	if d > maxDelay {
+		d = maxDelay
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d)))
 }
 
 // taskOwns reports whether the task's slice contains global cell index g.

@@ -38,6 +38,11 @@ type Task struct {
 	// resumeSpool, when set, asks the worker to complete this torn spool
 	// file in place instead of streaming afresh (shared-filesystem fleets).
 	resumeSpool string
+	// notBefore delays the dispatch of a recovery task: the jittered
+	// exponential backoff that keeps a flapping worker from burning the
+	// lineage's attempt budget in milliseconds. Zero means immediately
+	// eligible.
+	notBefore time.Time
 }
 
 // spec renders the header spec the task's stream will carry: the span spec,

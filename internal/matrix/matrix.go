@@ -45,6 +45,10 @@ type Axes struct {
 	// F are the fault thresholds handed to processes; -1 means the graph
 	// family's natural threshold (default: [-1]).
 	F []int
+	// Faults are the chaos fault-injection points (default: one zero value,
+	// i.e. no injection — the axis then contributes nothing to cell IDs or
+	// fingerprints).
+	Faults []scenario.FaultParams
 	// Seeds are the simulation seeds; each seed also drives random graph
 	// generation for generator-family cells (default: [1]).
 	Seeds []int64
@@ -85,6 +89,7 @@ func (a Axes) Size() int {
 	n *= len(orDefault(a.Nets, scenario.NetParams{}))
 	n *= len(orDefault(a.Byz, scenario.AutoByz{}))
 	n *= len(orDefault(a.F, -1))
+	n *= len(orDefault(a.Faults, scenario.FaultParams{}))
 	n *= len(orDefault(a.Seeds, 1))
 	return n
 }

@@ -65,6 +65,7 @@ type axesSource struct {
 	nets    []scenario.NetParams
 	byz     []scenario.AutoByz
 	fs      []int
+	faults  []scenario.FaultParams
 	seeds   []int64
 	horizon sim.Time
 	n       int
@@ -89,42 +90,48 @@ func (a Axes) Source() (CellSource, error) {
 		nets:    orDefault(a.Nets, scenario.NetParams{Kind: scenario.NetSync}),
 		byz:     orDefault(a.Byz, scenario.AutoByz{}),
 		fs:      orDefault(a.F, -1),
+		faults:  orDefault(a.Faults, scenario.FaultParams{}),
 		seeds:   orDefault(a.Seeds, 1),
 		horizon: horizon,
 	}
-	s.n = len(s.graphs) * len(s.modes) * len(s.nets) * len(s.byz) * len(s.fs) * len(s.seeds)
+	s.n = len(s.graphs) * len(s.modes) * len(s.nets) * len(s.byz) * len(s.fs) * len(s.faults) * len(s.seeds)
 	// Probe one cell per value of every axis (the other axes pinned to
 	// their first value): O(Σ axis lengths) validations, not O(cells), and
 	// every malformed axis value fails here instead of surfacing as a
 	// stream of per-cell Err outcomes.
-	probe := func(axis string, i int, g graph.Def, mode core.Mode, net scenario.NetParams, b scenario.AutoByz, f int) error {
-		if err := s.cellParams(g, mode, net, b, f, s.seeds[0]).Validate(); err != nil {
+	probe := func(axis string, i int, g graph.Def, mode core.Mode, net scenario.NetParams, b scenario.AutoByz, f int, fl scenario.FaultParams) error {
+		if err := s.cellParams(g, mode, net, b, f, fl, s.seeds[0]).Validate(); err != nil {
 			return fmt.Errorf("matrix %q %s axis value %d: %w", a.Name, axis, i, err)
 		}
 		return nil
 	}
 	for i, g := range s.graphs {
-		if err := probe("graph", i, g, s.modes[0], s.nets[0], s.byz[0], s.fs[0]); err != nil {
+		if err := probe("graph", i, g, s.modes[0], s.nets[0], s.byz[0], s.fs[0], s.faults[0]); err != nil {
 			return nil, err
 		}
 	}
 	for i, mode := range s.modes[1:] {
-		if err := probe("mode", i+1, s.graphs[0], mode, s.nets[0], s.byz[0], s.fs[0]); err != nil {
+		if err := probe("mode", i+1, s.graphs[0], mode, s.nets[0], s.byz[0], s.fs[0], s.faults[0]); err != nil {
 			return nil, err
 		}
 	}
 	for i, net := range s.nets[1:] {
-		if err := probe("net", i+1, s.graphs[0], s.modes[0], net, s.byz[0], s.fs[0]); err != nil {
+		if err := probe("net", i+1, s.graphs[0], s.modes[0], net, s.byz[0], s.fs[0], s.faults[0]); err != nil {
 			return nil, err
 		}
 	}
 	for i, b := range s.byz[1:] {
-		if err := probe("byz", i+1, s.graphs[0], s.modes[0], s.nets[0], b, s.fs[0]); err != nil {
+		if err := probe("byz", i+1, s.graphs[0], s.modes[0], s.nets[0], b, s.fs[0], s.faults[0]); err != nil {
 			return nil, err
 		}
 	}
 	for i, f := range s.fs[1:] {
-		if err := probe("f", i+1, s.graphs[0], s.modes[0], s.nets[0], s.byz[0], f); err != nil {
+		if err := probe("f", i+1, s.graphs[0], s.modes[0], s.nets[0], s.byz[0], f, s.faults[0]); err != nil {
+			return nil, err
+		}
+	}
+	for i, fl := range s.faults[1:] {
+		if err := probe("faults", i+1, s.graphs[0], s.modes[0], s.nets[0], s.byz[0], s.fs[0], fl); err != nil {
 			return nil, err
 		}
 	}
@@ -142,6 +149,11 @@ func (s *axesSource) Cell(i int) Cell {
 	rem := i
 	seed := s.seeds[rem%len(s.seeds)]
 	rem /= len(s.seeds)
+	// Faults sit between seed and f in the mixed radix; with the default
+	// single zero value the division is by one and every pre-fault sweep
+	// keeps its historical index↦cell mapping (and thus its fingerprint).
+	fl := s.faults[rem%len(s.faults)]
+	rem /= len(s.faults)
 	f := s.fs[rem%len(s.fs)]
 	rem /= len(s.fs)
 	b := s.byz[rem%len(s.byz)]
@@ -151,7 +163,7 @@ func (s *axesSource) Cell(i int) Cell {
 	mode := s.modes[rem%len(s.modes)]
 	rem /= len(s.modes)
 	g := s.graphs[rem]
-	return Cell{Index: i, Params: s.cellParams(g, mode, net, b, f, seed)}
+	return Cell{Index: i, Params: s.cellParams(g, mode, net, b, f, fl, seed)}
 }
 
 // cellParams builds one cell's scenario parameters; shared by Cell and the
@@ -159,7 +171,7 @@ func (s *axesSource) Cell(i int) Cell {
 // the scenario layer derives the per-seed cell ID on demand (a stamped
 // seed-specific name would defeat the compile cache's key sharing and
 // freeze the first seed's name into cached runs).
-func (s *axesSource) cellParams(g graph.Def, mode core.Mode, net scenario.NetParams, b scenario.AutoByz, f int, seed int64) scenario.Params {
+func (s *axesSource) cellParams(g graph.Def, mode core.Mode, net scenario.NetParams, b scenario.AutoByz, f int, fl scenario.FaultParams, seed int64) scenario.Params {
 	return scenario.Params{
 		Graph:         g,
 		Mode:          mode,
@@ -169,6 +181,7 @@ func (s *axesSource) cellParams(g graph.Def, mode core.Mode, net scenario.NetPar
 		Horizon:       s.horizon,
 		Seed:          seed,
 		SlowDiscovery: net.Kind == scenario.NetAsync,
+		Faults:        fl,
 	}
 }
 

@@ -167,6 +167,72 @@ func AdversarySweep(seeds []int64) (CellSource, error) {
 	return axes.Source()
 }
 
+// ChaosSweep crosses the BFT-CUP graph families with a ladder of chaos
+// fault-injection points (cmd/experiments -matrix -chaos): loss rates in
+// ascending order (each with proportional duplication and a 2ms reorder
+// bound), with and without a timed half/half partition window, and with and
+// without crash/restart churn of one sink member — all over both fault
+// thresholds and the seed range. The zero point of the ladder is a genuinely
+// clean cell (no injection, no hardening), so the sweep's per-axis property
+// counts read as degradation curves from an uninjected baseline: as the loss
+// axis climbs, the four graded consensus properties may only degrade, and
+// where they degrade to is the measurement. Cells that lose consensus under
+// injection are findings, not regressions.
+//
+// Every injected cell runs the hardened protocol profile (retransmission
+// backoff, delta resync, PBFT decide-note replies); the seed send-once
+// profile's collapse under the same injection is pinned separately by the
+// scenario-level A/B regression tests.
+//
+// StandardSweep stays the untouched cross-version fingerprint anchor; this
+// sweep has its own fingerprint identity tests (mono ≡ sharded ≡ resumed ≡
+// parallel).
+func ChaosSweep(seeds []int64) (CellSource, error) {
+	if len(seeds) == 0 {
+		seeds = Seeds(1, 3)
+	}
+	cupGraphs, err := parseDefs("fig1b", "kosr:sink=5,nonsink=3,k=2,extra=0.15")
+	if err != nil {
+		return nil, err
+	}
+	// Clean sync cells decide within a few tens of virtual milliseconds, so
+	// both disruptions start at 10ms — inside the discovery phase — or they
+	// would land after the protocol already finished.
+	partition := []scenario.PartitionWindow{
+		{From: 10 * sim.Millisecond, Until: 400 * sim.Millisecond},
+	}
+	churn := []scenario.ChurnEvent{
+		{ID: 2, CrashAt: 10 * sim.Millisecond, RestartAt: 500 * sim.Millisecond},
+	}
+	var faults []scenario.FaultParams
+	for _, loss := range []float64{0, 0.05, 0.15, 0.3} {
+		for _, part := range [][]scenario.PartitionWindow{nil, partition} {
+			for _, ch := range [][]scenario.ChurnEvent{nil, churn} {
+				fp := scenario.FaultParams{Loss: loss, Partitions: part, Churn: ch}
+				if loss > 0 {
+					fp.Dup = loss / 2
+					fp.Reorder = 2 * sim.Millisecond
+				}
+				faults = append(faults, fp)
+			}
+		}
+	}
+	axes := Axes{
+		Name:   "chaos",
+		Graphs: cupGraphs,
+		Modes:  []core.Mode{core.ModeKnownF},
+		Nets:   []scenario.NetParams{{Kind: scenario.NetSync}},
+		F:      []int{1, 2},
+		Faults: faults,
+		Seeds:  seeds,
+		// Injected cells that lose termination idle to the horizon; 10
+		// virtual seconds bounds their cost (clean sync cells decide well
+		// under one).
+		Horizon: 10 * sim.Second,
+	}
+	return axes.Source()
+}
+
 // ProbabilisticSweep crosses the three random-graph families — Erdős–Rényi,
 // random geometric and scale-free preferential attachment — over sizes,
 // densities and fault thresholds (cmd/experiments -matrix -probabilistic).

@@ -28,8 +28,18 @@ func SlotOfTag(tag uint64) (uint64, bool) {
 	return (tag >> 32) & 0xFF, true
 }
 
-// maxTimeoutShift caps exponential timeout growth.
+// maxTimeoutShift caps exponential timeout growth. At the default 200ms base
+// the cap is effectively "give up doubling after a day" — fine when messages
+// always arrive, useless under sustained loss, where a handful of lost
+// proposals pushes the retry interval past any practical horizon.
 const maxTimeoutShift = 20
+
+// hardenedMaxShift is the cap under Config.Hardened: view-change retries
+// plateau at base<<6 (12.8s at the default base) so a committee suffering
+// sustained message loss keeps retrying at a bounded interval instead of
+// backing off forever. Documented behavior under sustained loss: liveness
+// degrades to "retry every base<<6 until the loss abates", never to silence.
+const hardenedMaxShift = 6
 
 // Config describes one committee instance.
 type Config struct {
@@ -44,6 +54,14 @@ type Config struct {
 	F int
 	// BaseTimeout is the view-0 view-change timeout; it doubles per view.
 	BaseTimeout sim.Time
+	// Hardened enables the loss-tolerant profile for chaos runs: the
+	// timeout doubling caps at hardenedMaxShift instead of maxTimeoutShift,
+	// and a decided member answers further protocol traffic for its slot
+	// with its decide certificate — without it, a member that decides and
+	// goes quiet can strand peers who lost the original DecideNote, with
+	// fewer than a quorum of live participants to re-decide. Off (the
+	// default) the message sequence is byte-identical to the seed protocol.
+	Hardened bool
 }
 
 // Validate checks the configuration.
@@ -87,8 +105,11 @@ type Instance struct {
 
 	decided  bool
 	decision model.Value
-	onDecide func(model.Value)
-	started  bool
+	// noteBytes is the encoded DecideNote retained after deciding
+	// (hardened mode replays it to members still working the slot).
+	noteBytes []byte
+	onDecide  func(model.Value)
+	started   bool
 }
 
 // New creates an instance. onDecide fires exactly once; it may be nil.
@@ -160,10 +181,26 @@ func (i *Instance) broadcast(ctx sim.Context, payload []byte) {
 
 func (i *Instance) armTimer(ctx sim.Context) {
 	shift := i.view
-	if shift > maxTimeoutShift {
-		shift = maxTimeoutShift
+	lim := uint64(maxTimeoutShift)
+	if i.cfg.Hardened {
+		lim = hardenedMaxShift
+	}
+	if shift > lim {
+		shift = lim
 	}
 	ctx.SetTimer(i.cfg.BaseTimeout<<shift, timerTag(i.cfg.Slot, i.view))
+}
+
+// Resume re-arms the current view's timer after a crash restart with
+// persisted state: pending timers died with the previous incarnation, and
+// without a live timer an undecided instance would wait forever for traffic
+// it can no longer solicit. The rest of the state machine is message-driven
+// and resumes on its own.
+func (i *Instance) Resume(ctx sim.Context) {
+	if !i.started || i.decided {
+		return
+	}
+	i.armTimer(ctx)
 }
 
 // HandleTimer processes a view timer; it reports whether the tag was ours.
@@ -206,11 +243,21 @@ func (i *Instance) startViewChange(ctx sim.Context, newView uint64) {
 // payload was consumed.
 func (i *Instance) Handle(ctx sim.Context, from model.ID, payload []byte) bool {
 	if len(payload) < 2 || i.decided || !i.started {
-		// Decided instances ignore everything (DecideNote already sent).
+		// Decided instances ignore everything (DecideNote already sent) —
+		// except that in hardened mode a decided member answers live
+		// protocol traffic from a committee peer with its decide
+		// certificate: the peer is visibly still working the slot, so the
+		// original note (or its loss-recovery window) did not reach it.
+		// DecideNote itself never triggers a reply, so replies cannot loop.
 		if len(payload) >= 1 {
 			switch payload[0] {
 			case wire.KindPrePrepare, wire.KindPrepare, wire.KindCommit,
-				wire.KindViewChange, wire.KindNewView, wire.KindDecideNote:
+				wire.KindViewChange, wire.KindNewView:
+				if i.decided && i.cfg.Hardened && i.noteBytes != nil && i.cfg.Committee.Has(from) {
+					ctx.Send(from, i.noteBytes)
+				}
+				return true
+			case wire.KindDecideNote:
 				return true
 			}
 		}
@@ -373,7 +420,8 @@ func (i *Instance) decide(ctx sim.Context, value model.Value, cert *CommitCert) 
 	i.decision = value
 	if cert != nil {
 		note := &decideNoteMsg{Slot: i.cfg.Slot, Cert: *cert}
-		i.broadcast(ctx, note.encode())
+		i.noteBytes = note.encode()
+		i.broadcast(ctx, i.noteBytes)
 	}
 	if i.onDecide != nil {
 		i.onDecide(value)
@@ -517,6 +565,11 @@ func (i *Instance) replayVotes(ctx sim.Context, view uint64) {
 func (i *Instance) onDecideNote(ctx sim.Context, m *decideNoteMsg) {
 	if !m.Cert.valid(i.cfg.Slot, i.cfg.Committee, i.cfg.Quorum, i.verifier) {
 		return
+	}
+	if i.cfg.Hardened && i.noteBytes == nil {
+		// Retain the certificate so this member can in turn answer peers
+		// still working the slot.
+		i.noteBytes = (&decideNoteMsg{Slot: i.cfg.Slot, Cert: m.Cert}).encode()
 	}
 	i.decide(ctx, m.Cert.Value, nil) // no re-broadcast: sender already notified all
 }

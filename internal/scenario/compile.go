@@ -73,6 +73,14 @@ type Compiled struct {
 	// Insecure swaps the Ed25519 keyring for the insecure suite at run time
 	// (see Params.Insecure).
 	Insecure bool
+	// Faults is the validated chaos axis (zero when no injection). The
+	// link-level parts are already folded into Net as a sim.FaultyNetwork
+	// wrapper; Faults.Churn is read again by every Run, which schedules the
+	// crash/restart control events on the engine per seed.
+	Faults FaultParams
+	// Hardened arms the retransmitting protocol profile in every correct
+	// node (discovery backoff + resync, PBFT decide-note replies).
+	Hardened bool
 
 	// deriveName records that Name was empty in the source Params, so each
 	// run names its result after its own seed.
@@ -129,6 +137,10 @@ func (p Params) Compile() (*Compiled, error) {
 		byzMap[id] = spec
 	}
 	net, horizon := applyDefaults(p.Net.Model(), p.Horizon)
+	net, err = applyFaults(p.Faults, net, built.G, byzMap)
+	if err != nil {
+		return nil, fmt.Errorf("params %q: %w", p.nameOrID(), err)
+	}
 	c := &Compiled{
 		Name:       p.Name,
 		Labels:     p.Labels(),
@@ -140,6 +152,8 @@ func (p Params) Compile() (*Compiled, error) {
 		Net:        net,
 		Horizon:    horizon,
 		Insecure:   p.Insecure,
+		Faults:     p.Faults,
+		Hardened:   p.Faults.Hardened(),
 		deriveName: p.Name == "",
 		ids:        built.G.Nodes(),
 	}
@@ -150,14 +164,51 @@ func (p Params) Compile() (*Compiled, error) {
 	return c, nil
 }
 
+// applyFaults validates an active fault axis against the built graph and
+// Byzantine assignment and wraps the network model in the corresponding
+// injector. A disabled axis returns the model untouched (and skips every
+// check), keeping zero-fault compilation byte-identical to the pre-fault
+// pipeline.
+func applyFaults(f FaultParams, net sim.NetworkModel, g *graph.Digraph, byzMap map[model.ID]ByzSpec) (sim.NetworkModel, error) {
+	if !f.Enabled() {
+		return net, nil
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := model.NewIDSet(g.Nodes()...)
+	for _, ch := range f.Churn {
+		if !nodes.Has(ch.ID) {
+			return nil, fmt.Errorf("churn of process %v not in graph", ch.ID)
+		}
+		if _, isByz := byzMap[ch.ID]; isByz && ch.Wipe {
+			// A wiped restart builds a fresh *correct* node; wiping a
+			// Byzantine process would silently convert it mid-run.
+			return nil, fmt.Errorf("churn of process %v cannot wipe a Byzantine process", ch.ID)
+		}
+	}
+	return sim.FaultyNetwork{
+		Base:      net,
+		Loss:      f.Loss,
+		Dup:       f.Dup,
+		Reorder:   f.Reorder,
+		Partition: resolvePartitions(f.Partitions, g.Nodes()),
+	}, nil
+}
+
 // Compile wraps a hand-written Spec in the Compile → Run pipeline. The
 // Spec's graph, threshold and Byzantine assignment are taken as already
-// resolved; only the execution defaults are filled.
+// resolved; only the execution defaults are filled and the fault axis (if
+// any) applied.
 func (s Spec) Compile() (*Compiled, error) {
 	if s.Graph == nil || s.Graph.NumNodes() == 0 {
 		return nil, fmt.Errorf("scenario %q: empty graph", s.Name)
 	}
 	net, horizon := applyDefaults(s.Net, s.Horizon)
+	net, err := applyFaults(s.Faults, net, s.Graph, s.Byz)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
 	return &Compiled{
 		Name:        s.Name,
 		Graph:       s.Graph,
@@ -171,6 +222,8 @@ func (s Spec) Compile() (*Compiled, error) {
 		PBFTTimeout: s.PBFTTimeout,
 		PollPeriod:  s.PollPeriod,
 		Insecure:    s.Insecure,
+		Faults:      s.Faults,
+		Hardened:    s.Faults.Hardened(),
 		ids:         s.Graph.Nodes(),
 	}, nil
 }
@@ -199,6 +252,13 @@ func (p Params) CompileKey() string {
 		// byte-stable; an insecure cell must never share a Compiled (whose
 		// Insecure flag drives key-material selection) with a secure one.
 		sb.WriteString("|insecure=true")
+	}
+	if p.Faults.Enabled() {
+		// Same only-when-set discipline: every zero-fault key is byte-stable,
+		// and a chaos cell (whose FaultyNetwork wrapper and Hardened flag
+		// change compiled behavior) never shares a cache entry with a clean
+		// one. Label is the canonical serialization of the whole fault axis.
+		fmt.Fprintf(&sb, "|faults=%q", p.Faults.Label())
 	}
 	if p.Name != "" {
 		// A fixed name is part of the compiled identity (it labels results
@@ -407,6 +467,48 @@ func (r *Runner) Run(c *Compiled, seed int64, trace bool) (*Result, error) {
 		}
 	}
 
+	// makeNode builds a correct node for one process. It is also how wiped
+	// churn restarts get their replacement reactor: the replacement is built
+	// here, before the engine starts, so searcher handout order (node loop
+	// order, then churn order) stays deterministic.
+	makeNode := func(id model.ID, value model.Value) *core.Node {
+		cfg := core.Config{
+			Mode:        c.Mode,
+			F:           c.F,
+			PD:          c.Graph.OutSet(id).Clone(),
+			Proposal:    value,
+			Discovery:   c.Discovery,
+			PBFTTimeout: c.PBFTTimeout,
+			PollPeriod:  c.PollPeriod,
+			Hardened:    c.Hardened,
+		}
+		if c.Mode != core.ModePermissioned {
+			if r.SearchFactory != nil {
+				cfg.Searcher = r.SearchFactory()
+			} else {
+				cfg.Searcher = r.nextSearcher()
+			}
+		}
+		return core.NewNode(signers[id], reg, cfg, func(v model.Value) {
+			if prev, dup := decisions[id]; dup {
+				// A wiped restart legitimately re-runs agreement; only a
+				// *conflicting* second decision is an integrity violation.
+				if !prev.Equal(v) {
+					doubleDecided.Add(id)
+				}
+				return
+			}
+			decisions[id] = v
+			decidedAt[id] = engine.Now()
+			if correct.Has(id) {
+				decidedCorrect++
+			}
+			if tr != nil {
+				tr.RecordDecision(id, engine.Now(), []byte(v))
+			}
+		})
+	}
+
 	for _, id := range c.ids {
 		id := id
 		value := model.Value(fmt.Sprintf("v%d", id))
@@ -417,36 +519,7 @@ func (r *Runner) Run(c *Compiled, seed int64, trace bool) (*Result, error) {
 
 		bspec, isByz := c.Byz[id]
 		if !isByz || bspec.Kind == ByzAsCorrect {
-			cfg := core.Config{
-				Mode:        c.Mode,
-				F:           c.F,
-				PD:          c.Graph.OutSet(id).Clone(),
-				Proposal:    value,
-				Discovery:   c.Discovery,
-				PBFTTimeout: c.PBFTTimeout,
-				PollPeriod:  c.PollPeriod,
-			}
-			if c.Mode != core.ModePermissioned {
-				if r.SearchFactory != nil {
-					cfg.Searcher = r.SearchFactory()
-				} else {
-					cfg.Searcher = r.nextSearcher()
-				}
-			}
-			n := core.NewNode(signers[id], reg, cfg, func(v model.Value) {
-				if _, dup := decisions[id]; dup {
-					doubleDecided.Add(id)
-					return
-				}
-				decisions[id] = v
-				decidedAt[id] = engine.Now()
-				if correct.Has(id) {
-					decidedCorrect++
-				}
-				if tr != nil {
-					tr.RecordDecision(id, engine.Now(), []byte(v))
-				}
-			})
+			n := makeNode(id, value)
 			nodes[id] = n
 			if err := engine.AddProcess(id, n); err != nil {
 				return nil, err
@@ -484,6 +557,24 @@ func (r *Runner) Run(c *Compiled, seed int64, trace bool) (*Result, error) {
 		}
 		if err := engine.AddProcess(id, reactor); err != nil {
 			return nil, err
+		}
+	}
+
+	for _, ch := range c.Faults.Churn {
+		engine.ScheduleCrash(ch.ID, ch.CrashAt)
+		switch {
+		case ch.RestartAt == 0:
+			// Down for the rest of the run: graded as crash-faulty (excluded
+			// from the correct set), not as a termination failure.
+			correct.Remove(ch.ID)
+		case ch.Wipe:
+			// Compile rejected Wipe on Byzantine IDs, so this process has a
+			// correct node whose discovery state the restart discards.
+			repl := makeNode(ch.ID, proposals[ch.ID])
+			nodes[ch.ID] = repl
+			engine.ScheduleRestart(ch.ID, ch.RestartAt, repl)
+		default:
+			engine.ScheduleRestart(ch.ID, ch.RestartAt, nil)
 		}
 	}
 

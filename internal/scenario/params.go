@@ -348,6 +348,13 @@ type Params struct {
 	// SlowDiscovery stretches the gossip/poll periods, keeping the event
 	// volume of non-terminating (async) runs sane.
 	SlowDiscovery bool
+	// Faults is the chaos fault-injection axis: link loss/duplication/
+	// reorder, partition windows and crash/restart churn, all serializable
+	// data resolved at compile time. The zero value means no injection and
+	// leaves CompileKey, labels and traces byte-identical to pre-fault
+	// scenarios. Active faults arm the hardened protocol profile unless
+	// Faults.Unhardened opts out.
+	Faults FaultParams
 	// Insecure replaces the Ed25519 keyring with the cryptox insecure suite
 	// (identity-tagged, unverified signatures). Protocol decisions are
 	// unchanged — nodes never branch on signature bytes, only on
@@ -372,12 +379,18 @@ type CellLabels struct {
 	F int
 }
 
-// Labels renders the seed-independent axis labels.
+// Labels renders the seed-independent axis labels. Active fault injection is
+// folded into the network label (it is a property of the channel, not a new
+// column), so zero-fault cell IDs and outcome rows are unchanged.
 func (p Params) Labels() CellLabels {
+	net := p.Net.Label()
+	if p.Faults.Enabled() {
+		net += "+faults(" + p.Faults.Label() + ")"
+	}
 	return CellLabels{
 		Graph: p.Graph.String(),
 		Mode:  p.Mode.String(),
-		Net:   p.Net.Label(),
+		Net:   net,
 		Byz:   p.ByzLabel(),
 		F:     p.F,
 	}
@@ -451,8 +464,27 @@ func (p Params) Validate() error {
 	if p.Horizon < 0 {
 		return fmt.Errorf("params %q: negative horizon %v", p.nameOrID(), p.Horizon)
 	}
+	// Net-timing knobs: zero is the documented "use the default" sentinel
+	// (Delta→5ms, GST→2s, AsyncDelta→2s, AsyncFactor→3); negatives were
+	// previously swallowed by the same default-filling and are rejected
+	// loudly instead.
+	if p.Net.Delta < 0 {
+		return fmt.Errorf("params %q: negative delta %v (0 means the 5ms default)", p.nameOrID(), p.Net.Delta)
+	}
+	if p.Net.GST < 0 {
+		return fmt.Errorf("params %q: negative GST %v (0 means the 2s default)", p.nameOrID(), p.Net.GST)
+	}
+	if p.Net.AsyncDelta < 0 {
+		return fmt.Errorf("params %q: negative async delta %v (0 means the 2s default)", p.nameOrID(), p.Net.AsyncDelta)
+	}
+	if p.Net.AsyncFactor < 0 {
+		return fmt.Errorf("params %q: negative async factor %d (0 means the default of 3)", p.nameOrID(), p.Net.AsyncFactor)
+	}
 	if p.Auto.Count < 0 {
 		return fmt.Errorf("params %q: negative byzantine count %d", p.nameOrID(), p.Auto.Count)
+	}
+	if err := p.Faults.Validate(); err != nil {
+		return fmt.Errorf("params %q: %w", p.nameOrID(), err)
 	}
 	return nil
 }
@@ -471,19 +503,22 @@ func (p Params) Spec() (Spec, error) {
 		name = c.Labels.IDFor(p.Seed)
 	}
 	return Spec{
-		Name:        name,
-		Graph:       c.Graph,
-		Mode:        c.Mode,
-		F:           c.F,
-		Byz:         c.Byz,
-		Values:      c.Values,
-		Net:         c.Net,
+		Name:   name,
+		Graph:  c.Graph,
+		Mode:   c.Mode,
+		F:      c.F,
+		Byz:    c.Byz,
+		Values: c.Values,
+		// The bare model, not c.Net: Spec.Compile applies the fault wrapper
+		// itself, and handing it a pre-wrapped net would inject twice.
+		Net:         p.Net.Model(),
 		Horizon:     c.Horizon,
 		Seed:        p.Seed,
 		Discovery:   c.Discovery,
 		PBFTTimeout: c.PBFTTimeout,
 		PollPeriod:  c.PollPeriod,
 		Insecure:    p.Insecure,
+		Faults:      p.Faults,
 		Trace:       p.Trace,
 	}, nil
 }

@@ -130,6 +130,12 @@ type Spec struct {
 	// Params.Insecure for the comparability caveat).
 	Insecure bool
 
+	// Faults is the chaos fault-injection axis (see Params.Faults). Compile
+	// folds the link-level faults into Net as a sim.FaultyNetwork wrapper —
+	// Net must therefore be the bare model, not pre-wrapped — and each Run
+	// schedules the churn crash/restart points on the engine.
+	Faults FaultParams
+
 	// Trace, when set, records every delivered event and every decision into
 	// a streaming digest (Result.TraceDigest) for determinism assertions.
 	Trace bool

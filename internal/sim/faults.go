@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"math/rand"
+
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+// Fault injection. The engine's only network hook used to be
+// NetworkModel.Delay; faults need a second decision — whether a message is
+// delivered at all, and how many times. FaultInjector is that hook: an
+// optional interface a NetworkModel may additionally implement. The engine
+// detects it once (at NewEngine/Reset) and consults it per Send, so network
+// models without faults pay a single nil check and nothing else.
+//
+// Determinism contract: every fault decision is drawn from the engine's
+// seeded RNG, in a fixed order per Send — Copies first (loss draw, then
+// duplication draw, each skipped when its probability is zero), then one
+// Delay call per surviving copy (which may draw for jitter/reorder). Identical
+// seeds and fault parameters therefore reproduce byte-identical traces; the
+// zero-fault configuration draws exactly the same RNG sequence as the bare
+// base model, so wrapping with all-zero faults is trace-neutral.
+
+// FaultInjector is the optional NetworkModel extension that decides message
+// fate. Copies returns how many copies of a message to deliver: 0 drops it,
+// 1 is normal delivery, 2+ duplicates it. Called once per accepted Send,
+// before any Delay call.
+type FaultInjector interface {
+	Copies(from, to model.ID, now Time, rng *rand.Rand) int
+}
+
+// PartitionWindow is one timed network split: between From (inclusive) and
+// Until (exclusive), messages cross only within a group. Processes not listed
+// in any group form one implicit remainder group (they can still talk to each
+// other, but not across the cut).
+type PartitionWindow struct {
+	From, Until Time
+	Groups      []model.IDSet
+}
+
+// PartitionSchedule is a set of timed splits. Overlapping windows compose:
+// a message is severed if any active window separates its endpoints — the
+// composition of cuts is the union of cuts.
+type PartitionSchedule []PartitionWindow
+
+// Severed reports whether a message from→to sent at now crosses an active
+// cut. Linear in windows × groups: schedules are small (a handful of
+// windows), and this sits behind the per-Send fault hook only when a
+// partition is configured.
+func (s PartitionSchedule) Severed(from, to model.ID, now Time) bool {
+	for _, w := range s {
+		if now < w.From || now >= w.Until {
+			continue
+		}
+		gf, gt := -1, -1
+		for i := range w.Groups {
+			if w.Groups[i].Has(from) {
+				gf = i
+			}
+			if w.Groups[i].Has(to) {
+				gt = i
+			}
+		}
+		if gf != gt {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultyNetwork composes fault injection over any base NetworkModel: per-link
+// message loss, duplication, bounded reorder (an extra uniform delay on top of
+// the base model's), and a partition schedule. The zero value of every fault
+// field is "off"; a FaultyNetwork with all faults off behaves byte-identically
+// to its base model (no extra RNG draws).
+type FaultyNetwork struct {
+	Base NetworkModel
+	// Loss is the per-message drop probability in [0, 1).
+	Loss float64
+	// Dup is the per-message duplication probability in [0, 1). A duplicated
+	// message is delivered twice, each copy with its own delay draw.
+	Dup float64
+	// Reorder bounds an extra uniform delay in [0, Reorder] added per copy.
+	// Because it is drawn independently per message, later sends can overtake
+	// earlier ones by up to Reorder — bounded out-of-order delivery.
+	Reorder Time
+	// Partition severs cross-group messages during its windows.
+	Partition PartitionSchedule
+}
+
+// Delay implements NetworkModel: the base delay plus the reorder jitter.
+func (f FaultyNetwork) Delay(from, to model.ID, now Time, rng *rand.Rand) Time {
+	d := f.Base.Delay(from, to, now, rng)
+	if d < 0 {
+		d = 0
+	}
+	if f.Reorder > 0 {
+		d += Time(rng.Int63n(int64(f.Reorder) + 1))
+	}
+	return d
+}
+
+// Copies implements FaultInjector. Draw order (the determinism contract):
+// partition check (no draw), loss draw, duplication draw.
+func (f FaultyNetwork) Copies(from, to model.ID, now Time, rng *rand.Rand) int {
+	if len(f.Partition) > 0 && f.Partition.Severed(from, to, now) {
+		return 0
+	}
+	if f.Loss > 0 && rng.Float64() < f.Loss {
+		return 0
+	}
+	if f.Dup > 0 && rng.Float64() < f.Dup {
+		return 2
+	}
+	return 1
+}

@@ -127,6 +127,8 @@ type eventKind uint8
 const (
 	evMessage eventKind = iota
 	evTimer
+	evCrash
+	evRestart
 )
 
 // msgBody is a reference-counted payload buffer. Bodies are recycled through
@@ -145,11 +147,12 @@ type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among same-time events
 	kind eventKind
+	gen  uint32 // evTimer: the target's incarnation at scheduling time
 	to   model.ID
 	from model.ID // evMessage
 	tgt  *proc
 	body *msgBody // evMessage
-	tag  uint64   // evTimer
+	tag  uint64   // evTimer; evCrash/evRestart: index into Engine.controls
 }
 
 // before orders events by (at, seq): virtual time first, FIFO within a tick.
@@ -168,10 +171,13 @@ type Engine struct {
 	procs   map[model.ID]*proc
 	order   []model.ID
 	net     NetworkModel
-	rng     *rand.Rand
-	metrics *Metrics
-	trace   *Trace
-	started bool
+	// injector is net's FaultInjector view, cached so the zero-fault send
+	// path pays one nil check instead of a per-message type assertion.
+	injector FaultInjector
+	rng      *rand.Rand
+	metrics  *Metrics
+	trace    *Trace
+	started  bool
 
 	// bodyFree recycles payload buffers; lastBody interns the most recent one
 	// so broadcast loops sending identical bytes share a single buffer.
@@ -180,6 +186,19 @@ type Engine struct {
 
 	// preCrashed holds Crash marks issued before AddProcess.
 	preCrashed model.IDSet
+
+	// controls are scheduled crash/restart points, pushed as events at start.
+	controls []control
+}
+
+// control is one scheduled crash or restart (the churn schedule). Controls
+// registered before start are resolved and pushed as events when the run
+// begins; controls naming IDs that were never added are ignored.
+type control struct {
+	at          Time
+	id          model.ID
+	restart     bool
+	replacement Reactor // restart only: non-nil swaps the reactor (wiped state)
 }
 
 type proc struct {
@@ -187,15 +206,31 @@ type proc struct {
 	reactor Reactor
 	ctx     *procCtx
 	crashed bool
+	// gen is the incarnation number, bumped at every crash. Timer events
+	// carry the gen they were scheduled under and are dropped on mismatch:
+	// a process's pending timers die with it, while in-flight messages —
+	// which live in the network, not the process — survive a restart.
+	gen uint32
+}
+
+// Restartable is an optional Reactor extension for processes that can resume
+// from persisted state after a crash. A scheduled restart without a
+// replacement reactor calls Restart (falling back to Init when the reactor
+// does not implement it); the reactor re-arms whatever timers it needs —
+// pending timers from before the crash are gone.
+type Restartable interface {
+	Restart(ctx Context)
 }
 
 // NewEngine creates an engine with the given network model and seed.
 func NewEngine(net NetworkModel, seed int64) *Engine {
+	inj, _ := net.(FaultInjector)
 	return &Engine{
-		procs:   make(map[model.ID]*proc),
-		net:     net,
-		rng:     newRand(seed),
-		metrics: &Metrics{},
+		procs:    make(map[model.ID]*proc),
+		net:      net,
+		injector: inj,
+		rng:      newRand(seed),
+		metrics:  &Metrics{},
 	}
 }
 
@@ -219,12 +254,14 @@ func (e *Engine) Reset(net NetworkModel, seed int64) {
 	e.now = 0
 	e.seq = 0
 	e.net = net
+	e.injector, _ = net.(FaultInjector)
 	e.rng = newRand(seed)
 	*e.metrics = Metrics{}
 	e.trace = nil
 	e.started = false
 	e.lastBody = nil
 	e.preCrashed = nil
+	e.controls = e.controls[:0]
 }
 
 // Metrics returns the accumulated network counters.
@@ -256,6 +293,7 @@ func (e *Engine) AddProcess(id model.ID, r Reactor) error {
 func (e *Engine) Crash(id model.ID) {
 	if p, ok := e.procs[id]; ok {
 		p.crashed = true
+		p.gen++
 		return
 	}
 	if e.preCrashed == nil {
@@ -264,11 +302,47 @@ func (e *Engine) Crash(id model.ID) {
 	e.preCrashed.Add(id)
 }
 
+// ScheduleCrash crashes the process at virtual time at. The process runs
+// normally (including Init) until then; messages in flight to it at the
+// moment of the crash are dropped at delivery time, and its pending timers
+// die with it. Must be called before the run starts.
+func (e *Engine) ScheduleCrash(id model.ID, at Time) {
+	e.controls = append(e.controls, control{at: at, id: id})
+}
+
+// ScheduleRestart revives a crashed process at virtual time at. With a nil
+// replacement the process resumes with its state persisted: the original
+// reactor's Restart is called (Init, if it does not implement Restartable).
+// A non-nil replacement models a wiped restart — the process comes back as a
+// fresh reactor (same ID, empty state) and replacement.Init runs. Either
+// way, in-flight messages sent before the crash that arrive after the
+// restart are delivered; timers from the previous incarnation are not.
+// Must be called before the run starts. Restarting a live process is a
+// no-op.
+func (e *Engine) ScheduleRestart(id model.ID, at Time, replacement Reactor) {
+	e.controls = append(e.controls, control{at: at, id: id, restart: true, replacement: replacement})
+}
+
 func (e *Engine) start() {
 	if e.started {
 		return
 	}
 	e.started = true
+	// Control events go in first: at equal times a crash/restart precedes
+	// the messages and timers scheduled by Init (deterministic either way;
+	// this order is the documented one).
+	for i := range e.controls {
+		ctl := &e.controls[i]
+		p, ok := e.procs[ctl.id]
+		if !ok {
+			continue
+		}
+		kind := evCrash
+		if ctl.restart {
+			kind = evRestart
+		}
+		e.push(event{at: ctl.at, kind: kind, to: ctl.id, tgt: p, tag: uint64(i)})
+	}
 	sort.Slice(e.order, func(i, j int) bool { return e.order[i] < e.order[j] })
 	for _, id := range e.order {
 		p := e.procs[id]
@@ -285,19 +359,51 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := e.popEvent()
 		e.now = ev.at
-		if ev.tgt.crashed {
-			e.releaseBody(ev.body)
-			continue
-		}
-		if e.trace != nil {
-			e.trace.record(&ev)
-		}
 		switch ev.kind {
 		case evMessage:
+			if ev.tgt.crashed {
+				e.releaseBody(ev.body)
+				continue
+			}
+			if e.trace != nil {
+				e.trace.record(&ev)
+			}
 			ev.tgt.reactor.Receive(ev.tgt.ctx, ev.from, ev.body.data)
 			e.releaseBody(ev.body)
 		case evTimer:
+			// A stale gen means the timer was set by a previous incarnation:
+			// pending timers die with a crash, even if the process restarts
+			// before they would have fired.
+			if ev.tgt.crashed || ev.gen != ev.tgt.gen {
+				continue
+			}
+			if e.trace != nil {
+				e.trace.record(&ev)
+			}
 			ev.tgt.reactor.Timer(ev.tgt.ctx, ev.tag)
+		case evCrash:
+			if e.trace != nil {
+				e.trace.record(&ev)
+			}
+			if !ev.tgt.crashed {
+				ev.tgt.crashed = true
+				ev.tgt.gen++
+			}
+		case evRestart:
+			if e.trace != nil {
+				e.trace.record(&ev)
+			}
+			if p := ev.tgt; p.crashed {
+				p.crashed = false
+				if repl := e.controls[ev.tag].replacement; repl != nil {
+					p.reactor = repl
+					p.reactor.Init(p.ctx)
+				} else if r, ok := p.reactor.(Restartable); ok {
+					r.Restart(p.ctx)
+				} else {
+					p.reactor.Init(p.ctx)
+				}
+			}
 		}
 		return true
 	}
@@ -441,11 +547,24 @@ func (c *procCtx) Send(to model.ID, payload []byte) {
 	if len(payload) > 0 {
 		m.byKind[payload[0]]++
 	}
-	d := e.net.Delay(c.proc.id, to, e.now, e.rng)
-	if d < 0 {
-		d = 0
+	// Metrics count the send attempt; fault injection decides what the
+	// network delivers. 0 copies = dropped/severed, 2 = duplicated. Each
+	// copy gets its own delay draw (duplicates may arrive out of order);
+	// the interned body is shared between copies.
+	copies := 1
+	if e.injector != nil {
+		copies = e.injector.Copies(c.proc.id, to, e.now, e.rng)
+		if copies <= 0 {
+			return
+		}
 	}
-	e.push(event{at: e.now + d, kind: evMessage, to: to, from: c.proc.id, tgt: tgt, body: e.acquireBody(payload)})
+	for i := 0; i < copies; i++ {
+		d := e.net.Delay(c.proc.id, to, e.now, e.rng)
+		if d < 0 {
+			d = 0
+		}
+		e.push(event{at: e.now + d, kind: evMessage, to: to, from: c.proc.id, tgt: tgt, body: e.acquireBody(payload)})
+	}
 }
 
 func (c *procCtx) SetTimer(d Time, tag uint64) {
@@ -453,5 +572,5 @@ func (c *procCtx) SetTimer(d Time, tag uint64) {
 		d = 0
 	}
 	e := c.engine
-	e.push(event{at: e.now + d, kind: evTimer, to: c.proc.id, tgt: c.proc, tag: tag})
+	e.push(event{at: e.now + d, kind: evTimer, to: c.proc.id, tgt: c.proc, tag: tag, gen: c.proc.gen})
 }

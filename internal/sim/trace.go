@@ -47,6 +47,8 @@ func (t *Trace) record(ev *event) {
 		b = append(b, ev.body.data...)
 	case evTimer:
 		b = binary.BigEndian.AppendUint64(b, ev.tag)
+	case evCrash, evRestart:
+		// (at, kind, to) fully identify a churn control point.
 	}
 	t.buf = b
 	t.h.Write(b)
