@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -67,11 +68,27 @@ type BenchEntry struct {
 	// cross-environment gate skip keeps such entries from flaking CI. Nil for
 	// entries that predate it.
 	SweepDist *DistBench `json:"sweep_dist,omitempty"`
+	// CupdLocalhost is the live-runtime measurement: an n=7 planted-k-OSR
+	// cluster run to unanimous decision over localhost TCP repeatedly — the
+	// workload cupd -cluster serves, through the same scenario.RunLive path.
+	// DecidesPerSec counts full-cluster decision rounds, so the number tracks
+	// the netrt stack (framing, per-peer streams, timer scheduling) end to
+	// end rather than any single component. Nil for entries that predate it.
+	CupdLocalhost *LiveBench `json:"cupd_localhost,omitempty"`
 	// Search is the knowledge-layer search replay (BenchmarkSinkSearch's
 	// workload measured through the harness): PD records inserted one at a
 	// time with a search after every insertion — the per-event schedule the
 	// protocol stack runs during discovery. Nil for entries that predate it.
 	Search []SearchBench `json:"search,omitempty"`
+}
+
+// LiveBench is one timed live-runtime workload: Rounds full-cluster decision
+// rounds (every correct node decides, verdict ✓) over real sockets.
+type LiveBench struct {
+	Nodes         int     `json:"nodes"`
+	Rounds        int     `json:"rounds"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	DecidesPerSec float64 `json:"decides_per_sec"`
 }
 
 // DistBench is the distributed-fabric trajectory point: the 4-worker run plus
@@ -283,7 +300,7 @@ func runSweepDistBench(monoFP string) (*DistBench, error) {
 			fleet[i] = matrix.ExecTransport{Argv: argv}
 		}
 		start := time.Now()
-		rep, _, err := matrix.RunFabric(src.Len(), fleet, matrix.FabricOptions{})
+		rep, _, err := matrix.RunFabric(context.Background(), src.Len(), fleet, matrix.FabricOptions{})
 		if err != nil {
 			return nil, 0, err
 		}
@@ -311,6 +328,47 @@ func runSweepDistBench(monoFP string) (*DistBench, error) {
 		OneWorkerWallSeconds: wall1,
 		Speedup:              wall1 / wall4,
 		Fingerprint:          rep.Fingerprint(),
+	}, nil
+}
+
+// runCupdLocalhostBench measures the live runtime: a 7-process planted
+// k-OSR cluster (4-member sink, k=2) run to unanimous decision over
+// localhost TCP, once per round under a fresh seed. Every round must reach a
+// ✓ verdict — a live run that loses consensus is a bug, not a slow round.
+func runCupdLocalhostBench() (*LiveBench, error) {
+	def, err := graph.ParseDef("kosr:sink=4,nonsink=3,k=2")
+	if err != nil {
+		return nil, err
+	}
+	p := scenario.Params{
+		Name:    "cupd-localhost",
+		Graph:   def,
+		Mode:    core.ModeKnownF,
+		F:       -1,
+		Net:     scenario.NetParams{Kind: scenario.NetSync},
+		Horizon: 30 * sim.Second,
+	}
+	c, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	const rounds = 5
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		res, err := c.RunLive(int64(i+1), scenario.LiveOptions{Transport: "tcp", Scale: 50})
+		if err != nil {
+			return nil, err
+		}
+		if res.Verdict() != "✓" {
+			return nil, fmt.Errorf("cupd localhost bench round %d: verdict ✗ (%s)", i+1, res.FailureMode())
+		}
+	}
+	wall := time.Since(start).Seconds()
+	return &LiveBench{
+		Nodes:         def.NumNodes(),
+		Rounds:        rounds,
+		WallSeconds:   wall,
+		DecidesPerSec: float64(rounds) / wall,
 	}, nil
 }
 
@@ -483,6 +541,10 @@ func runBenchJSON(path, label string, gate float64) {
 		fail(err)
 	}
 
+	if entry.CupdLocalhost, err = runCupdLocalhostBench(); err != nil {
+		fail(err)
+	}
+
 	if entry.Search, err = searchReplays(); err != nil {
 		fail(err)
 	}
@@ -514,6 +576,8 @@ func runBenchJSON(path, label string, gate float64) {
 		entry.SweepChaos.Cells, entry.SweepChaos.Parallelism, entry.SweepChaos.CellsPerSec, entry.SweepChaos.WallSeconds)
 	fmt.Printf("sweep-dist %d cells on %d subprocess workers: %.2f cells/s (%.2fs; %.2fx vs 1 worker; fingerprint matches monolithic)\n",
 		entry.SweepDist.Cells, entry.SweepDist.Workers, entry.SweepDist.CellsPerSec, entry.SweepDist.WallSeconds, entry.SweepDist.Speedup)
+	fmt.Printf("cupd-localhost %d nodes over TCP: %.2f decides/s (%d rounds, %.2fs)\n",
+		entry.CupdLocalhost.Nodes, entry.CupdLocalhost.DecidesPerSec, entry.CupdLocalhost.Rounds, entry.CupdLocalhost.WallSeconds)
 	for _, s := range entry.Search {
 		fmt.Printf("search %-22s %10.0f ns/op  %8.0f ops/s  %6d allocs/op\n",
 			s.Name, s.NsPerOp, s.OpsPerSec, s.AllocsPerOp)
@@ -590,6 +654,11 @@ func gateEntry(prev, cur BenchEntry, tol float64) error {
 		regressions = append(regressions, fmt.Sprintf(
 			"sweep-dist: %.2f cells/s, was %.2f (%.1f%% drop)",
 			c.CellsPerSec, p.CellsPerSec, (1-c.CellsPerSec/p.CellsPerSec)*100))
+	}
+	if c, p := cur.CupdLocalhost, prev.CupdLocalhost; c != nil && p != nil && p.DecidesPerSec > 0 && c.DecidesPerSec < p.DecidesPerSec*(1-tol) {
+		regressions = append(regressions, fmt.Sprintf(
+			"cupd-localhost: %.2f decides/s, was %.2f (%.1f%% drop)",
+			c.DecidesPerSec, p.DecidesPerSec, (1-c.DecidesPerSec/p.DecidesPerSec)*100))
 	}
 	prevSearch := make(map[string]SearchBench, len(prev.Search))
 	for _, s := range prev.Search {

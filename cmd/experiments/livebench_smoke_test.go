@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+// TestCupdLocalhostBenchSmoke runs the live-runtime bench workload once so
+// the -bench-json path cannot rot unexercised: a few decision rounds over
+// real localhost sockets, every verdict ✓.
+func TestCupdLocalhostBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster rounds cost wall-clock time")
+	}
+	lb, err := runCupdLocalhostBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb.Nodes != 7 || lb.Rounds <= 0 || lb.DecidesPerSec <= 0 {
+		t.Fatalf("implausible bench result: %+v", lb)
+	}
+}

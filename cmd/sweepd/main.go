@@ -20,10 +20,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/bftcup/bftcup/internal/matrix"
@@ -205,9 +209,18 @@ func runCoordinator(name string, src matrix.CellSource, c coordinatorConfig) {
 			}
 		}
 	}
+	// A killed coordinator reaps its fleet: SIGINT/SIGTERM cancel the sweep
+	// context, RunFabric cancels every in-flight dispatch and waits for the
+	// workers to exit before returning.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	start := time.Now()
-	rep, stats, err := matrix.RunFabric(total, fleet, opts)
+	rep, stats, err := matrix.RunFabric(ctx, total, fleet, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "sweepd: interrupted; fleet reaped")
+			os.Exit(130)
+		}
 		fail(err)
 	}
 	rep.Name = name

@@ -4,7 +4,7 @@ import (
 	"github.com/bftcup/bftcup/internal/cryptox"
 	"github.com/bftcup/bftcup/internal/discovery"
 	"github.com/bftcup/bftcup/internal/model"
-	"github.com/bftcup/bftcup/internal/sim"
+	"github.com/bftcup/bftcup/internal/rt"
 	"github.com/bftcup/bftcup/internal/wire"
 )
 
@@ -12,14 +12,14 @@ import (
 // from a crashed process.
 type Silent struct{}
 
-// Init implements sim.Reactor.
-func (Silent) Init(sim.Context) {}
+// Init implements rt.Reactor.
+func (Silent) Init(rt.Context) {}
 
-// Receive implements sim.Reactor.
-func (Silent) Receive(sim.Context, model.ID, []byte) {}
+// Receive implements rt.Reactor.
+func (Silent) Receive(rt.Context, model.ID, []byte) {}
 
-// Timer implements sim.Reactor.
-func (Silent) Timer(sim.Context, uint64) {}
+// Timer implements rt.Reactor.
+func (Silent) Timer(rt.Context, uint64) {}
 
 // FakePD participates fully (and honestly) in Discovery, except that the PD
 // it claims for itself is arbitrary — the worked example of Section III has
@@ -36,16 +36,16 @@ func NewFakePD(signer cryptox.Signer, verifier cryptox.Verifier, claimed model.I
 	return &FakePD{mod: discovery.New(rec, verifier, cfg, nil)}
 }
 
-// Init implements sim.Reactor.
-func (b *FakePD) Init(ctx sim.Context) { b.mod.Start(ctx) }
+// Init implements rt.Reactor.
+func (b *FakePD) Init(ctx rt.Context) { b.mod.Start(ctx) }
 
-// Receive implements sim.Reactor.
-func (b *FakePD) Receive(ctx sim.Context, from model.ID, payload []byte) {
+// Receive implements rt.Reactor.
+func (b *FakePD) Receive(ctx rt.Context, from model.ID, payload []byte) {
 	b.mod.Handle(ctx, from, payload)
 }
 
-// Timer implements sim.Reactor.
-func (b *FakePD) Timer(ctx sim.Context, tag uint64) { b.mod.HandleTimer(ctx, tag) }
+// Timer implements rt.Reactor.
+func (b *FakePD) Timer(ctx rt.Context, tag uint64) { b.mod.HandleTimer(ctx, tag) }
 
 // PDEquivocator claims PD A to peers selected by ChooseAlt=false and PD B to
 // the others. Both records verify (the process signs both); the Sink/Core
@@ -78,11 +78,11 @@ func NewPDEquivocator(signer cryptox.Signer, verifier cryptox.Verifier, pdA, pdB
 	}
 }
 
-// Init implements sim.Reactor.
-func (b *PDEquivocator) Init(ctx sim.Context) { b.collector.Start(ctx) }
+// Init implements rt.Reactor.
+func (b *PDEquivocator) Init(ctx rt.Context) { b.collector.Start(ctx) }
 
-// Receive implements sim.Reactor.
-func (b *PDEquivocator) Receive(ctx sim.Context, from model.ID, payload []byte) {
+// Receive implements rt.Reactor.
+func (b *PDEquivocator) Receive(ctx rt.Context, from model.ID, payload []byte) {
 	if len(payload) == 0 {
 		return
 	}
@@ -93,15 +93,15 @@ func (b *PDEquivocator) Receive(ctx sim.Context, from model.ID, payload []byte) 
 	b.collector.Handle(ctx, from, payload)
 }
 
-// Timer implements sim.Reactor.
-func (b *PDEquivocator) Timer(ctx sim.Context, tag uint64) { b.collector.HandleTimer(ctx, tag) }
+// Timer implements rt.Reactor.
+func (b *PDEquivocator) Timer(ctx rt.Context, tag uint64) { b.collector.HandleTimer(ctx, tag) }
 
 // reply sends the peer-dependent own record plus every relayed record. The
 // third-party records come from the collector's sorted-owner iterator — the
 // module already maintains that order incrementally, so the reply does not
 // rebuild and re-sort the ID list per request (and cannot alias the module's
 // internal record map).
-func (b *PDEquivocator) reply(ctx sim.Context, to model.ID) {
+func (b *PDEquivocator) reply(ctx rt.Context, to model.ID) {
 	own := b.recA
 	if b.chooseAlt(to) {
 		own = b.recB

@@ -6,14 +6,14 @@ import (
 	"github.com/bftcup/bftcup/internal/cryptox"
 	"github.com/bftcup/bftcup/internal/discovery"
 	"github.com/bftcup/bftcup/internal/model"
-	"github.com/bftcup/bftcup/internal/sim"
+	"github.com/bftcup/bftcup/internal/rt"
 	"github.com/bftcup/bftcup/internal/wire"
 )
 
 // This file is the adversary zoo beyond the three original behaviors: timing
 // attacks (Delayer), selective silence (SelectiveSilent) and discovery
 // collusion (Collusion/Colluder — forging and withholding third-party PD
-// records). Every behavior is a sim.Reactor whose configuration is plain
+// records). Every behavior is a rt.Reactor whose configuration is plain
 // data (sets and integers, no callbacks), so scenario.ByzSpec can carry a
 // canonical serialized identity for each through CompileKey.
 
@@ -29,7 +29,7 @@ const delayTagBase uint64 = 1 << 41
 // committee protocol.
 type Delayer struct {
 	mod   *discovery.Module
-	delay sim.Time
+	delay rt.Time
 }
 
 // NewDelayer creates the behavior. pd is the PD the process advertises
@@ -45,15 +45,15 @@ func NewDelayer(signer cryptox.Signer, verifier cryptox.Verifier, pd model.IDSet
 	rec := discovery.NewSignedPD(signer, pd)
 	return &Delayer{
 		mod:   discovery.New(rec, verifier, cfg, nil),
-		delay: sim.Time(holdRounds) * cfg.Period,
+		delay: rt.Time(holdRounds) * cfg.Period,
 	}
 }
 
-// Init implements sim.Reactor.
-func (b *Delayer) Init(ctx sim.Context) { b.mod.Start(ctx) }
+// Init implements rt.Reactor.
+func (b *Delayer) Init(ctx rt.Context) { b.mod.Start(ctx) }
 
-// Receive implements sim.Reactor.
-func (b *Delayer) Receive(ctx sim.Context, from model.ID, payload []byte) {
+// Receive implements rt.Reactor.
+func (b *Delayer) Receive(ctx rt.Context, from model.ID, payload []byte) {
 	if len(payload) > 0 && payload[0] == wire.KindGetPDs {
 		ctx.SetTimer(b.delay, delayTagBase|uint64(from))
 		return
@@ -61,9 +61,9 @@ func (b *Delayer) Receive(ctx sim.Context, from model.ID, payload []byte) {
 	b.mod.Handle(ctx, from, payload)
 }
 
-// Timer implements sim.Reactor: a delay tag releases the held reply (the
+// Timer implements rt.Reactor: a delay tag releases the held reply (the
 // module's current S_PD), everything else is the module's own gossip timer.
-func (b *Delayer) Timer(ctx sim.Context, tag uint64) {
+func (b *Delayer) Timer(ctx rt.Context, tag uint64) {
 	if tag&delayTagBase != 0 {
 		b.mod.SendRecords(ctx, model.ID(tag&^delayTagBase))
 		return
@@ -71,11 +71,11 @@ func (b *Delayer) Timer(ctx sim.Context, tag uint64) {
 	b.mod.HandleTimer(ctx, tag)
 }
 
-// filteredCtx wraps a sim.Context, dropping every Send whose recipient is
+// filteredCtx wraps a rt.Context, dropping every Send whose recipient is
 // outside the allow set. Running an honest module through it turns the module
 // selectively silent without touching its state machine.
 type filteredCtx struct {
-	sim.Context
+	rt.Context
 	allow model.IDSet
 }
 
@@ -107,18 +107,18 @@ func NewSelectiveSilent(signer cryptox.Signer, verifier cryptox.Verifier, pd mod
 	}
 }
 
-// Init implements sim.Reactor.
-func (b *SelectiveSilent) Init(ctx sim.Context) {
+// Init implements rt.Reactor.
+func (b *SelectiveSilent) Init(ctx rt.Context) {
 	b.mod.Start(filteredCtx{Context: ctx, allow: b.answer})
 }
 
-// Receive implements sim.Reactor.
-func (b *SelectiveSilent) Receive(ctx sim.Context, from model.ID, payload []byte) {
+// Receive implements rt.Reactor.
+func (b *SelectiveSilent) Receive(ctx rt.Context, from model.ID, payload []byte) {
 	b.mod.Handle(filteredCtx{Context: ctx, allow: b.answer}, from, payload)
 }
 
-// Timer implements sim.Reactor.
-func (b *SelectiveSilent) Timer(ctx sim.Context, tag uint64) {
+// Timer implements rt.Reactor.
+func (b *SelectiveSilent) Timer(ctx rt.Context, tag uint64) {
 	b.mod.HandleTimer(filteredCtx{Context: ctx, allow: b.answer}, tag)
 }
 
@@ -136,7 +136,7 @@ func (b *SelectiveSilent) Timer(ctx sim.Context, tag uint64) {
 // iteration order.
 type Collusion struct {
 	verifier   cryptox.Verifier
-	period     sim.Time
+	period     rt.Time
 	members    model.IDSet
 	group      []discovery.SignedPD // one forged record per member, ascending owner
 	withhold   model.IDSet
@@ -261,11 +261,11 @@ type Colluder struct {
 	self   model.ID
 }
 
-// Init implements sim.Reactor.
-func (b *Colluder) Init(ctx sim.Context) { b.round(ctx) }
+// Init implements rt.Reactor.
+func (b *Colluder) Init(ctx rt.Context) { b.round(ctx) }
 
-// Receive implements sim.Reactor.
-func (b *Colluder) Receive(ctx sim.Context, from model.ID, payload []byte) {
+// Receive implements rt.Reactor.
+func (b *Colluder) Receive(ctx rt.Context, from model.ID, payload []byte) {
 	if len(payload) == 0 {
 		return
 	}
@@ -277,8 +277,8 @@ func (b *Colluder) Receive(ctx sim.Context, from model.ID, payload []byte) {
 	}
 }
 
-// Timer implements sim.Reactor.
-func (b *Colluder) Timer(ctx sim.Context, tag uint64) {
+// Timer implements rt.Reactor.
+func (b *Colluder) Timer(ctx rt.Context, tag uint64) {
 	if tag == discovery.TimerTag {
 		b.round(ctx)
 	}
@@ -286,7 +286,7 @@ func (b *Colluder) Timer(ctx sim.Context, tag uint64) {
 
 // round requests records from every known process, like Algorithm 1's
 // periodic task — colluders pull knowledge as eagerly as correct processes.
-func (b *Colluder) round(ctx sim.Context) {
+func (b *Colluder) round(ctx rt.Context) {
 	c := b.shared
 	if c.recipients == nil {
 		c.recipients = c.known.Sorted()

@@ -8,7 +8,7 @@ import (
 	"github.com/bftcup/bftcup/internal/kosr"
 	"github.com/bftcup/bftcup/internal/model"
 	"github.com/bftcup/bftcup/internal/pbft"
-	"github.com/bftcup/bftcup/internal/sim"
+	"github.com/bftcup/bftcup/internal/rt"
 	"github.com/bftcup/bftcup/internal/wire"
 )
 
@@ -68,9 +68,9 @@ type Config struct {
 	// (tests inject kosr.FromScratch here to prove it).
 	Searcher kosr.Search
 	// PBFTTimeout is the committee protocol's base view timeout.
-	PBFTTimeout sim.Time
+	PBFTTimeout rt.Time
 	// PollPeriod is the non-member decided-value polling interval.
-	PollPeriod sim.Time
+	PollPeriod rt.Time
 	// Slots is the number of chained consensus instances to run over the
 	// same committee (0 or 1 = classic single-shot consensus). Slot k+1
 	// starts once slot k decides.
@@ -91,10 +91,10 @@ type Config struct {
 
 func (c *Config) setDefaults() {
 	if c.PBFTTimeout <= 0 {
-		c.PBFTTimeout = 200 * sim.Millisecond
+		c.PBFTTimeout = 200 * rt.Millisecond
 	}
 	if c.PollPeriod <= 0 {
-		c.PollPeriod = 50 * sim.Millisecond
+		c.PollPeriod = 50 * rt.Millisecond
 	}
 	if c.Slots == 0 {
 		c.Slots = 1
@@ -102,7 +102,7 @@ func (c *Config) setDefaults() {
 }
 
 // Node is one process of the BFT-CUP / BFT-CUPFT stack. It implements
-// sim.Reactor; the engine (simulated or live) serializes all callbacks.
+// rt.Reactor; the engine (simulated or live) serializes all callbacks.
 type Node struct {
 	self     model.ID
 	signer   cryptox.Signer
@@ -128,7 +128,7 @@ type Node struct {
 	valueOf      map[string]model.Value
 
 	onDecide func(model.Value)
-	ctx      sim.Context // current callback context (single-threaded reactor)
+	ctx      rt.Context // current callback context (single-threaded reactor)
 }
 
 // NewNode creates a node. onDecide fires exactly once, when the node decides;
@@ -199,8 +199,8 @@ func (n *Node) View() *kosr.View {
 	return n.disc.View()
 }
 
-// Init implements sim.Reactor.
-func (n *Node) Init(ctx sim.Context) {
+// Init implements rt.Reactor.
+func (n *Node) Init(ctx rt.Context) {
 	n.ctx = ctx
 	if n.cfg.Mode == ModePermissioned {
 		members := n.cfg.PD.Clone()
@@ -213,14 +213,14 @@ func (n *Node) Init(ctx sim.Context) {
 	n.search(ctx)
 }
 
-// Restart implements sim.Restartable: a crash-restart with persisted state.
+// Restart implements rt.Restartable: a crash-restart with persisted state.
 // Every map and record the node holds survived the crash; what died with the
 // previous incarnation is its pending timers, so each protocol layer re-arms
 // its own — discovery resumes its gossip round, undecided PBFT instances
 // re-arm their current view timer, a non-member re-enters the decided-value
 // poll. A node that had not yet identified a committee simply re-runs its
 // search (discovery's resumed rounds will grow the view again).
-func (n *Node) Restart(ctx sim.Context) {
+func (n *Node) Restart(ctx rt.Context) {
 	n.ctx = ctx
 	if n.disc != nil {
 		n.disc.Resume(ctx)
@@ -244,8 +244,8 @@ func (n *Node) Restart(ctx sim.Context) {
 	}
 }
 
-// Receive implements sim.Reactor.
-func (n *Node) Receive(ctx sim.Context, from model.ID, payload []byte) {
+// Receive implements rt.Reactor.
+func (n *Node) Receive(ctx rt.Context, from model.ID, payload []byte) {
 	n.ctx = ctx
 	if len(payload) == 0 {
 		return
@@ -286,8 +286,8 @@ func (n *Node) Receive(ctx sim.Context, from model.ID, payload []byte) {
 	}
 }
 
-// Timer implements sim.Reactor.
-func (n *Node) Timer(ctx sim.Context, tag uint64) {
+// Timer implements rt.Reactor.
+func (n *Node) Timer(ctx rt.Context, tag uint64) {
 	n.ctx = ctx
 	if n.disc != nil && n.disc.HandleTimer(ctx, tag) {
 		return
@@ -313,7 +313,7 @@ func (n *Node) onKnowledge() {
 
 // search runs the mode's committee-identification rule on the current view
 // (the wait-until conditions of Algorithms 2 and 4).
-func (n *Node) search(ctx sim.Context) {
+func (n *Node) search(ctx rt.Context) {
 	if n.committee != nil {
 		return
 	}
@@ -338,7 +338,7 @@ func (n *Node) search(ctx sim.Context) {
 
 // adoptCommittee fixes the committee and starts the member or non-member
 // role of Algorithm 3.
-func (n *Node) adoptCommittee(ctx sim.Context, cand kosr.Candidate) {
+func (n *Node) adoptCommittee(ctx rt.Context, cand kosr.Candidate) {
 	n.committee = &cand
 	if cand.Members().Has(n.self) {
 		n.startSlot(ctx, 0)
@@ -352,7 +352,7 @@ func (n *Node) adoptCommittee(ctx sim.Context, cand kosr.Candidate) {
 }
 
 // startSlot launches the committee instance for one chained slot.
-func (n *Node) startSlot(ctx sim.Context, slot uint64) {
+func (n *Node) startSlot(ctx rt.Context, slot uint64) {
 	if slot >= n.cfg.Slots || n.insts[slot] != nil {
 		return
 	}
@@ -404,7 +404,7 @@ func (n *Node) nextUndecidedSlot() uint64 {
 
 // poll implements the non-member loop: ask every committee member for the
 // lowest undecided slot's value (Algorithm 3 line 6).
-func (n *Node) poll(ctx sim.Context) {
+func (n *Node) poll(ctx rt.Context) {
 	if n.committee == nil {
 		return
 	}
@@ -426,7 +426,7 @@ func (n *Node) poll(ctx sim.Context) {
 
 // onGetDecided answers a ⟨GETDECIDEDVAL⟩ for a slot, or queues the asker
 // until the slot decides (Algorithm 3 line 9).
-func (n *Node) onGetDecided(ctx sim.Context, from model.ID, payload []byte) {
+func (n *Node) onGetDecided(ctx rt.Context, from model.ID, payload []byte) {
 	r := wire.NewReader(payload[1:])
 	slot := r.Uvarint()
 	if r.Done() != nil || slot >= n.cfg.Slots {
@@ -444,7 +444,7 @@ func (n *Node) onGetDecided(ctx sim.Context, from model.ID, payload []byte) {
 	set.Add(from)
 }
 
-func (n *Node) sendDecided(ctx sim.Context, to model.ID, slot uint64) {
+func (n *Node) sendDecided(ctx rt.Context, to model.ID, slot uint64) {
 	w := wire.NewWriter()
 	w.Byte(wire.KindDecided)
 	w.Uvarint(slot)
@@ -494,7 +494,7 @@ func (n *Node) onDecidedAnswer(from model.ID, payload []byte) {
 // decideLocal finalizes one slot's decision exactly once (Integrity),
 // answers queued GETDECIDEDVALs (Algorithm 3 line 10) and, in chained mode,
 // starts the next slot.
-func (n *Node) decideLocal(ctx sim.Context, slot uint64, v model.Value) {
+func (n *Node) decideLocal(ctx rt.Context, slot uint64, v model.Value) {
 	if _, ok := n.decidedSlots[slot]; ok {
 		return
 	}

@@ -1,0 +1,110 @@
+package cryptox
+
+import (
+	"testing"
+
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+// TestVerifyBatchMatchesVerify pins the batch contract: on any mix of valid
+// signatures, forgeries, unknown signers and repeats, VerifyBatch answers
+// exactly what per-call Verify answers — cold memo and warm memo alike.
+func TestVerifyBatchMatchesVerify(t *testing.T) {
+	ids := []model.ID{1, 2, 3}
+	signers, reg, err := GenerateKeys(7, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := []byte("alpha"), []byte("beta")
+	good1 := signers[1].Sign(m1)
+	good2 := signers[2].Sign(m2)
+	forged := append([]byte(nil), good1...)
+	forged[0] ^= 0xff
+	reqs := []BatchRequest{
+		{Signer: 1, Msg: m1, Sig: good1},
+		{Signer: 2, Msg: m2, Sig: good2},
+		{Signer: 1, Msg: m1, Sig: forged},         // corrupted signature
+		{Signer: 2, Msg: m1, Sig: good1},          // right sig, wrong signer
+		{Signer: 99, Msg: m1, Sig: good1},         // unknown signer
+		{Signer: 1, Msg: m1, Sig: good1},          // repeat of request 0
+		{Signer: 3, Msg: m2, Sig: good2},          // wrong signer again
+		{Signer: 1, Msg: []byte("g"), Sig: good1}, // wrong message
+	}
+	for round := 0; round < 2; round++ { // round 0 cold memo, round 1 warm
+		got := VerifyBatch(reg, reqs)
+		if len(got) != len(reqs) {
+			t.Fatalf("round %d: got %d verdicts for %d requests", round, len(got), len(reqs))
+		}
+		for i, q := range reqs {
+			if want := reg.Verify(q.Signer, q.Msg, q.Sig); got[i] != want {
+				t.Errorf("round %d req %d: batch=%t verify=%t", round, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestVerifyBatchFallback checks the generic path for verifiers without a
+// batch implementation (the insecure suite).
+func TestVerifyBatchFallback(t *testing.T) {
+	ids := []model.ID{1, 2}
+	signers, v := InsecureSuite(ids)
+	if _, ok := v.(BatchVerifier); ok {
+		t.Fatal("insecure verifier unexpectedly implements BatchVerifier; test needs a new subject")
+	}
+	msg := []byte("x")
+	sig := signers[1].Sign(msg)
+	got := VerifyBatch(v, []BatchRequest{
+		{Signer: 1, Msg: msg, Sig: sig},
+		{Signer: 2, Msg: msg, Sig: sig},
+	})
+	if !got[0] || got[1] {
+		t.Fatalf("fallback verdicts = %v, want [true false]", got)
+	}
+}
+
+// BenchmarkVerifyBatchWarm measures the amortized hot path: every question
+// already memoized, one lock round-trip for the whole batch.
+func BenchmarkVerifyBatchWarm(b *testing.B) {
+	ids := make([]model.ID, 16)
+	for i := range ids {
+		ids[i] = model.ID(i + 1)
+	}
+	signers, reg, err := GenerateKeys(7, ids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := []byte("prepare:slot=1:view=0:digest")
+	reqs := make([]BatchRequest, len(ids))
+	for i, id := range ids {
+		reqs[i] = BatchRequest{Signer: id, Msg: msg, Sig: signers[id].Sign(msg)}
+	}
+	VerifyBatch(reg, reqs) // warm the memo
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VerifyBatch(reg, reqs)
+	}
+}
+
+// BenchmarkVerifyLoopWarm is the per-call baseline for the same workload.
+func BenchmarkVerifyLoopWarm(b *testing.B) {
+	ids := make([]model.ID, 16)
+	for i := range ids {
+		ids[i] = model.ID(i + 1)
+	}
+	signers, reg, err := GenerateKeys(7, ids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := []byte("prepare:slot=1:view=0:digest")
+	sigs := make([][]byte, len(ids))
+	for i, id := range ids {
+		sigs[i] = signers[id].Sign(msg)
+		reg.Verify(id, msg, sigs[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, id := range ids {
+			reg.Verify(id, msg, sigs[j])
+		}
+	}
+}

@@ -142,6 +142,12 @@ func GenerateKeys(seed int64, ids []model.ID) (map[model.ID]Signer, *Registry, e
 // adversaries in this repository never forge signatures (they equivocate and
 // lie within their own signing rights), so benchmarks may substitute this
 // suite to measure protocol costs without Ed25519 dominating.
+//
+// On the live runtime (cupd's -insecure flag) the narrowing is stricter
+// still: netrt streams carry no authentication beyond these signatures, so
+// the suite is acceptable only for single-machine benchmark deployments on a
+// loopback interface where every process is trusted. Any deployment that
+// crosses a host boundary must use the Ed25519 keyring.
 func InsecureSuite(ids []model.ID) (map[model.ID]Signer, Verifier) {
 	signers := make(map[model.ID]Signer, len(ids))
 	v := insecureVerifier{}

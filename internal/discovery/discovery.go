@@ -7,7 +7,7 @@ import (
 	"github.com/bftcup/bftcup/internal/cryptox"
 	"github.com/bftcup/bftcup/internal/kosr"
 	"github.com/bftcup/bftcup/internal/model"
-	"github.com/bftcup/bftcup/internal/sim"
+	"github.com/bftcup/bftcup/internal/rt"
 	"github.com/bftcup/bftcup/internal/wire"
 )
 
@@ -56,7 +56,7 @@ func (r SignedPD) marshal(w *wire.Writer) {
 // Config tunes the discovery task.
 type Config struct {
 	// Period between GETPDS rounds (Algorithm 1, line 2).
-	Period sim.Time
+	Period rt.Time
 	// Delta enables the delta-gossip ablation: SETPDS carries only records
 	// the sender has not previously sent to that peer, instead of the
 	// paper-faithful full S_PD.
@@ -81,7 +81,7 @@ type Config struct {
 
 // DefaultConfig returns the configuration used by the experiments.
 func DefaultConfig() Config {
-	return Config{Period: 20 * sim.Millisecond}
+	return Config{Period: 20 * rt.Millisecond}
 }
 
 // Module is the per-process discovery state: S_PD, S_known and S_received,
@@ -185,10 +185,10 @@ func (m *Module) AppendOtherRecords(buf []SignedPD) []SignedPD {
 // SendRecords answers a GETPDS request on behalf of a wrapping reactor: the
 // same (cached) S_PD payload the module itself would send. Byzantine
 // behaviors that only distort timing — not content — reply through it.
-func (m *Module) SendRecords(ctx sim.Context, to model.ID) { m.sendRecords(ctx, to) }
+func (m *Module) SendRecords(ctx rt.Context, to model.ID) { m.sendRecords(ctx, to) }
 
 // Start begins the periodic discovery task.
-func (m *Module) Start(ctx sim.Context) {
+func (m *Module) Start(ctx rt.Context) {
 	if m.started {
 		return
 	}
@@ -198,7 +198,7 @@ func (m *Module) Start(ctx sim.Context) {
 
 // HandleTimer processes the periodic timer; it reports whether the tag
 // belonged to discovery.
-func (m *Module) HandleTimer(ctx sim.Context, tag uint64) bool {
+func (m *Module) HandleTimer(ctx rt.Context, tag uint64) bool {
 	if tag != TimerTag {
 		return false
 	}
@@ -210,7 +210,7 @@ func (m *Module) HandleTimer(ctx sim.Context, tag uint64) bool {
 // state: the module's records survived, but its pending round timer died
 // with the previous incarnation, so the loop must be re-armed. No-op if
 // Start was never called.
-func (m *Module) Resume(ctx sim.Context) {
+func (m *Module) Resume(ctx rt.Context) {
 	if !m.started {
 		return
 	}
@@ -220,7 +220,7 @@ func (m *Module) Resume(ctx sim.Context) {
 // getPDsPayload is the constant one-byte GETPDS request (Send copies it).
 var getPDsPayload = []byte{wire.KindGetPDs}
 
-func (m *Module) round(ctx sim.Context) {
+func (m *Module) round(ctx rt.Context) {
 	if m.cfg.Hardened && m.cfg.Delta {
 		m.roundNum++
 		if m.nextResync == 0 {
@@ -247,7 +247,7 @@ func (m *Module) round(ctx sim.Context) {
 // nextPeriod returns the delay before the next round: the configured Period,
 // or — hardened, while the view is not growing — a jittered exponential
 // backoff capped at 8×Period. Growth snaps the cadence back to Period.
-func (m *Module) nextPeriod(ctx sim.Context) sim.Time {
+func (m *Module) nextPeriod(ctx rt.Context) rt.Time {
 	if !m.cfg.Hardened {
 		return m.cfg.Period
 	}
@@ -268,12 +268,12 @@ func (m *Module) nextPeriod(ctx sim.Context) sim.Time {
 	p := m.cfg.Period << shift
 	// Deterministic jitter from the engine RNG: up to p/4 early, so peers
 	// that backed off in lockstep spread out again.
-	return p - sim.Time(ctx.Rand().Int63n(int64(p/4)+1))
+	return p - rt.Time(ctx.Rand().Int63n(int64(p/4)+1))
 }
 
 // Handle processes a discovery message; it reports whether the payload was a
 // discovery message.
-func (m *Module) Handle(ctx sim.Context, from model.ID, payload []byte) bool {
+func (m *Module) Handle(ctx rt.Context, from model.ID, payload []byte) bool {
 	if len(payload) == 0 {
 		return false
 	}
@@ -293,7 +293,7 @@ func (m *Module) Handle(ctx sim.Context, from model.ID, payload []byte) bool {
 // In full-set mode the encoded payload is identical for every requester
 // until a new record arrives, so it is built once and reused (the engine
 // copies on Send).
-func (m *Module) sendRecords(ctx sim.Context, to model.ID) {
+func (m *Module) sendRecords(ctx rt.Context, to model.ID) {
 	if !m.cfg.Delta {
 		if m.encoded == nil {
 			recs := make([]SignedPD, 0, len(m.owners))
@@ -353,14 +353,18 @@ func (m *Module) insertOwner(owner model.ID) {
 // signature verification are dropped; for equivocating owners the first
 // verified record wins (correct processes only ever sign one). Records whose
 // owner is already in S_PD — the overwhelming majority once gossip converges
-// — are skipped in place, without materializing their set or signature.
+// — are skipped in place, without materializing their set or signature. The
+// fresh records are verified as one batch (cryptox.VerifyBatch) so the
+// registry's memo is consulted once for the whole payload, then merged in
+// payload order — verdicts and merge outcome are exactly those of verifying
+// record by record.
 func (m *Module) receiveRecords(from model.ID, payload []byte) {
 	rd := wire.NewReader(payload[1:])
 	n := rd.Uvarint()
 	if rd.Err() != nil || n > 4096 {
 		return
 	}
-	changed := false
+	var fresh []SignedPD
 	for i := uint64(0); i < n; i++ {
 		owner := rd.ID()
 		if rd.Err() != nil {
@@ -378,8 +382,23 @@ func (m *Module) receiveRecords(from model.ID, payload []byte) {
 		if rd.Err() != nil {
 			return
 		}
-		if !rec.Verify(m.verifier) {
+		fresh = append(fresh, rec)
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	reqs := make([]cryptox.BatchRequest, len(fresh))
+	for i, rec := range fresh {
+		reqs[i] = cryptox.BatchRequest{Signer: rec.Owner, Msg: Canonical(rec.Owner, rec.PD), Sig: rec.Sig}
+	}
+	ok := cryptox.VerifyBatch(m.verifier, reqs)
+	changed := false
+	for i, rec := range fresh {
+		if !ok[i] {
 			continue
+		}
+		if _, have := m.records[rec.Owner]; have {
+			continue // an earlier verified record in this payload already won
 		}
 		m.records[rec.Owner] = rec
 		m.insertOwner(rec.Owner)

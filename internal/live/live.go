@@ -8,7 +8,7 @@ import (
 	"time"
 
 	"github.com/bftcup/bftcup/internal/model"
-	"github.com/bftcup/bftcup/internal/sim"
+	"github.com/bftcup/bftcup/internal/rt"
 )
 
 // envelope is one mailbox item: either a message or a timer firing.
@@ -81,7 +81,7 @@ type Network struct {
 
 type node struct {
 	id      model.ID
-	reactor sim.Reactor
+	reactor rt.Reactor
 	box     *mailbox
 	net     *Network
 	rng     *rand.Rand
@@ -105,7 +105,7 @@ func NewNetwork(latency func(from, to model.ID) time.Duration) *Network {
 }
 
 // AddNode registers a reactor. Must be called before Start.
-func (n *Network) AddNode(id model.ID, r sim.Reactor) error {
+func (n *Network) AddNode(id model.ID, r rt.Reactor) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.started {
@@ -249,15 +249,15 @@ func (nd *node) trackTimer(ref *timerRef) {
 	}
 }
 
-// liveCtx implements sim.Context on top of the live network.
+// liveCtx implements rt.Context on top of the live network.
 type liveCtx struct {
 	node *node
 }
 
 func (c *liveCtx) ID() model.ID { return c.node.id }
 
-func (c *liveCtx) Now() sim.Time {
-	return sim.Time(time.Since(c.node.net.start))
+func (c *liveCtx) Now() rt.Time {
+	return rt.Time(time.Since(c.node.net.start))
 }
 
 func (c *liveCtx) Rand() *rand.Rand { return c.node.rng }
@@ -269,7 +269,7 @@ func (c *liveCtx) Send(to model.ID, payload []byte) {
 	c.node.net.deliver(c.node.id, to, payload)
 }
 
-func (c *liveCtx) SetTimer(d sim.Time, tag uint64) {
+func (c *liveCtx) SetTimer(d rt.Time, tag uint64) {
 	nd := c.node
 	ref := &timerRef{}
 	ref.t = time.AfterFunc(time.Duration(d), func() {

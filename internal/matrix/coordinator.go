@@ -75,8 +75,13 @@ type FabricStats struct {
 // on the coordinator is O(workers × parallelism + axes): each worker's
 // stream spools to disk as it arrives and the final fold is the cursor-based
 // streaming Merge. The stats describe the recovery work the run needed.
-func RunFabric(total int, workers []Transport, opts FabricOptions) (*Report, FabricStats, error) {
-	return runFabric(total, workers, opts)
+//
+// Cancelling ctx aborts the sweep: every in-flight dispatch context is
+// cancelled (transports must kill their worker and return), the queue is
+// drained, and RunFabric returns ctx's error once the fleet has been reaped —
+// a killed coordinator leaves no orphaned workers behind.
+func RunFabric(ctx context.Context, total int, workers []Transport, opts FabricOptions) (*Report, FabricStats, error) {
+	return runFabric(ctx, total, workers, opts)
 }
 
 // live tracks one in-flight dispatch.
@@ -99,8 +104,11 @@ type exitEvent struct {
 	err error
 }
 
-func runFabric(total int, workers []Transport, opts FabricOptions) (*Report, FabricStats, error) {
+func runFabric(ctx context.Context, total int, workers []Transport, opts FabricOptions) (*Report, FabricStats, error) {
 	var stats FabricStats
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if total <= 0 {
 		return nil, stats, fmt.Errorf("fabric: sweep has no cells")
 	}
@@ -170,7 +178,9 @@ func runFabric(total int, workers []Transport, opts FabricOptions) (*Report, Fab
 	dispatch := func(task Task) error {
 		slot := idle[len(idle)-1]
 		idle = idle[:len(idle)-1]
-		ctx, cancel := context.WithCancel(context.Background())
+		// Derived from the caller's ctx: cancelling the sweep cancels every
+		// in-flight worker.
+		ctx, cancel := context.WithCancel(ctx)
 		lv := &live{task: task, slot: slot, cancel: cancel, lastChange: time.Now()}
 		stats.Tasks++
 		if task.resumeSpool != "" {
@@ -417,6 +427,7 @@ func runFabric(total int, workers []Transport, opts FabricOptions) (*Report, Fab
 		opts.Progress(doneCells+inFlight, total)
 	}
 
+	ctxDone := ctx.Done()
 	for len(queue) > 0 || len(running) > 0 {
 		// Dispatch every eligible task; recovery tasks still inside their
 		// backoff window stay queued (order otherwise preserved).
@@ -465,6 +476,11 @@ func runFabric(total int, workers []Transport, opts FabricOptions) (*Report, Fab
 			progress()
 		case <-wake:
 			// Re-run the dispatch scan; the earliest backoff has expired.
+		case <-ctxDone:
+			// Coordinator cancelled: abort cancels every dispatch context, and
+			// the loop keeps draining exit events until the fleet is reaped.
+			abort(ctx.Err())
+			ctxDone = nil
 		}
 	}
 

@@ -57,7 +57,7 @@ func TestFabricFingerprintIdentity(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			rep, stats, err := runFabric(src.Len(), procFleet(name, src, 4), FabricOptions{
+			rep, stats, err := runFabric(context.Background(), src.Len(), procFleet(name, src, 4), FabricOptions{
 				Shards:   5,
 				SpoolDir: t.TempDir(),
 			})
@@ -174,7 +174,7 @@ func checkFabricIdentity(t *testing.T, src CellSource, fleet []Transport, opts F
 		t.Fatal(err)
 	}
 	opts.SpoolDir = t.TempDir()
-	rep, stats, err := runFabric(src.Len(), fleet, opts)
+	rep, stats, err := runFabric(context.Background(), src.Len(), fleet, opts)
 	if err != nil {
 		t.Fatalf("fabric: %v (stats %+v)", err, stats)
 	}
@@ -266,7 +266,7 @@ func TestFabricEmptyAndTinySweeps(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 8} {
-		rep, _, err := runFabric(tiny.Len(), procFleet("tiny", tiny, workers), FabricOptions{SpoolDir: t.TempDir()})
+		rep, _, err := runFabric(context.Background(), tiny.Len(), procFleet("tiny", tiny, workers), FabricOptions{SpoolDir: t.TempDir()})
 		if err != nil {
 			t.Fatalf("%d workers: %v", workers, err)
 		}
@@ -274,10 +274,10 @@ func TestFabricEmptyAndTinySweeps(t *testing.T) {
 			t.Fatalf("%d workers: fingerprint diverged", workers)
 		}
 	}
-	if _, _, err := runFabric(0, procFleet("tiny", tiny, 2), FabricOptions{}); err == nil {
+	if _, _, err := runFabric(context.Background(), 0, procFleet("tiny", tiny, 2), FabricOptions{}); err == nil {
 		t.Fatal("empty sweep accepted")
 	}
-	if _, _, err := runFabric(3, nil, FabricOptions{}); err == nil {
+	if _, _, err := runFabric(context.Background(), 3, nil, FabricOptions{}); err == nil {
 		t.Fatal("empty fleet accepted")
 	}
 }
@@ -355,5 +355,63 @@ func TestSealStreamFile(t *testing.T) {
 	}
 	if merged.Fingerprint() != mono.Fingerprint() {
 		t.Fatalf("sealed+gap merge fingerprint %s != mono %s", merged.Fingerprint(), mono.Fingerprint())
+	}
+}
+
+// blockingTransport parks its worker until the dispatch context is
+// cancelled, counting live workers — the stand-in for a hung fleet.
+type blockingTransport struct {
+	started chan struct{}
+	active  *atomic.Int32
+}
+
+func (t blockingTransport) Run(ctx context.Context, task Task, sink io.Writer) error {
+	t.active.Add(1)
+	defer t.active.Add(-1)
+	select {
+	case t.started <- struct{}{}:
+	default:
+	}
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// TestFabricCancelReapsWorkers pins the coordinator's shutdown contract:
+// cancelling the RunFabric context kills every in-flight worker dispatch,
+// RunFabric returns the context's error, and it does not return before the
+// workers have exited.
+func TestFabricCancelReapsWorkers(t *testing.T) {
+	var active atomic.Int32
+	started := make(chan struct{}, 4)
+	fleet := make([]Transport, 2)
+	for i := range fleet {
+		fleet[i] = blockingTransport{started: started, active: &active}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// MaxAttempts is high so the only way out is the cancellation abort,
+		// not an attempts-exhausted failure racing it.
+		_, _, err := runFabric(ctx, 8, fleet, FabricOptions{
+			SpoolDir: t.TempDir(), MaxAttempts: 100,
+		})
+		done <- err
+	}()
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no worker ever started")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("runFabric did not return after cancellation")
+	}
+	if n := active.Load(); n != 0 {
+		t.Fatalf("%d workers still live after RunFabric returned", n)
 	}
 }

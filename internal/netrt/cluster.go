@@ -1,0 +1,143 @@
+package netrt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/rt"
+)
+
+// errPeerNotReady is returned by the pipe dialer while the target node has
+// not started yet; the sender's backoff loop retries.
+var errPeerNotReady = errors.New("netrt: peer not started")
+
+// ClusterConfig parameterizes an in-process cluster.
+type ClusterConfig struct {
+	// Transport selects the link type: "tcp" (localhost listeners, the
+	// cupd-shaped path) or "pipe" (synchronous net.Pipe links, the unit-test
+	// harness). Empty means "tcp".
+	Transport string
+	// Seed offsets every node's RNG seed; nodes use Seed + id + 1.
+	Seed int64
+	// Delay, when non-nil, is installed on every node as its outbound
+	// latency hook (see Config.Delay), closed over the sending node's ID.
+	Delay func(from, to model.ID, now rt.Time) rt.Time
+	// MaxFrame and QueueLen forward to each node's Config.
+	MaxFrame int
+	QueueLen int
+}
+
+// Cluster is a fully-connected in-process network of Nodes — the "multi-cupd
+// localhost cluster" harness: every node maintains real outbound streams to
+// every other, over localhost TCP sockets or net.Pipe.
+type Cluster struct {
+	Nodes  map[model.ID]*Node
+	ids    []model.ID
+	cancel context.CancelFunc
+}
+
+// NewCluster builds, starts and wires one node per ID, with reactors from
+// mk. The cluster shuts down when ctx is cancelled or Stop is called.
+func NewCluster(ctx context.Context, ids []model.ID, mk func(id model.ID) rt.Reactor, cc ClusterConfig) (*Cluster, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	c := &Cluster{Nodes: make(map[model.ID]*Node, len(ids)), ids: append([]model.ID(nil), ids...), cancel: cancel}
+
+	var listeners map[model.ID]net.Listener
+	var addrs map[model.ID]string
+	usePipe := cc.Transport == "pipe"
+	if !usePipe {
+		listeners = make(map[model.ID]net.Listener, len(ids))
+		addrs = make(map[model.ID]string, len(ids))
+		for _, id := range ids {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				for _, l := range listeners {
+					l.Close()
+				}
+				cancel()
+				return nil, fmt.Errorf("netrt: listen for node %v: %w", id, err)
+			}
+			listeners[id] = ln
+			addrs[id] = ln.Addr().String()
+		}
+	}
+
+	for _, id := range ids {
+		id := id
+		cfg := Config{
+			ID:       id,
+			Peers:    ids,
+			Seed:     cc.Seed + int64(id) + 1,
+			MaxFrame: cc.MaxFrame,
+			QueueLen: cc.QueueLen,
+		}
+		if cc.Delay != nil {
+			delay := cc.Delay
+			cfg.Delay = func(to model.ID, now rt.Time) rt.Time { return delay(id, to, now) }
+		}
+		if usePipe {
+			cfg.Dial = func(dctx context.Context, peer model.ID) (net.Conn, error) {
+				tgt, ok := c.Nodes[peer]
+				if !ok || !tgt.Started() {
+					return nil, errPeerNotReady
+				}
+				us, them := net.Pipe()
+				tgt.ServeConn(them)
+				return us, nil
+			}
+		} else {
+			cfg.Dial = func(dctx context.Context, peer model.ID) (net.Conn, error) {
+				addr, ok := addrs[peer]
+				if !ok {
+					return nil, fmt.Errorf("netrt: no address for peer %v", peer)
+				}
+				d := net.Dialer{Timeout: 2 * time.Second}
+				return d.DialContext(dctx, "tcp", addr)
+			}
+		}
+		c.Nodes[id] = NewNode(cfg, mk(id))
+	}
+
+	// Start every node before any stream comes up: a dialed node must have a
+	// live event loop (pipe dials to an unstarted node are refused and
+	// retried; TCP dials would connect to the listener backlog).
+	for _, id := range ids {
+		c.Nodes[id].Start(ctx)
+	}
+	if !usePipe {
+		for _, id := range ids {
+			c.Nodes[id].Serve(listeners[id])
+		}
+	}
+	return c, nil
+}
+
+// Stop cancels the cluster context and waits for every node to shut down.
+func (c *Cluster) Stop() {
+	c.cancel()
+	for _, n := range c.Nodes {
+		n.Stop()
+	}
+}
+
+// Messages totals accepted outbound sends across the cluster.
+func (c *Cluster) Messages() int64 {
+	var t int64
+	for _, n := range c.Nodes {
+		t += n.Messages()
+	}
+	return t
+}
+
+// Bytes totals accepted outbound payload bytes across the cluster.
+func (c *Cluster) Bytes() int64 {
+	var t int64
+	for _, n := range c.Nodes {
+		t += n.Bytes()
+	}
+	return t
+}

@@ -1,0 +1,124 @@
+package netrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/wire"
+)
+
+// MaxFrame bounds one length-prefixed frame on a stream. A peer announcing a
+// larger frame is either broken or adversarial; the reader kills the
+// connection instead of allocating. Larger than wire.MaxChunk because a
+// protocol message (a SETPDS batch, a PBFT certificate) is a sequence of
+// chunks.
+const MaxFrame = 1 << 24
+
+// ErrFrameTooLarge is returned when a frame's length prefix exceeds the
+// reader's limit.
+var ErrFrameTooLarge = errors.New("netrt: frame length exceeds limit")
+
+// errVarintOverflow is returned for a length prefix that is not a valid
+// uvarint (more than 10 bytes, or a 10th byte above 1).
+var errVarintOverflow = errors.New("netrt: length prefix overflows uvarint")
+
+// errBadHello is returned when a connection's first frame is not a valid
+// hello.
+var errBadHello = errors.New("netrt: malformed hello frame")
+
+// WriteFrame writes one frame: a uvarint length prefix followed by the
+// payload bytes. It does not flush; callers batch frames and flush once.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readUvarint decodes a uvarint from the stream. Unlike binary.ReadUvarint it
+// distinguishes a clean EOF at a frame boundary (io.EOF) from a disconnect
+// mid-prefix (io.ErrUnexpectedEOF), which is what the reconnect logic and the
+// adversarial-stream tests care about.
+func readUvarint(br *bufio.Reader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if i == binary.MaxVarintLen64 {
+			return 0, errVarintOverflow
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, errVarintOverflow
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
+// ReadFrame reads one frame from the stream, reusing buf's capacity when it
+// suffices. max <= 0 means MaxFrame. A clean EOF at a frame boundary returns
+// io.EOF; a disconnect mid-prefix or mid-payload returns io.ErrUnexpectedEOF;
+// a length prefix above max returns ErrFrameTooLarge without reading (or
+// allocating) the body.
+func ReadFrame(br *bufio.Reader, buf []byte, max int) ([]byte, error) {
+	if max <= 0 {
+		max = MaxFrame
+	}
+	n, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(max) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	if uint64(cap(buf)) >= n {
+		buf = buf[:n]
+	} else {
+		buf = make([]byte, n)
+	}
+	if _, err := io.ReadFull(br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// encodeHello builds the handshake frame payload a dialer sends first on
+// every connection: its own process ID, so the accepting side can attribute
+// all subsequent frames.
+func encodeHello(id model.ID) []byte {
+	w := wire.NewWriter()
+	w.ID(id)
+	return w.Bytes()
+}
+
+// decodeHello parses a hello frame payload.
+func decodeHello(payload []byte) (model.ID, error) {
+	r := wire.NewReader(payload)
+	id := r.ID()
+	if err := r.Done(); err != nil {
+		return 0, errBadHello
+	}
+	return id, nil
+}

@@ -1,0 +1,206 @@
+package netrt
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/bftcup/bftcup/internal/model"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		{0x01},
+		[]byte("hello"),
+		bytes.Repeat([]byte{0xab}, 1<<16),
+	}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	for i, want := range payloads {
+		got, err := ReadFrame(br, nil, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(br, nil, 0); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameCleanEOF(t *testing.T) {
+	br := bufio.NewReader(bytes.NewReader(nil))
+	if _, err := ReadFrame(br, nil, 0); err != io.EOF {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameTruncatedPrefix(t *testing.T) {
+	// A multi-byte varint cut off mid-prefix is a dirty disconnect, not a
+	// clean EOF.
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], 300) // two-byte varint
+	br := bufio.NewReader(bytes.NewReader(hdr[:n-1]))
+	if _, err := ReadFrame(br, nil, 0); err != io.ErrUnexpectedEOF {
+		t.Fatalf("mid-prefix EOF: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReadFrameMidFrameDisconnect(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, bytes.Repeat([]byte{0x55}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) - 1, len(full) - 50, len(full) - 99} {
+		br := bufio.NewReader(bytes.NewReader(full[:cut]))
+		if _, err := ReadFrame(br, nil, 0); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestReadFrameOversizedPrefix(t *testing.T) {
+	// An adversarial length prefix must be rejected before any body
+	// allocation, even when it encodes an absurd size.
+	for _, n := range []uint64{MaxFrame + 1, 1 << 40, 1<<64 - 1} {
+		var hdr [binary.MaxVarintLen64]byte
+		m := binary.PutUvarint(hdr[:], n)
+		br := bufio.NewReader(bytes.NewReader(hdr[:m]))
+		_, err := ReadFrame(br, nil, 0)
+		if !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("prefix %d: got %v, want ErrFrameTooLarge", n, err)
+		}
+	}
+	// The cap is configurable; a frame over a small limit dies the same way.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, bytes.Repeat([]byte{1}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(&buf)
+	if _, err := ReadFrame(br, nil, 16); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("small max: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameVarintOverflow(t *testing.T) {
+	// 10 continuation bytes: more than any uvarint may carry.
+	junk := bytes.Repeat([]byte{0x80}, 11)
+	br := bufio.NewReader(bytes.NewReader(junk))
+	if _, err := ReadFrame(br, nil, 0); err != errVarintOverflow {
+		t.Fatalf("overflowing varint: got %v, want errVarintOverflow", err)
+	}
+	// A 10-byte varint whose top byte exceeds 1 overflows 64 bits.
+	junk = append(bytes.Repeat([]byte{0x80}, 9), 0x02)
+	br = bufio.NewReader(bytes.NewReader(junk))
+	if _, err := ReadFrame(br, nil, 0); err != errVarintOverflow {
+		t.Fatalf("64-bit overflow: got %v, want errVarintOverflow", err)
+	}
+}
+
+func TestReadFrameBufReuse(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := WriteFrame(&buf, []byte{byte(i), byte(i), byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	scratch := make([]byte, 0, 64)
+	for i := 0; i < 3; i++ {
+		got, err := ReadFrame(br, scratch, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 3 || got[0] != byte(i) {
+			t.Fatalf("frame %d: got %v", i, got)
+		}
+		if &got[0] != &scratch[:1][0] {
+			t.Fatalf("frame %d: buffer not reused", i)
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	for _, id := range []model.ID{1, 7, 1 << 20} {
+		got, err := decodeHello(encodeHello(id))
+		if err != nil {
+			t.Fatalf("id %v: %v", id, err)
+		}
+		if got != id {
+			t.Fatalf("id %v: decoded %v", id, got)
+		}
+	}
+	if _, err := decodeHello([]byte{0x01, 0xff}); err == nil {
+		t.Fatal("hello with trailing bytes accepted")
+	}
+	if _, err := decodeHello(nil); err == nil {
+		t.Fatal("empty hello accepted")
+	}
+}
+
+// countingReader tracks how many bytes the bufio layer pulled from the
+// source, so tests can tell how much input a frame actually consumed.
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+// FuzzReadFrame feeds arbitrary byte streams to the frame reader — the
+// inbound path a Byzantine peer controls completely. The reader must never
+// panic, never return a frame above the cap, must make byte progress on
+// every frame, and must report clean EOF only when the stream ended exactly
+// on a frame boundary.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	WriteFrame(&seed, []byte("hello"))
+	WriteFrame(&seed, nil)
+	f.Add(seed.Bytes())
+	var over [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(over[:], 1<<40)
+	f.Add(over[:n])
+	f.Add(bytes.Repeat([]byte{0x80}, 16))
+	f.Add(seed.Bytes()[:3])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const max = 1 << 12
+		cr := &countingReader{r: bytes.NewReader(data)}
+		br := bufio.NewReader(cr)
+		prev := 0
+		for {
+			payload, err := ReadFrame(br, nil, max)
+			consumed := cr.n - br.Buffered()
+			if err != nil {
+				if err == io.EOF && consumed != len(data) {
+					t.Fatalf("clean EOF after %d of %d bytes", consumed, len(data))
+				}
+				return
+			}
+			if len(payload) > max {
+				t.Fatalf("frame of %d bytes exceeds max %d", len(payload), max)
+			}
+			if consumed <= prev {
+				t.Fatalf("no progress: frame ending at %d after one ending at %d", consumed, prev)
+			}
+			prev = consumed
+		}
+	})
+}

@@ -75,14 +75,26 @@ func (c *PreparedCert) valid(slot uint64, committee model.IDSet, quorum int, v c
 	if c == nil || len(c.Sigs) < quorum {
 		return false
 	}
-	d := DigestOf(c.Value)
-	msg := canon(domPrepare, slot, c.View, d)
+	msg := canon(domPrepare, slot, c.View, DigestOf(c.Value))
+	return validSigs(c.Sigs, msg, committee, v)
+}
+
+// validSigs checks a certificate's signature set: every signer is a distinct
+// committee member and every signature verifies. The whole set goes through
+// one cryptox.VerifyBatch call, so the registry memo is consulted once per
+// certificate instead of once per signature — the verdict is the conjunction
+// per-signature Verify would compute.
+func validSigs(sigs []sigEntry, msg []byte, committee model.IDSet, v cryptox.Verifier) bool {
 	seen := model.NewIDSet()
-	for _, s := range c.Sigs {
+	reqs := make([]cryptox.BatchRequest, len(sigs))
+	for i, s := range sigs {
 		if !committee.Has(s.ID) || !seen.Add(s.ID) {
 			return false
 		}
-		if !v.Verify(s.ID, msg, s.Sig) {
+		reqs[i] = cryptox.BatchRequest{Signer: s.ID, Msg: msg, Sig: s.Sig}
+	}
+	for _, ok := range cryptox.VerifyBatch(v, reqs) {
+		if !ok {
 			return false
 		}
 	}
@@ -124,18 +136,8 @@ func (c *CommitCert) valid(slot uint64, committee model.IDSet, quorum int, v cry
 	if c == nil || len(c.Sigs) < quorum {
 		return false
 	}
-	d := DigestOf(c.Value)
-	msg := canon(domCommit, slot, c.View, d)
-	seen := model.NewIDSet()
-	for _, s := range c.Sigs {
-		if !committee.Has(s.ID) || !seen.Add(s.ID) {
-			return false
-		}
-		if !v.Verify(s.ID, msg, s.Sig) {
-			return false
-		}
-	}
-	return true
+	msg := canon(domCommit, slot, c.View, DigestOf(c.Value))
+	return validSigs(c.Sigs, msg, committee, v)
 }
 
 // --- wire formats -----------------------------------------------------------

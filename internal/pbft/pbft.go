@@ -6,7 +6,7 @@ import (
 
 	"github.com/bftcup/bftcup/internal/cryptox"
 	"github.com/bftcup/bftcup/internal/model"
-	"github.com/bftcup/bftcup/internal/sim"
+	"github.com/bftcup/bftcup/internal/rt"
 	"github.com/bftcup/bftcup/internal/wire"
 )
 
@@ -53,7 +53,7 @@ type Config struct {
 	// view-change senders guarantee at least one is correct (catch-up rule).
 	F int
 	// BaseTimeout is the view-0 view-change timeout; it doubles per view.
-	BaseTimeout sim.Time
+	BaseTimeout rt.Time
 	// Hardened enables the loss-tolerant profile for chaos runs: the
 	// timeout doubling caps at hardenedMaxShift instead of maxTimeoutShift,
 	// and a decided member answers further protocol traffic for its slot
@@ -151,7 +151,7 @@ func (i *Instance) Leader(view uint64) model.ID {
 }
 
 // Start begins the protocol: the view-0 leader proposes its own value.
-func (i *Instance) Start(ctx sim.Context) {
+func (i *Instance) Start(ctx rt.Context) {
 	if i.started {
 		return
 	}
@@ -162,7 +162,7 @@ func (i *Instance) Start(ctx sim.Context) {
 	i.armTimer(ctx)
 }
 
-func (i *Instance) propose(ctx sim.Context, view uint64, value model.Value) {
+func (i *Instance) propose(ctx rt.Context, view uint64, value model.Value) {
 	d := DigestOf(value)
 	msg := &prePrepareMsg{Slot: i.cfg.Slot, View: view, Value: value,
 		Sig: i.signer.Sign(canon(domPrePrepare, i.cfg.Slot, view, d))}
@@ -171,7 +171,7 @@ func (i *Instance) propose(ctx sim.Context, view uint64, value model.Value) {
 	i.acceptProposal(ctx, view, value)
 }
 
-func (i *Instance) broadcast(ctx sim.Context, payload []byte) {
+func (i *Instance) broadcast(ctx rt.Context, payload []byte) {
 	for _, m := range i.members {
 		if m != i.self {
 			ctx.Send(m, payload)
@@ -179,7 +179,7 @@ func (i *Instance) broadcast(ctx sim.Context, payload []byte) {
 	}
 }
 
-func (i *Instance) armTimer(ctx sim.Context) {
+func (i *Instance) armTimer(ctx rt.Context) {
 	shift := i.view
 	lim := uint64(maxTimeoutShift)
 	if i.cfg.Hardened {
@@ -196,7 +196,7 @@ func (i *Instance) armTimer(ctx sim.Context) {
 // without a live timer an undecided instance would wait forever for traffic
 // it can no longer solicit. The rest of the state machine is message-driven
 // and resumes on its own.
-func (i *Instance) Resume(ctx sim.Context) {
+func (i *Instance) Resume(ctx rt.Context) {
 	if !i.started || i.decided {
 		return
 	}
@@ -204,7 +204,7 @@ func (i *Instance) Resume(ctx sim.Context) {
 }
 
 // HandleTimer processes a view timer; it reports whether the tag was ours.
-func (i *Instance) HandleTimer(ctx sim.Context, tag uint64) bool {
+func (i *Instance) HandleTimer(ctx rt.Context, tag uint64) bool {
 	slot, ok := SlotOfTag(tag)
 	if !ok {
 		return false
@@ -220,7 +220,7 @@ func (i *Instance) HandleTimer(ctx sim.Context, tag uint64) bool {
 	return true
 }
 
-func (i *Instance) startViewChange(ctx sim.Context, newView uint64) {
+func (i *Instance) startViewChange(ctx rt.Context, newView uint64) {
 	if newView <= i.view && i.sentVC[newView] {
 		return
 	}
@@ -241,7 +241,7 @@ func (i *Instance) startViewChange(ctx sim.Context, newView uint64) {
 
 // Handle processes a PBFT payload for this slot; it reports whether the
 // payload was consumed.
-func (i *Instance) Handle(ctx sim.Context, from model.ID, payload []byte) bool {
+func (i *Instance) Handle(ctx rt.Context, from model.ID, payload []byte) bool {
 	if len(payload) < 2 || i.decided || !i.started {
 		// Decided instances ignore everything (DecideNote already sent) —
 		// except that in hardened mode a decided member answers live
@@ -302,7 +302,7 @@ func (i *Instance) Handle(ctx sim.Context, from model.ID, payload []byte) bool {
 	}
 }
 
-func (i *Instance) onPrePrepare(ctx sim.Context, from model.ID, m *prePrepareMsg) {
+func (i *Instance) onPrePrepare(ctx rt.Context, from model.ID, m *prePrepareMsg) {
 	if m.View != i.view || from != i.Leader(m.View) {
 		return
 	}
@@ -317,7 +317,7 @@ func (i *Instance) onPrePrepare(ctx sim.Context, from model.ID, m *prePrepareMsg
 }
 
 // acceptProposal records the value bound to a view and broadcasts Prepare.
-func (i *Instance) acceptProposal(ctx sim.Context, view uint64, value model.Value) {
+func (i *Instance) acceptProposal(ctx rt.Context, view uint64, value model.Value) {
 	if _, have := i.accepted[view]; have {
 		return
 	}
@@ -333,7 +333,7 @@ func (i *Instance) acceptProposal(ctx sim.Context, view uint64, value model.Valu
 	i.recordVote(ctx, i.self, &voteMsg{Kind: wire.KindPrepare, Slot: i.cfg.Slot, View: view, Digest: d, Sig: sig})
 }
 
-func (i *Instance) onVote(ctx sim.Context, from model.ID, m *voteMsg) {
+func (i *Instance) onVote(ctx rt.Context, from model.ID, m *voteMsg) {
 	dom := domPrepare
 	if m.Kind == wire.KindCommit {
 		dom = domCommit
@@ -344,7 +344,7 @@ func (i *Instance) onVote(ctx sim.Context, from model.ID, m *voteMsg) {
 	i.recordVote(ctx, from, m)
 }
 
-func (i *Instance) recordVote(ctx sim.Context, from model.ID, m *voteMsg) {
+func (i *Instance) recordVote(ctx rt.Context, from model.ID, m *voteMsg) {
 	table := i.prepares
 	if m.Kind == wire.KindCommit {
 		table = i.commits
@@ -368,7 +368,7 @@ func (i *Instance) recordVote(ctx sim.Context, from model.ID, m *voteMsg) {
 
 // checkProgress fires the prepared → commit and committed → decide
 // transitions for the current view.
-func (i *Instance) checkProgress(ctx sim.Context, view uint64, d Digest) {
+func (i *Instance) checkProgress(ctx rt.Context, view uint64, d Digest) {
 	if view != i.view || i.decided {
 		return
 	}
@@ -412,7 +412,7 @@ func sortedIDs[T any](m map[model.ID]T) []model.ID {
 	return out
 }
 
-func (i *Instance) decide(ctx sim.Context, value model.Value, cert *CommitCert) {
+func (i *Instance) decide(ctx rt.Context, value model.Value, cert *CommitCert) {
 	if i.decided {
 		return
 	}
@@ -428,7 +428,7 @@ func (i *Instance) decide(ctx sim.Context, value model.Value, cert *CommitCert) 
 	}
 }
 
-func (i *Instance) onViewChange(ctx sim.Context, from model.ID, m *viewChangeMsg) {
+func (i *Instance) onViewChange(ctx rt.Context, from model.ID, m *viewChangeMsg) {
 	if !i.verifier.Verify(from, vcCanon(i.cfg.Slot, m.NewView, m.Prepared), m.Sig) {
 		return
 	}
@@ -438,7 +438,7 @@ func (i *Instance) onViewChange(ctx sim.Context, from model.ID, m *viewChangeMsg
 	i.recordVC(ctx, from, m)
 }
 
-func (i *Instance) recordVC(ctx sim.Context, from model.ID, m *viewChangeMsg) {
+func (i *Instance) recordVC(ctx rt.Context, from model.ID, m *viewChangeMsg) {
 	byID, ok := i.vcs[m.NewView]
 	if !ok {
 		byID = make(map[model.ID]*viewChangeMsg)
@@ -519,7 +519,7 @@ func validNewViewValue(bundle []viewChangeMsg, value model.Value) bool {
 	return true // no prepared cert: the leader may propose anything
 }
 
-func (i *Instance) onNewView(ctx sim.Context, from model.ID, m *newViewMsg) {
+func (i *Instance) onNewView(ctx rt.Context, from model.ID, m *newViewMsg) {
 	if m.View < i.view || from != i.Leader(m.View) {
 		return
 	}
@@ -554,7 +554,7 @@ func (i *Instance) onNewView(ctx sim.Context, from model.ID, m *newViewMsg) {
 }
 
 // replayVotes re-evaluates quorum conditions after a late view installation.
-func (i *Instance) replayVotes(ctx sim.Context, view uint64) {
+func (i *Instance) replayVotes(ctx rt.Context, view uint64) {
 	value, ok := i.accepted[view]
 	if !ok {
 		return
@@ -562,7 +562,7 @@ func (i *Instance) replayVotes(ctx sim.Context, view uint64) {
 	i.checkProgress(ctx, view, DigestOf(value))
 }
 
-func (i *Instance) onDecideNote(ctx sim.Context, m *decideNoteMsg) {
+func (i *Instance) onDecideNote(ctx rt.Context, m *decideNoteMsg) {
 	if !m.Cert.valid(i.cfg.Slot, i.cfg.Committee, i.cfg.Quorum, i.verifier) {
 		return
 	}

@@ -6,7 +6,7 @@ import (
 
 	"github.com/bftcup/bftcup/internal/graph"
 	"github.com/bftcup/bftcup/internal/model"
-	"github.com/bftcup/bftcup/internal/sim"
+	"github.com/bftcup/bftcup/internal/rt"
 	"github.com/bftcup/bftcup/internal/wire"
 )
 
@@ -96,7 +96,7 @@ func (m *Module) SetForwardCap(n int) {
 
 // Broadcast sends payload to every process the sender knows; it is also
 // delivered locally at once.
-func (m *Module) Broadcast(ctx sim.Context, seq uint64, payload []byte) {
+func (m *Module) Broadcast(ctx rt.Context, seq uint64, payload []byte) {
 	msg := &Message{Origin: m.self, Seq: seq, Payload: payload}
 	k := keyOf(msg)
 	if !m.delivered[k] {
@@ -113,7 +113,7 @@ func (m *Module) Broadcast(ctx sim.Context, seq uint64, payload []byte) {
 
 // Handle processes an incoming payload; it reports whether it was an RRB
 // message.
-func (m *Module) Handle(ctx sim.Context, from model.ID, payload []byte) bool {
+func (m *Module) Handle(ctx rt.Context, from model.ID, payload []byte) bool {
 	msg, ok := decode(payload)
 	if !ok {
 		return len(payload) > 0 && payload[0] == wire.KindRRB

@@ -1,0 +1,336 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/bftcup/bftcup/internal/byz"
+	"github.com/bftcup/bftcup/internal/core"
+	"github.com/bftcup/bftcup/internal/cryptox"
+	"github.com/bftcup/bftcup/internal/discovery"
+	"github.com/bftcup/bftcup/internal/kosr"
+	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/netrt"
+	"github.com/bftcup/bftcup/internal/rt"
+	"github.com/bftcup/bftcup/internal/sim"
+)
+
+// RunLive executes a Compiled scenario over the real-runtime stack instead of
+// the simulator: the same reactors (correct nodes and the Byzantine zoo),
+// built from the same compiled graph, keys and placement, run as goroutines
+// over netrt streams — localhost TCP or net.Pipe — and are graded by the same
+// agreement/validity/integrity/termination rules as Runner.Run. The simulator
+// and this path are twins: on the same compiled cell they must reach the same
+// verdicts, and the twin tests pin exactly that.
+//
+// Live runs are wall-clock bound, so virtual durations are mapped to real
+// time divided by LiveOptions.Scale: protocol periods, timeouts, the horizon
+// and every network-model delay shrink together, preserving their ratios —
+// which is what the verdicts depend on. Results come back in virtual units
+// (DecidedAt and Elapsed are scaled back up) so they read on the same axis as
+// simulator results.
+//
+// Chaos fault injection (link faults, churn) is a simulator-only feature;
+// compiled cells with an active fault axis are rejected.
+
+// LiveOptions tunes RunLive.
+type LiveOptions struct {
+	// Transport selects the link type: "pipe" (net.Pipe, the unit-test
+	// harness, default) or "tcp" (localhost sockets, the cupd-shaped path).
+	Transport string
+	// Scale divides every virtual duration to get real time; 0 means 10
+	// (a compiled 60s horizon runs for at most 6 wall seconds).
+	Scale int64
+}
+
+// liveTimerFloor keeps scaled-down periods from degenerating into busy
+// loops on slow machines.
+const liveTimerFloor = 200 * rt.Microsecond
+
+// scaleDur maps one virtual protocol duration to real time: explicit values
+// win, zero falls back to the module default the simulator would have used —
+// scaling must not diverge from what Runner.Run runs.
+func scaleDur(v, def sim.Time, scale int64) rt.Time {
+	if v <= 0 {
+		v = def
+	}
+	d := rt.Time(int64(v) / scale)
+	if d < liveTimerFloor {
+		d = liveTimerFloor
+	}
+	return d
+}
+
+// LiveDurations returns the protocol stack's durations mapped for a live run
+// at the given scale (0 means 10): the discovery config, the PBFT base
+// timeout and the decided-poll period. RunLive uses exactly these; cmd/cupd
+// calls it so a standalone daemon boots the same stack a cluster run would.
+func (c *Compiled) LiveDurations(scale int64) (disc discovery.Config, pbftTimeout, pollPeriod rt.Time) {
+	if scale <= 0 {
+		scale = 10
+	}
+	disc = c.Discovery
+	disc.Period = scaleDur(disc.Period, 20*sim.Millisecond, scale)
+	pbftTimeout = scaleDur(c.PBFTTimeout, 200*sim.Millisecond, scale)
+	pollPeriod = scaleDur(c.PollPeriod, 50*sim.Millisecond, scale)
+	return disc, pbftTimeout, pollPeriod
+}
+
+// liveNet adapts the compiled sim.NetworkModel into the netrt per-message
+// delay hook: virtual "now" is real elapsed time multiplied back up, the
+// model's virtual delay is divided back down. The RNG is shared across nodes
+// (models draw jitter from it), so it is locked — live delay draws are
+// wall-clock ordered and deliberately not deterministic.
+type liveNet struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	net   sim.NetworkModel
+	scale int64
+}
+
+func (l *liveNet) delay(from, to model.ID, now rt.Time) rt.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := l.net.Delay(from, to, now*rt.Time(l.scale), l.rng)
+	if d < 0 {
+		d = 0
+	}
+	return d / rt.Time(l.scale)
+}
+
+// RunLive executes the compiled scenario under one seed on the live runtime.
+// The seed drives key material and reactor RNGs exactly as in Runner.Run;
+// scheduling, however, is the operating system's, so traces are not
+// reproducible — only verdicts are the contract.
+func (c *Compiled) RunLive(seed int64, opts LiveOptions) (*Result, error) {
+	name := c.Name
+	if c.deriveName {
+		name = c.Labels.IDFor(seed)
+	}
+	if c.Faults.Enabled() {
+		return nil, fmt.Errorf("scenario %q: live runtime does not support fault injection", name)
+	}
+	scale := opts.Scale
+	if scale <= 0 {
+		scale = 10
+	}
+	transport := opts.Transport
+	if transport == "" {
+		transport = "pipe"
+	}
+
+	var signers map[model.ID]cryptox.Signer
+	var reg cryptox.Verifier
+	if c.Insecure {
+		signers, reg = cryptox.InsecureSuite(c.ids)
+	} else {
+		var err error
+		signers, reg, err = cryptox.Keyring(seed+1, c.ids)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", name, err)
+		}
+	}
+
+	// The protocol stack's virtual durations, scaled once for every reactor.
+	disc, pbftTimeout, pollPeriod := c.LiveDurations(scale)
+
+	// Grading state; decision callbacks arrive on node event-loop
+	// goroutines, so unlike Runner.Run this is mutex-guarded.
+	var (
+		mu             sync.Mutex
+		start          time.Time
+		proposals      = make(map[model.ID]model.Value)
+		nodes          = make(map[model.ID]*core.Node)
+		correct        = model.NewIDSet()
+		decisions      = make(map[model.ID]model.Value)
+		decidedAt      = make(map[model.ID]rt.Time)
+		doubleDecided  = model.NewIDSet()
+		decidedCorrect = 0
+		done           = make(chan struct{})
+		doneOnce       sync.Once
+	)
+
+	var collusion *byz.Collusion
+	colluders := map[model.ID]*byz.Colluder{}
+	for _, id := range c.ids {
+		if bspec, ok := c.Byz[id]; ok && bspec.Kind == ByzCollude {
+			if collusion == nil {
+				collusion = byz.NewCollusion(reg, disc)
+			}
+			colluders[id] = collusion.AddMember(signers[id], resolveClaim(c, id, bspec), bspec.Withhold)
+		}
+	}
+
+	makeNode := func(id model.ID, value model.Value) *core.Node {
+		cfg := core.Config{
+			Mode:        c.Mode,
+			F:           c.F,
+			PD:          c.Graph.OutSet(id).Clone(),
+			Proposal:    value,
+			Discovery:   disc,
+			PBFTTimeout: pbftTimeout,
+			PollPeriod:  pollPeriod,
+			Hardened:    c.Hardened,
+		}
+		if c.Mode != core.ModePermissioned {
+			cfg.Searcher = kosr.NewSearcher()
+		}
+		return core.NewNode(signers[id], reg, cfg, func(v model.Value) {
+			mu.Lock()
+			defer mu.Unlock()
+			if prev, dup := decisions[id]; dup {
+				if !prev.Equal(v) {
+					doubleDecided.Add(id)
+				}
+				return
+			}
+			decisions[id] = v
+			// Reported in virtual units, like every simulator result.
+			decidedAt[id] = rt.Time(time.Since(start)) * rt.Time(scale)
+			if correct.Has(id) {
+				decidedCorrect++
+				if decidedCorrect == correct.Len() {
+					doneOnce.Do(func() { close(done) })
+				}
+			}
+		})
+	}
+
+	reactors := make(map[model.ID]rt.Reactor, len(c.ids))
+	for _, id := range c.ids {
+		value := model.Value(fmt.Sprintf("v%d", id))
+		if v, ok := c.Values[id]; ok {
+			value = v
+		}
+		proposals[id] = value
+
+		bspec, isByz := c.Byz[id]
+		if !isByz || bspec.Kind == ByzAsCorrect {
+			n := makeNode(id, value)
+			nodes[id] = n
+			reactors[id] = n
+			if !isByz {
+				correct.Add(id)
+			}
+			continue
+		}
+		switch bspec.Kind {
+		case ByzSilent:
+			reactors[id] = byz.Silent{}
+		case ByzFakePD:
+			reactors[id] = byz.NewFakePD(signers[id], reg, resolveClaim(c, id, bspec), disc)
+		case ByzEquivPD:
+			alt := bspec.AltPD
+			if alt == nil {
+				alt = model.NewIDSet()
+			}
+			choose := bspec.ChooseAlt
+			if bspec.AltRecipients != nil {
+				recipients := bspec.AltRecipients
+				choose = func(id model.ID) bool { return recipients.Has(id) }
+			}
+			reactors[id] = byz.NewPDEquivocator(signers[id], reg, resolveClaim(c, id, bspec), alt, choose, disc)
+		case ByzDelay:
+			reactors[id] = byz.NewDelayer(signers[id], reg, resolveClaim(c, id, bspec), disc, bspec.HoldRounds)
+		case ByzSelectiveSilent:
+			reactors[id] = byz.NewSelectiveSilent(signers[id], reg, resolveClaim(c, id, bspec), bspec.AnswerTo, disc)
+		case ByzCollude:
+			reactors[id] = colluders[id]
+		default:
+			return nil, fmt.Errorf("scenario %q: unknown byz kind %v", name, bspec.Kind)
+		}
+	}
+
+	if correct.Len() == 0 {
+		// Vacuous termination, as in Runner.Run's immediate cond check.
+		doneOnce.Do(func() { close(done) })
+	}
+
+	ln := &liveNet{rng: rand.New(rand.NewSource(seed)), net: c.Net, scale: scale}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	mu.Lock() // hold off decisions racing cluster start
+	cluster, err := netrt.NewCluster(ctx, c.ids, func(id model.ID) rt.Reactor { return reactors[id] }, netrt.ClusterConfig{
+		Transport: transport,
+		Seed:      seed,
+		Delay:     ln.delay,
+	})
+	if err != nil {
+		mu.Unlock()
+		return nil, fmt.Errorf("scenario %q: %w", name, err)
+	}
+	start = time.Now()
+	mu.Unlock()
+
+	horizon := time.Duration(int64(c.Horizon) / scale)
+	termination := false
+	select {
+	case <-done:
+		termination = true
+		// Let in-flight decisions propagate a little further for reporting —
+		// the Runner's one extra virtual second, scaled.
+		time.Sleep(time.Duration(int64(sim.Second) / scale))
+	case <-time.After(horizon):
+	}
+	cluster.Stop()
+
+	res := &Result{Name: name, PerProcess: make(map[model.ID]ProcessResult)}
+	mu.Lock()
+	defer mu.Unlock()
+	res.Termination = termination || decidedCorrect == correct.Len()
+
+	res.Agreement, res.Validity, res.Integrity = true, true, true
+	for id := range doubleDecided {
+		if correct.Has(id) {
+			res.Integrity = false
+		}
+	}
+	var last rt.Time
+	var agreed model.Value
+	first := true
+	for _, id := range c.ids {
+		pr := ProcessResult{Byzantine: hasByz(c.Byz, id)}
+		if n, ok := nodes[id]; ok {
+			if cand, ok := n.Committee(); ok {
+				pr.Committee = cand.Members()
+				pr.G = cand.G
+			}
+		}
+		if v, ok := decisions[id]; ok {
+			pr.Decided, pr.Value, pr.DecidedAt = true, v, decidedAt[id]
+		}
+		res.PerProcess[id] = pr
+
+		if !correct.Has(id) || !pr.Decided {
+			continue
+		}
+		if pr.DecidedAt > last {
+			last = pr.DecidedAt
+		}
+		if first {
+			agreed, first = pr.Value, false
+		} else if !agreed.Equal(pr.Value) {
+			res.Agreement = false
+		}
+		proposed := false
+		for _, p := range proposals {
+			if p.Equal(pr.Value) {
+				proposed = true
+				break
+			}
+		}
+		if !proposed {
+			res.Validity = false
+		}
+	}
+	if res.Termination {
+		res.Elapsed = last
+	} else {
+		res.Elapsed = c.Horizon
+	}
+	res.Messages, res.Bytes = cluster.Messages(), cluster.Bytes()
+	return res, nil
+}

@@ -244,7 +244,7 @@ type crashTicker struct {
 	resumed int
 }
 
-func (c *crashTicker) Init(ctx Context)             { ctx.SetTimer(10*Millisecond, 1) }
+func (c *crashTicker) Init(ctx Context)                  { ctx.SetTimer(10*Millisecond, 1) }
 func (c *crashTicker) Receive(Context, model.ID, []byte) {}
 func (c *crashTicker) Timer(ctx Context, tag uint64) {
 	c.ticks++

@@ -34,61 +34,33 @@ import (
 	"sort"
 
 	"github.com/bftcup/bftcup/internal/model"
+	"github.com/bftcup/bftcup/internal/rt"
 )
 
+// The runtime abstraction (Time, Reactor, Context, Restartable) lives in
+// internal/rt; the engine is one implementation of it. The aliases below keep
+// the historical sim.* names working — they are the same types, so the engine
+// and every reactor written against rt interoperate with zero conversion.
+
 // Time is virtual nanoseconds since the start of the run.
-type Time int64
+type Time = rt.Time
 
 // Convenient virtual durations.
 const (
-	Microsecond Time = 1000
-	Millisecond Time = 1000 * Microsecond
-	Second      Time = 1000 * Millisecond
+	Microsecond = rt.Microsecond
+	Millisecond = rt.Millisecond
+	Second      = rt.Second
 )
-
-// String renders the virtual duration human-readably ("2.00s", "14.3ms").
-func (t Time) String() string {
-	switch {
-	case t >= Second:
-		return fmt.Sprintf("%.2fs", float64(t)/float64(Second))
-	case t >= Millisecond:
-		return fmt.Sprintf("%.1fms", float64(t)/float64(Millisecond))
-	default:
-		return fmt.Sprintf("%dns", int64(t))
-	}
-}
 
 // Reactor is a deterministic, single-threaded protocol state machine. The
 // engine never calls a reactor concurrently.
-type Reactor interface {
-	// Init runs once before any event is delivered.
-	Init(ctx Context)
-	// Receive delivers a message from another process. The payload slice is
-	// only valid until the callback returns (it is recycled into the engine's
-	// buffer pool afterwards); reactors that keep a payload for later must
-	// copy it.
-	Receive(ctx Context, from model.ID, payload []byte)
-	// Timer fires a timer set via Context.SetTimer.
-	Timer(ctx Context, tag uint64)
-}
+type Reactor = rt.Reactor
 
-// Context is the engine-side interface a reactor uses to act on the world.
-type Context interface {
-	// ID returns the process this context belongs to.
-	ID() model.ID
-	// Now returns the current virtual time.
-	Now() Time
-	// Send transmits payload to the given process. Sending to an unknown or
-	// crashed process silently drops (the channel abstraction does not
-	// acknowledge). The payload is copied (or interned, for repeated
-	// broadcasts of identical bytes); the caller may reuse its buffer.
-	Send(to model.ID, payload []byte)
-	// SetTimer schedules Timer(tag) after d.
-	SetTimer(d Time, tag uint64)
-	// Rand is a deterministic per-run RNG (shared; use only inside the
-	// reactor's own callbacks).
-	Rand() *rand.Rand
-}
+// Context is the runtime-side interface a reactor uses to act on the world.
+// The engine's implementation copies (or interns, for repeated broadcasts of
+// identical bytes) every Send payload, and silently drops sends to unknown or
+// crashed processes.
+type Context = rt.Context
 
 // NetworkModel assigns a delivery delay to each message.
 type NetworkModel interface {
@@ -165,12 +137,12 @@ func (ev *event) before(o *event) bool {
 
 // Engine drives a set of reactors over a virtual clock.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  []event // manual binary min-heap on (at, seq)
-	procs   map[model.ID]*proc
-	order   []model.ID
-	net     NetworkModel
+	now    Time
+	seq    uint64
+	events []event // manual binary min-heap on (at, seq)
+	procs  map[model.ID]*proc
+	order  []model.ID
+	net    NetworkModel
 	// injector is net's FaultInjector view, cached so the zero-fault send
 	// path pays one nil check instead of a per-message type assertion.
 	injector FaultInjector
@@ -218,9 +190,7 @@ type proc struct {
 // replacement reactor calls Restart (falling back to Init when the reactor
 // does not implement it); the reactor re-arms whatever timers it needs —
 // pending timers from before the crash are gone.
-type Restartable interface {
-	Restart(ctx Context)
-}
+type Restartable = rt.Restartable
 
 // NewEngine creates an engine with the given network model and seed.
 func NewEngine(net NetworkModel, seed int64) *Engine {
